@@ -1,0 +1,220 @@
+// Command benchtrie regenerates the evaluation of Shafiei, "Non-blocking
+// Patricia Tries with Replace Operations" (ICDCS 2013): Figures 8-11 plus
+// the medium-contention experiment described in the text. Each figure is
+// a throughput-vs-threads sweep of the Patricia trie (PAT) against the
+// paper's five baselines, printed as aligned series tables (mean ± stddev
+// over the configured trials).
+//
+// Usage:
+//
+//	benchtrie -fig all                      # every experiment
+//	benchtrie -fig 9b -duration 2s -trials 8
+//	benchtrie -fig 10 -threads 1,2,4,8
+//
+// Figures: 8a 8b 9a 9b 10 11 medium all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nbtrie"
+	"nbtrie/internal/bench"
+	"nbtrie/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrie:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtrie", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "experiment: 8a 8b 9a 9b 10 11 medium all")
+		duration = fs.Duration("duration", 500*time.Millisecond, "length of each timed trial (paper: 4s)")
+		warmup   = fs.Duration("warmup", 100*time.Millisecond, "warmup run per data point (paper: 10s)")
+		trials   = fs.Int("trials", 3, "timed trials per data point (paper: 8)")
+		threads  = fs.String("threads", "", "comma-separated thread counts (default: adapted to host)")
+		width    = fs.Uint("width", 21, "Patricia trie key width in bits (must cover the key range)")
+		seed     = fs.Uint64("seed", 1, "base RNG seed")
+		csv      = fs.Bool("csv", false, "emit machine-readable CSV (figure,impl,threads,mean_ops_per_sec,stddev) instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ths := bench.DefaultThreads()
+	if *threads != "" {
+		var err error
+		if ths, err = parseThreads(*threads); err != nil {
+			return err
+		}
+	}
+
+	exps, err := selectExperiments(*fig)
+	if err != nil {
+		return err
+	}
+
+	if *csv {
+		fmt.Println("figure,impl,threads,mean_ops_per_sec,stddev")
+	} else {
+		fmt.Printf("host: GOMAXPROCS=%d  threads=%v  duration=%v  trials=%d\n\n",
+			runtime.GOMAXPROCS(0), ths, *duration, *trials)
+	}
+
+	for _, e := range exps {
+		cfg := bench.Config{
+			Mix:      e.mix,
+			KeyRange: e.keyRange,
+			Duration: *duration,
+			Warmup:   *warmup,
+			Trials:   *trials,
+			SeqLen:   e.seqLen,
+			Seed:     *seed,
+		}
+		if err := runExperiment(e, cfg, ths, uint32(*width), *csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// experiment describes one figure of the paper.
+type experiment struct {
+	id       string
+	title    string
+	mix      workload.Mix
+	keyRange uint64
+	seqLen   uint64
+	patOnly  bool
+}
+
+var experiments = []experiment{
+	{id: "8a", title: "Figure 8 (top): uniform keys, i5-d5-f90, range (0,10^6)",
+		mix: workload.MixI5D5F90, keyRange: 1_000_000},
+	{id: "8b", title: "Figure 8 (bottom): uniform keys, i50-d50-f0, range (0,10^6)",
+		mix: workload.MixI50D50, keyRange: 1_000_000},
+	{id: "9a", title: "Figure 9 (top): uniform keys, i5-d5-f90, range (0,100)",
+		mix: workload.MixI5D5F90, keyRange: 100},
+	{id: "9b", title: "Figure 9 (bottom): uniform keys, i50-d50-f0, range (0,100)",
+		mix: workload.MixI50D50, keyRange: 100},
+	{id: "10", title: "Figure 10: replace operations, i10-d10-r80, range (0,10^6), PAT only",
+		mix: workload.MixI10D10R80, keyRange: 1_000_000, patOnly: true},
+	{id: "11", title: "Figure 11: non-uniform keys (runs of 50), i15-d15-f70, range (0,10^6)",
+		mix: workload.MixI15D15F70, keyRange: 1_000_000, seqLen: 50},
+	{id: "medium", title: "Section V text: uniform keys, i15-d15-f70, range (0,10^3) (medium contention)",
+		mix: workload.MixI15D15F70, keyRange: 1_000},
+}
+
+func selectExperiments(fig string) ([]experiment, error) {
+	if fig == "all" {
+		return experiments, nil
+	}
+	for _, e := range experiments {
+		if e.id == fig {
+			return []experiment{e}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown figure %q (want 8a 8b 9a 9b 10 11 medium all)", fig)
+}
+
+// factories returns the implementations of one figure, in the paper's
+// legend order.
+func factories(e experiment, width uint32) []struct {
+	name string
+	mk   func() bench.Set
+} {
+	pat := func() bench.Set {
+		p, err := nbtrie.NewPatriciaTrie(width)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	if e.patOnly {
+		return []struct {
+			name string
+			mk   func() bench.Set
+		}{{"PAT", pat}}
+	}
+	return []struct {
+		name string
+		mk   func() bench.Set
+	}{
+		{"PAT", pat},
+		{"4-ST", func() bench.Set { return nbtrie.NewKST(4) }},
+		{"BST", func() bench.Set { return nbtrie.NewBST() }},
+		{"AVL", func() bench.Set { return nbtrie.NewAVL() }},
+		{"SL", func() bench.Set { return nbtrie.NewSkipList() }},
+		{"Ctrie", func() bench.Set { return nbtrie.NewCtrie() }},
+	}
+}
+
+func runExperiment(e experiment, cfg bench.Config, ths []int, width uint32, csv bool) error {
+	if uint64(1)<<width < cfg.KeyRange {
+		return fmt.Errorf("width %d cannot hold key range %d", width, cfg.KeyRange)
+	}
+	if !csv {
+		fmt.Println(e.title)
+		fmt.Printf("%-8s", "threads")
+		for _, th := range ths {
+			fmt.Printf("%16d", th)
+		}
+		fmt.Println()
+	}
+	for _, f := range factories(e, width) {
+		series, err := bench.RunSeries(f.name, f.mk, cfg, ths)
+		if err != nil {
+			return err
+		}
+		if csv {
+			for _, p := range series.Points {
+				fmt.Printf("%s,%s,%d,%.0f,%.0f\n",
+					e.id, series.Name, p.Threads, p.Summary.Mean, p.Summary.Stddev)
+			}
+			continue
+		}
+		fmt.Printf("%-8s", series.Name)
+		for _, p := range series.Points {
+			fmt.Printf("%13s ±%.0f%%", formatOps(p.Summary.Mean), 100*p.Summary.RelStddev())
+		}
+		fmt.Println()
+	}
+	if !csv {
+		fmt.Println()
+	}
+	return nil
+}
+
+func formatOps(x float64) string {
+	switch {
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM op/s", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk op/s", x/1e3)
+	default:
+		return fmt.Sprintf("%.0f op/s", x)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseThreads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "1,-2"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Errorf("parseThreads(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != len(experiments) {
+		t.Errorf("all: %v, %v", all, err)
+	}
+	one, err := selectExperiments("9b")
+	if err != nil || len(one) != 1 || one[0].id != "9b" {
+		t.Errorf("9b: %v, %v", one, err)
+	}
+	if _, err := selectExperiments("nope"); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := map[float64]string{
+		12:        "12 op/s",
+		4_500:     "4.5k op/s",
+		2_340_000: "2.34M op/s",
+	}
+	for in, want := range cases {
+		if got := formatOps(in); got != want {
+			t.Errorf("formatOps(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunSmallExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep")
+	}
+	err := run([]string{"-fig", "9a", "-duration", "10ms", "-warmup", "0s",
+		"-trials", "1", "-threads", "1,2", "-width", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep")
+	}
+	err := run([]string{"-fig", "10", "-duration", "10ms", "-warmup", "0s",
+		"-trials", "1", "-threads", "1", "-width", "21", "-csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsNarrowWidth(t *testing.T) {
+	err := run([]string{"-fig", "8a", "-duration", "1ms", "-trials", "1",
+		"-threads", "1", "-width", "8"})
+	if err == nil {
+		t.Fatal("width 8 cannot hold key range 10^6; expected error")
+	}
+}

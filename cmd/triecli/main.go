@@ -1,0 +1,110 @@
+// Command triecli is an interactive inspector for the non-blocking
+// Patricia trie. It reads commands from stdin and prints results and —
+// on demand — the trie's internal structure, which makes the paper's
+// figures (labels as prefixes, two dummy leaves, replace rewiring) easy
+// to see.
+//
+// Commands:
+//
+//	insert K        add key K
+//	delete K        remove key K
+//	find K          membership test
+//	replace K1 K2   atomically move K1 to K2
+//	keys            list keys in order
+//	size            count keys
+//	dump            print the trie structure
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nbtrie"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, 16); err != nil {
+		fmt.Fprintln(os.Stderr, "triecli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer, width uint32) error {
+	trie, err := nbtrie.NewPatriciaTrie(width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "patricia trie over [0, %d); commands: insert/delete/find/replace/keys/size/dump/quit\n",
+		uint64(1)<<width)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if done := exec(trie, out, line, width); done {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// exec runs one command line; it returns true on quit.
+func exec(trie *nbtrie.PatriciaTrie, out io.Writer, line string, width uint32) bool {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+
+	parseKey := func(i int) (uint64, bool) {
+		if i >= len(fields) {
+			fmt.Fprintf(out, "error: %s needs %d key argument(s)\n", cmd, i)
+			return 0, false
+		}
+		k, err := strconv.ParseUint(fields[i], 10, 64)
+		if err != nil || k >= uint64(1)<<width {
+			fmt.Fprintf(out, "error: bad key %q (range is [0, %d))\n", fields[i], uint64(1)<<width)
+			return 0, false
+		}
+		return k, true
+	}
+
+	switch cmd {
+	case "insert":
+		if k, ok := parseKey(1); ok {
+			fmt.Fprintln(out, trie.Insert(k))
+		}
+	case "delete":
+		if k, ok := parseKey(1); ok {
+			fmt.Fprintln(out, trie.Delete(k))
+		}
+	case "find":
+		if k, ok := parseKey(1); ok {
+			fmt.Fprintln(out, trie.Contains(k))
+		}
+	case "replace":
+		k1, ok := parseKey(1)
+		if !ok {
+			return false
+		}
+		k2, ok := parseKey(2)
+		if !ok {
+			return false
+		}
+		fmt.Fprintln(out, trie.Replace(k1, k2))
+	case "keys":
+		fmt.Fprintln(out, trie.Keys())
+	case "size":
+		fmt.Fprintln(out, trie.Size())
+	case "dump":
+		fmt.Fprint(out, trie.Dump())
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Fprintf(out, "error: unknown command %q\n", cmd)
+	}
+	return false
+}

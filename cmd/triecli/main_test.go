@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCLISession(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"insert 5",
+		"insert 5",
+		"find 5",
+		"replace 5 9",
+		"find 5",
+		"find 9",
+		"keys",
+		"size",
+		"dump",
+		"delete 9",
+		"size",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := run(in, &out, 8); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"true\nfalse\ntrue\ntrue\nfalse\ntrue\n[9]\n1\n", // command results in order
+		"dummy", // dump shows the dummy leaves
+		"leaf",  // and at least one leaf line
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(got), "0") {
+		t.Errorf("final size should be 0:\n%s", got)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"insert",       // missing key
+		"insert 999",   // out of range for width 8
+		"insert abc",   // not a number
+		"frobnicate 1", // unknown command
+		"replace 1",    // missing second key
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := run(in, &out, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "error:"); n != 5 {
+		t.Errorf("expected 5 error lines, got %d:\n%s", n, out.String())
+	}
+}
+
+func TestCLIEmptyAndEOF(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("\n\n  \n"), &out, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package nbtrie_test
+
+import (
+	"fmt"
+
+	"nbtrie"
+)
+
+// The basic set operations of the non-blocking Patricia trie.
+func ExampleNewPatriciaTrie() {
+	set, err := nbtrie.NewPatriciaTrie(16) // keys in [0, 65536)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.Insert(42))   // newly added
+	fmt.Println(set.Insert(42))   // duplicate
+	fmt.Println(set.Contains(42)) // wait-free lookup
+	fmt.Println(set.Delete(42))
+	fmt.Println(set.Contains(42))
+	// Output:
+	// true
+	// false
+	// true
+	// true
+	// false
+}
+
+// Replace removes one key and inserts another atomically: there is no
+// instant at which both keys are absent or both present.
+func ExamplePatriciaTrie_Replace() {
+	set, _ := nbtrie.NewPatriciaTrie(16)
+	set.Insert(100)
+
+	fmt.Println(set.Replace(100, 200)) // moves the element
+	fmt.Println(set.Contains(100), set.Contains(200))
+	fmt.Println(set.Replace(100, 300)) // 100 is gone: no-op
+	fmt.Println(set.Replace(200, 200)) // same key: no-op by specification
+	// Output:
+	// true
+	// false true
+	// false
+	// false
+}
+
+// Ordered queries walk the trie's sorted leaves.
+func ExamplePatriciaTrie_Ceiling() {
+	set, _ := nbtrie.NewPatriciaTrie(16)
+	for _, k := range []uint64{10, 20, 30} {
+		set.Insert(k)
+	}
+	if k, ok := set.Ceiling(15); ok {
+		fmt.Println(k)
+	}
+	if k, ok := set.Floor(15); ok {
+		fmt.Println(k)
+	}
+	min, _ := set.Min()
+	max, _ := set.Max()
+	fmt.Println(min, max)
+	// Output:
+	// 20
+	// 10
+	// 10 30
+}
+
+// The Section VI extension stores arbitrary-length byte strings.
+func ExampleNewStringTrie() {
+	dict := nbtrie.NewStringTrie()
+	dict.Insert([]byte("gopher"))
+	dict.Insert([]byte("go")) // prefixes of stored keys are fine
+
+	fmt.Println(dict.Contains([]byte("go")))
+	fmt.Println(dict.Contains([]byte("gop"))) // prefix != member
+	fmt.Println(dict.Replace([]byte("gopher"), []byte("ferret")))
+	fmt.Println(dict.Size())
+	// Output:
+	// true
+	// false
+	// true
+	// 2
+}

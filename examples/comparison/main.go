@@ -1,0 +1,55 @@
+// Comparison: drives the paper's six set implementations through the
+// same mixed workload and prints a small throughput table — a miniature,
+// single-shot version of what cmd/benchtrie measures rigorously.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nbtrie"
+	"nbtrie/internal/bench"
+	"nbtrie/internal/workload"
+)
+
+func main() {
+	impls := []struct {
+		name string
+		mk   func() bench.Set
+	}{
+		{"PAT", func() bench.Set {
+			p, err := nbtrie.NewPatriciaTrie(20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return p
+		}},
+		{"4-ST", func() bench.Set { return nbtrie.NewKST(4) }},
+		{"BST", func() bench.Set { return nbtrie.NewBST() }},
+		{"AVL", func() bench.Set { return nbtrie.NewAVL() }},
+		{"SL", func() bench.Set { return nbtrie.NewSkipList() }},
+		{"Ctrie", func() bench.Set { return nbtrie.NewCtrie() }},
+	}
+
+	cfg := bench.Config{
+		Mix:      workload.MixI15D15F70,
+		KeyRange: 100_000,
+		Threads:  4,
+		Duration: 300 * time.Millisecond,
+		Trials:   3,
+		Warmup:   50 * time.Millisecond,
+		Seed:     1,
+	}
+	fmt.Printf("workload %v, key range %d, %d goroutines, %d trials x %v\n\n",
+		cfg.Mix, cfg.KeyRange, cfg.Threads, cfg.Trials, cfg.Duration)
+	fmt.Printf("%-6s %14s %8s\n", "impl", "mean ops/s", "±stddev")
+
+	for _, im := range impls {
+		sum, err := bench.RunExperiment(im.mk, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %14.0f %7.1f%%\n", im.name, sum.Mean, 100*sum.RelStddev())
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: the Patricia trie as a concurrent set, exercised from many
+// goroutines, including the atomic Replace operation no ordinary
+// insert+delete pair can express.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"nbtrie"
+)
+
+func main() {
+	// A trie over keys in [0, 2^20).
+	set, err := nbtrie.NewPatriciaTrie(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-threaded basics.
+	set.Insert(42)
+	set.Insert(7)
+	fmt.Println("contains 42:", set.Contains(42))   // true
+	fmt.Println("contains 99:", set.Contains(99))   // false
+	fmt.Println("insert 42 again:", set.Insert(42)) // false: already present
+
+	// Replace moves an element atomically: at no instant is the set
+	// missing both keys or holding both.
+	ok := set.Replace(42, 43)
+	fmt.Println("replace 42 -> 43:", ok, "| 42:", set.Contains(42), "| 43:", set.Contains(43))
+
+	// All operations are safe from any number of goroutines, no locks.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				set.Insert(base + i)
+			}
+		}(1000 + 1000*uint64(g))
+	}
+	wg.Wait()
+
+	fmt.Println("size after concurrent inserts:", set.Size())
+	keys := set.Keys()
+	fmt.Println("first keys in order:", keys[:5])
+}

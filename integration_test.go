@@ -1,0 +1,154 @@
+package nbtrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"nbtrie/internal/workload"
+)
+
+// TestCrossImplementationAgreement replays one deterministic workload
+// stream sequentially through every implementation; since they all claim
+// the same sequential set specification, every per-operation result and
+// the final contents must agree pairwise across all six.
+func TestCrossImplementationAgreement(t *testing.T) {
+	const keyRange = 2048
+	mk := func() []Set {
+		p, err := NewPatriciaTrie(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Set{p, NewKST(4), NewBST(), NewAVL(), NewSkipList(), NewCtrie()}
+	}
+	names := []string{"PAT", "4-ST", "BST", "AVL", "SL", "Ctrie"}
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		sets := mk()
+		g := workload.NewGenerator(workload.MixI50D50, keyRange, seed)
+		for i := 0; i < 30000; i++ {
+			op := g.Next()
+			var want bool
+			for j, s := range sets {
+				var got bool
+				switch op.Kind {
+				case workload.OpInsert:
+					got = s.Insert(op.Key)
+				case workload.OpDelete:
+					got = s.Delete(op.Key)
+				default:
+					got = s.Contains(op.Key)
+				}
+				if j == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("seed %d op %d (%v %d): %s=%v but %s=%v",
+						seed, i, op.Kind, op.Key, names[0], want, names[j], got)
+				}
+			}
+		}
+		for k := uint64(0); k < keyRange; k++ {
+			want := sets[0].Contains(k)
+			for j := 1; j < len(sets); j++ {
+				if got := sets[j].Contains(k); got != want {
+					t.Fatalf("seed %d final Contains(%d): %s=%v but %s=%v",
+						seed, k, names[0], want, names[j], got)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadMixesEndToEnd drives every paper mix through the Patricia
+// trie with a per-key oracle, wiring workload generation, the replace
+// path and the trie together.
+func TestWorkloadMixesEndToEnd(t *testing.T) {
+	mixes := []workload.Mix{
+		workload.MixI5D5F90,
+		workload.MixI50D50,
+		workload.MixI15D15F70,
+		workload.MixI10D10R80,
+	}
+	for _, mix := range mixes {
+		p, err := NewPatriciaTrie(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[uint64]bool)
+		g := workload.NewGenerator(mix, 1024, 99)
+		for i := 0; i < 20000; i++ {
+			op := g.Next()
+			switch op.Kind {
+			case workload.OpInsert:
+				if got, want := p.Insert(op.Key), !oracle[op.Key]; got != want {
+					t.Fatalf("mix %v: Insert(%d)=%v want %v", mix, op.Key, got, want)
+				}
+				oracle[op.Key] = true
+			case workload.OpDelete:
+				if got, want := p.Delete(op.Key), oracle[op.Key]; got != want {
+					t.Fatalf("mix %v: Delete(%d)=%v want %v", mix, op.Key, got, want)
+				}
+				delete(oracle, op.Key)
+			case workload.OpFind:
+				if got, want := p.Contains(op.Key), oracle[op.Key]; got != want {
+					t.Fatalf("mix %v: Contains(%d)=%v want %v", mix, op.Key, got, want)
+				}
+			case workload.OpReplace:
+				want := oracle[op.Key] && !oracle[op.Key2] && op.Key != op.Key2
+				if got := p.Replace(op.Key, op.Key2); got != want {
+					t.Fatalf("mix %v: Replace(%d,%d)=%v want %v", mix, op.Key, op.Key2, got, want)
+				}
+				if want {
+					delete(oracle, op.Key)
+					oracle[op.Key2] = true
+				}
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mix %v: %v", mix, err)
+		}
+		if p.Size() != len(oracle) {
+			t.Fatalf("mix %v: size %d, oracle %d", mix, p.Size(), len(oracle))
+		}
+	}
+}
+
+// TestOrderedQueriesUnderChurn interleaves ordered queries with random
+// updates (single-threaded) and cross-checks them against a sorted
+// oracle after every batch.
+func TestOrderedQueriesUnderChurn(t *testing.T) {
+	p, err := NewPatriciaTrie(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	oracle := make(map[uint64]bool)
+	for batch := 0; batch < 50; batch++ {
+		for i := 0; i < 100; i++ {
+			k := rng.Uint64() % 1024
+			if rng.Intn(2) == 0 {
+				p.Insert(k)
+				oracle[k] = true
+			} else {
+				p.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		var minK, maxK uint64
+		var any bool
+		for k := range oracle {
+			if !any || k < minK {
+				minK = k
+			}
+			if !any || k > maxK {
+				maxK = k
+			}
+			any = true
+		}
+		gotMin, okMin := p.Min()
+		gotMax, okMax := p.Max()
+		if okMin != any || okMax != any || (any && (gotMin != minK || gotMax != maxK)) {
+			t.Fatalf("batch %d: Min/Max = (%d,%v)/(%d,%v), oracle (%d/%d,%v)",
+				batch, gotMin, okMin, gotMax, okMax, minK, maxK, any)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package avl
+
+import (
+	"math"
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New() })
+}
+
+func TestSizeQuiescent(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 500; k++ {
+		tr.Insert(k)
+	}
+	if got := tr.Size(); got != 500 {
+		t.Errorf("Size() = %d, want 500", got)
+	}
+	for k := uint64(0); k < 500; k += 5 {
+		tr.Delete(k)
+	}
+	if got := tr.Size(); got != 400 {
+		t.Errorf("Size() = %d, want 400", got)
+	}
+}
+
+// TestBalancedUnderSequentialInserts drives the adversarial case for an
+// unbalanced BST — ascending keys — and checks the rotations keep the
+// height logarithmic (relaxed AVL: allow a generous constant).
+func TestBalancedUnderSequentialInserts(t *testing.T) {
+	tr := New()
+	const n = 1 << 14
+	for k := uint64(0); k < n; k++ {
+		tr.Insert(k)
+	}
+	limit := int(3*math.Log2(n)) + 4
+	if h := tr.HeightOf(); h > limit {
+		t.Errorf("height %d after %d ascending inserts exceeds %d; rebalancing ineffective", h, n, limit)
+	}
+	for k := uint64(0); k < n; k++ {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost during rebalancing", k)
+		}
+	}
+}
+
+func TestRoutingNodeResurrection(t *testing.T) {
+	tr := New()
+	// Build a node with two children, delete it (logical), reinsert.
+	for _, k := range []uint64{10, 5, 15} {
+		tr.Insert(k)
+	}
+	if !tr.Delete(10) || tr.Contains(10) {
+		t.Fatal("logical delete of two-child node failed")
+	}
+	if !tr.Contains(5) || !tr.Contains(15) {
+		t.Fatal("children lost after logical delete")
+	}
+	if !tr.Insert(10) || !tr.Contains(10) {
+		t.Fatal("resurrecting a routing node failed")
+	}
+	if tr.Insert(10) {
+		t.Fatal("duplicate insert after resurrection should fail")
+	}
+}

@@ -1,0 +1,210 @@
+// Package bench is the throughput harness that regenerates the paper's
+// evaluation (Section V, Figures 8-11). It reproduces the paper's
+// protocol: each data point starts from a structure prefilled to half
+// capacity, runs a warmup pass (standing in for JIT warmup on the
+// paper's JVM), then averages several fixed-duration timed trials, and
+// reports mean throughput with standard deviation.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbtrie/internal/stats"
+	"nbtrie/internal/workload"
+)
+
+// Set is the operation surface the harness drives.
+type Set interface {
+	Insert(k uint64) bool
+	Delete(k uint64) bool
+	Contains(k uint64) bool
+}
+
+// ReplaceSet is required for workloads with a replace component.
+type ReplaceSet interface {
+	Set
+	Replace(old, new uint64) bool
+}
+
+// Config describes one data point of a figure.
+type Config struct {
+	Mix      workload.Mix
+	KeyRange uint64
+	Threads  int
+	Duration time.Duration
+	Trials   int
+	Warmup   time.Duration
+	// SeqLen > 0 selects the paper's non-uniform generator (Figure 11
+	// uses runs of 50 consecutive keys).
+	SeqLen uint64
+	// Seed varies the whole experiment deterministically.
+	Seed uint64
+}
+
+// Validate reports configuration errors before any work is done.
+func (c Config) Validate() error {
+	if !c.Mix.Valid() {
+		return fmt.Errorf("bench: mix %+v does not sum to 100", c.Mix)
+	}
+	if c.KeyRange < 2 {
+		return fmt.Errorf("bench: key range %d too small", c.KeyRange)
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("bench: thread count %d < 1", c.Threads)
+	}
+	if c.Duration <= 0 || c.Trials < 1 {
+		return fmt.Errorf("bench: need positive duration and >= 1 trials")
+	}
+	return nil
+}
+
+// Prefill populates s to half-full over [0, keyRange). The paper fills by
+// running a random i50-d50 stream to steady state, which leaves each key
+// present with probability 1/2; we sample that stationary distribution
+// directly. Keys are inserted in a shuffled order: the random stream's
+// insertion order is what gives the unbalanced trees (BST, k-ST) their
+// expected logarithmic depth, so a sequential fill would mismeasure them
+// catastrophically.
+func Prefill(s Set, keyRange, seed uint64) {
+	g := workload.NewGenerator(workload.MixI50D50, keyRange, seed)
+	perm := make([]uint64, keyRange)
+	for k := range perm {
+		perm[k] = uint64(k)
+	}
+	for k := uint64(keyRange) - 1; k > 0; k-- {
+		j := g.Next().Key % (k + 1) // generator doubles as shuffle source
+		perm[k], perm[j] = perm[j], perm[k]
+	}
+	for _, k := range perm {
+		if g.Next().Key&1 == 0 {
+			s.Insert(k)
+		}
+	}
+}
+
+// RunTrial drives cfg.Threads workers against s for cfg.Duration and
+// returns the aggregate throughput in operations per second.
+func RunTrial(s Set, cfg Config, trialSeed uint64) (float64, error) {
+	rs, hasReplace := s.(ReplaceSet)
+	if cfg.Mix.ReplacePct > 0 && !hasReplace {
+		return 0, fmt.Errorf("bench: mix %v needs a ReplaceSet", cfg.Mix)
+	}
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var g *workload.Generator
+			if cfg.SeqLen > 0 {
+				g = workload.NewSequenceGenerator(cfg.Mix, cfg.KeyRange, cfg.SeqLen, seed)
+			} else {
+				g = workload.NewGenerator(cfg.Mix, cfg.KeyRange, seed)
+			}
+			n := int64(0)
+			for !stop.Load() {
+				// Batch the stop check so the atomic load does not
+				// dominate very fast operations.
+				for i := 0; i < 64; i++ {
+					op := g.Next()
+					switch op.Kind {
+					case workload.OpInsert:
+						s.Insert(op.Key)
+					case workload.OpDelete:
+						s.Delete(op.Key)
+					case workload.OpFind:
+						s.Contains(op.Key)
+					case workload.OpReplace:
+						rs.Replace(op.Key, op.Key2)
+					}
+				}
+				n += 64
+			}
+			total.Add(n)
+		}(trialSeed*1000003 + uint64(w)*7919)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(total.Load()) / elapsed.Seconds(), nil
+}
+
+// RunExperiment produces one data point: a fresh prefilled set per trial,
+// one warmup trial, then cfg.Trials measured trials summarized as in the
+// paper's charts (mean with stddev error bars).
+func RunExperiment(factory func() Set, cfg Config) (stats.Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return stats.Summary{}, err
+	}
+	xs := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := factory()
+		Prefill(s, cfg.KeyRange, cfg.Seed+uint64(trial))
+		if cfg.Warmup > 0 {
+			wcfg := cfg
+			wcfg.Duration = cfg.Warmup
+			if _, err := RunTrial(s, wcfg, cfg.Seed+uint64(trial)+500009); err != nil {
+				return stats.Summary{}, err
+			}
+		}
+		x, err := RunTrial(s, cfg, cfg.Seed+uint64(trial)+1000003)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		xs = append(xs, x)
+	}
+	return stats.Summarize(xs), nil
+}
+
+// Point is one (threads, throughput) measurement of a series.
+type Point struct {
+	Threads int
+	Summary stats.Summary
+}
+
+// Series is one line of a figure: an implementation swept over thread
+// counts.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// RunSeries sweeps cfg over the given thread counts for one
+// implementation.
+func RunSeries(name string, factory func() Set, cfg Config, threads []int) (Series, error) {
+	s := Series{Name: name}
+	for _, th := range threads {
+		c := cfg
+		c.Threads = th
+		sum, err := RunExperiment(factory, c)
+		if err != nil {
+			return Series{}, fmt.Errorf("%s @ %d threads: %w", name, th, err)
+		}
+		s.Points = append(s.Points, Point{Threads: th, Summary: sum})
+	}
+	return s, nil
+}
+
+// DefaultThreads returns a thread sweep adapted to the host: the paper
+// sweeps 1..128 hardware threads; we sweep powers of two up to a small
+// multiple of GOMAXPROCS so oversubscription effects are still visible.
+func DefaultThreads() []int {
+	maxT := 4 * runtime.GOMAXPROCS(0)
+	if maxT > 128 {
+		maxT = 128
+	}
+	out := []int{1}
+	for t := 2; t <= maxT; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nbtrie/internal/workload"
+)
+
+// lockedSet is a minimal reference implementation for harness tests.
+type lockedSet struct {
+	mu sync.Mutex
+	m  map[uint64]bool
+}
+
+func newLockedSet() Set { return &lockedSet{m: make(map[uint64]bool)} }
+
+func (s *lockedSet) Insert(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
+}
+
+func (s *lockedSet) Delete(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[k] {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *lockedSet) Contains(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Mix: workload.MixI50D50, KeyRange: 100, Threads: 2, Duration: time.Millisecond, Trials: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Mix: workload.Mix{InsertPct: 50}, KeyRange: 100, Threads: 1, Duration: time.Millisecond, Trials: 1},
+		{Mix: workload.MixI50D50, KeyRange: 1, Threads: 1, Duration: time.Millisecond, Trials: 1},
+		{Mix: workload.MixI50D50, KeyRange: 100, Threads: 0, Duration: time.Millisecond, Trials: 1},
+		{Mix: workload.MixI50D50, KeyRange: 100, Threads: 1, Duration: 0, Trials: 1},
+		{Mix: workload.MixI50D50, KeyRange: 100, Threads: 1, Duration: time.Millisecond, Trials: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPrefillRoughlyHalf(t *testing.T) {
+	s := newLockedSet()
+	Prefill(s, 10000, 1)
+	n := 0
+	for k := uint64(0); k < 10000; k++ {
+		if s.Contains(k) {
+			n++
+		}
+	}
+	if n < 4500 || n > 5500 {
+		t.Errorf("prefill left %d/10000 keys, want ~5000", n)
+	}
+}
+
+func TestRunTrialCountsOps(t *testing.T) {
+	cfg := Config{Mix: workload.MixI50D50, KeyRange: 128, Threads: 2,
+		Duration: 50 * time.Millisecond, Trials: 1}
+	tput, err := RunTrial(newLockedSet(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 {
+		t.Errorf("throughput %v, want > 0", tput)
+	}
+}
+
+func TestRunTrialRejectsReplaceWithoutSupport(t *testing.T) {
+	cfg := Config{Mix: workload.MixI10D10R80, KeyRange: 128, Threads: 1,
+		Duration: time.Millisecond, Trials: 1}
+	if _, err := RunTrial(newLockedSet(), cfg, 1); err == nil {
+		t.Error("replace mix against a plain Set must error")
+	}
+}
+
+func TestRunExperimentAndSeries(t *testing.T) {
+	cfg := Config{Mix: workload.MixI5D5F90, KeyRange: 256, Threads: 1,
+		Duration: 20 * time.Millisecond, Trials: 2}
+	sum, err := RunExperiment(newLockedSet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 2 || sum.Mean <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	series, err := RunSeries("locked", newLockedSet, cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 || series.Points[1].Threads != 2 {
+		t.Errorf("series = %+v", series)
+	}
+}
+
+func TestDefaultThreadsShape(t *testing.T) {
+	ths := DefaultThreads()
+	if len(ths) == 0 || ths[0] != 1 {
+		t.Fatalf("DefaultThreads() = %v", ths)
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i] <= ths[i-1] {
+			t.Fatalf("thread sweep not increasing: %v", ths)
+		}
+	}
+	if ths[len(ths)-1] > 128 {
+		t.Fatalf("sweep exceeds the paper's 128 threads: %v", ths)
+	}
+}

@@ -1,0 +1,290 @@
+// Package bst implements the non-blocking external binary search tree of
+// Ellen, Fatourou, Ruppert and van Breugel, "Non-blocking Binary Search
+// Trees" (PODC 2010) — the paper's BST baseline, and the algorithm whose
+// coordination scheme the Patricia trie extends.
+//
+// The tree is external: elements live in leaves, internal nodes hold
+// routing keys. Each internal node carries an update field (state + Info
+// record) that acts as a lock-free flag: inserts flag the parent of the
+// leaf they replace (IFlag), deletes flag the grandparent (DFlag) and
+// mark the parent permanently (Mark). Flagged operations are helped to
+// completion by any process that encounters them. All update records are
+// freshly allocated, so CAS on update fields cannot suffer ABA; child
+// pointers only ever swing to newly created nodes, for the same reason.
+package bst
+
+import "sync/atomic"
+
+// rank distinguishes user keys from the two infinite sentinels; inf2 is
+// the largest key, inf1 the second largest (paper's ∞1 < ∞2).
+type rank uint8
+
+const (
+	rankUser rank = iota
+	rankInf1
+	rankInf2
+)
+
+// key is a user key or sentinel; sentinels compare above every user key.
+type key struct {
+	v uint64
+	r rank
+}
+
+func (a key) less(b key) bool {
+	if a.r != b.r {
+		return a.r < b.r
+	}
+	return a.v < b.v
+}
+
+func (a key) equal(b key) bool { return a.r == b.r && a.v == b.v }
+
+// state is the flag component of an internal node's update field.
+type state uint8
+
+const (
+	stateClean state = iota
+	stateIFlag
+	stateDFlag
+	stateMark
+)
+
+// update is the (state, Info) pair CASed atomically on internal nodes.
+// Every transition installs a freshly allocated record, so pointer
+// comparison is exact and ABA-free.
+type update struct {
+	state state
+	iinfo *iInfo
+	dinfo *dInfo
+}
+
+// iInfo describes a pending insert: replace leaf l under p with newChild.
+type iInfo struct {
+	p        *node
+	l        *node
+	newChild *node
+}
+
+// dInfo describes a pending delete: unlink p (parent of leaf l) from gp,
+// promoting l's sibling. pupdate is the clean update value read from p
+// before flagging gp.
+type dInfo struct {
+	gp, p, l *node
+	pupdate  *update
+}
+
+// node is a leaf (leaf true, no children) or internal routing node.
+type node struct {
+	key    key
+	leaf   bool
+	update atomic.Pointer[update]
+	child  [2]atomic.Pointer[node] // 0 = left, 1 = right
+}
+
+func newLeaf(k key) *node {
+	n := &node{key: k, leaf: true}
+	n.update.Store(&update{state: stateClean})
+	return n
+}
+
+func newInternal(k key, left, right *node) *node {
+	n := &node{key: k}
+	n.update.Store(&update{state: stateClean})
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	return n
+}
+
+// Tree is the non-blocking BST. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+}
+
+// New returns an empty tree. The initial tree is the paper's: a root with
+// key ∞2 whose children are leaves ∞1 and ∞2, so user leaves always have
+// a parent and (once real keys exist) a grandparent.
+func New() *Tree {
+	root := newInternal(key{r: rankInf2},
+		newLeaf(key{r: rankInf1}),
+		newLeaf(key{r: rankInf2}))
+	return &Tree{root: root}
+}
+
+// searchResult is the ⟨gp, p, l, pupdate, gpupdate⟩ tuple of the paper.
+type searchResult struct {
+	gp, p, l          *node
+	pupdate, gpupdate *update
+}
+
+// search descends from the root to the leaf where k is or would be,
+// recording the last two internal nodes and their update fields (read
+// before the corresponding child pointers).
+func (t *Tree) search(k key) searchResult {
+	var r searchResult
+	l := t.root
+	for !l.leaf {
+		r.gp, r.gpupdate = r.p, r.pupdate
+		r.p = l
+		r.pupdate = l.update.Load()
+		if k.less(l.key) {
+			l = l.child[0].Load()
+		} else {
+			l = l.child[1].Load()
+		}
+	}
+	r.l = l
+	return r
+}
+
+// Contains reports whether k is in the set. Like the paper's Find it
+// performs no writes, but it is only lock-free (not wait-free): the tree
+// height is unbounded.
+func (t *Tree) Contains(k uint64) bool {
+	return t.search(key{v: k}).l.key.equal(key{v: k})
+}
+
+// Insert adds k, returning false if already present.
+func (t *Tree) Insert(k uint64) bool {
+	kk := key{v: k}
+	for {
+		r := t.search(kk)
+		if r.l.key.equal(kk) {
+			return false
+		}
+		if r.pupdate.state != stateClean {
+			t.help(r.pupdate)
+			continue
+		}
+		// Build the replacement subtree: a new internal node holding the
+		// new leaf and a fresh copy of the displaced leaf (copying avoids
+		// ABA on the child CAS).
+		nl := newLeaf(kk)
+		sib := newLeaf(r.l.key)
+		var newChild *node
+		if kk.less(r.l.key) {
+			newChild = newInternal(r.l.key, nl, sib)
+		} else {
+			newChild = newInternal(kk, sib, nl)
+		}
+		op := &iInfo{p: r.p, l: r.l, newChild: newChild}
+		if r.p.update.CompareAndSwap(r.pupdate, &update{state: stateIFlag, iinfo: op}) {
+			t.helpInsert(op) // iflag CAS succeeded
+			return true
+		}
+		t.help(r.p.update.Load())
+	}
+}
+
+// Delete removes k, returning false if absent.
+func (t *Tree) Delete(k uint64) bool {
+	kk := key{v: k}
+	for {
+		r := t.search(kk)
+		if !r.l.key.equal(kk) {
+			return false
+		}
+		if r.gp == nil {
+			// A user leaf always has a grandparent: the root's left
+			// subtree contains the ∞1 dummy, so a lone leaf child of the
+			// root is a sentinel. Unreachable; retry defensively.
+			continue
+		}
+		if r.gpupdate.state != stateClean {
+			t.help(r.gpupdate)
+			continue
+		}
+		if r.pupdate.state != stateClean {
+			t.help(r.pupdate)
+			continue
+		}
+		op := &dInfo{gp: r.gp, p: r.p, l: r.l, pupdate: r.pupdate}
+		if r.gp.update.CompareAndSwap(r.gpupdate, &update{state: stateDFlag, dinfo: op}) {
+			if t.helpDelete(op) { // dflag CAS succeeded
+				return true
+			}
+			continue
+		}
+		t.help(r.gp.update.Load())
+	}
+}
+
+// help dispatches on the state of an update record found in the way.
+func (t *Tree) help(u *update) {
+	switch u.state {
+	case stateIFlag:
+		t.helpInsert(u.iinfo)
+	case stateMark:
+		t.helpMarked(u.dinfo)
+	case stateDFlag:
+		t.helpDelete(u.dinfo)
+	}
+}
+
+// helpInsert performs the insert's child CAS and unflags the parent.
+func (t *Tree) helpInsert(op *iInfo) {
+	casChild(op.p, op.l, op.newChild)
+	cur := op.p.update.Load()
+	if cur.state == stateIFlag && cur.iinfo == op {
+		op.p.update.CompareAndSwap(cur, &update{state: stateClean})
+	}
+}
+
+// helpDelete tries to mark the parent; on success (by anyone) the
+// physical unlink proceeds, otherwise the grandparent flag is backed off.
+func (t *Tree) helpDelete(op *dInfo) bool {
+	op.p.update.CompareAndSwap(op.pupdate, &update{state: stateMark, dinfo: op})
+	cur := op.p.update.Load()
+	if cur.state == stateMark && cur.dinfo == op {
+		t.helpMarked(op)
+		return true
+	}
+	t.help(cur)
+	gcur := op.gp.update.Load()
+	if gcur.state == stateDFlag && gcur.dinfo == op {
+		op.gp.update.CompareAndSwap(gcur, &update{state: stateClean}) // backtrack CAS
+	}
+	return false
+}
+
+// helpMarked swings the grandparent's pointer from the marked parent to
+// the leaf's sibling and unflags the grandparent. The parent is marked,
+// so its children are frozen and reading the sibling here is safe.
+func (t *Tree) helpMarked(op *dInfo) {
+	var other *node
+	if op.p.child[1].Load() == op.l {
+		other = op.p.child[0].Load()
+	} else {
+		other = op.p.child[1].Load()
+	}
+	casChild(op.gp, op.p, other)
+	cur := op.gp.update.Load()
+	if cur.state == stateDFlag && cur.dinfo == op {
+		op.gp.update.CompareAndSwap(cur, &update{state: stateClean})
+	}
+}
+
+// casChild swings the child pointer of parent that should point at old,
+// chosen by key order, from old to new (the paper's CAS-Child).
+func casChild(parent, old, new *node) {
+	if new.key.less(parent.key) {
+		parent.child[0].CompareAndSwap(old, new)
+	} else {
+		parent.child[1].CompareAndSwap(old, new)
+	}
+}
+
+// Size counts the user keys; quiescent use only.
+func (t *Tree) Size() int {
+	return countLeaves(t.root)
+}
+
+func countLeaves(n *node) int {
+	if n.leaf {
+		if n.key.r == rankUser {
+			return 1
+		}
+		return 0
+	}
+	return countLeaves(n.child[0].Load()) + countLeaves(n.child[1].Load())
+}

@@ -1,0 +1,81 @@
+package bst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New() })
+}
+
+func TestSizeQuiescent(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 100; k++ {
+		tr.Insert(k)
+	}
+	if got := tr.Size(); got != 100 {
+		t.Errorf("Size() = %d, want 100", got)
+	}
+	for k := uint64(0); k < 100; k += 2 {
+		tr.Delete(k)
+	}
+	if got := tr.Size(); got != 50 {
+		t.Errorf("Size() = %d, want 50", got)
+	}
+}
+
+func TestValidateAfterChurn(t *testing.T) {
+	tr := New()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fresh tree: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64() % 512
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+		} else {
+			tr.Delete(k)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+}
+
+func TestValidateAfterConcurrentChurn(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := rng.Uint64() % 128
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after concurrent churn: %v", err)
+	}
+}
+
+func TestSentinelOrdering(t *testing.T) {
+	a := key{v: ^uint64(0)}
+	b := key{r: rankInf1}
+	c := key{r: rankInf2}
+	if !a.less(b) || !b.less(c) || b.less(a) {
+		t.Error("sentinels must compare above every user key, ∞1 < ∞2")
+	}
+}

@@ -1,0 +1,38 @@
+package bst
+
+import "fmt"
+
+// Validate checks the tree's structural invariants at quiescence: every
+// reachable internal node is Clean (unflagged), leaves respect the BST
+// routing bounds, and the two sentinel leaves terminate the right spine.
+func (t *Tree) Validate() error {
+	if t.root.key.r != rankInf2 {
+		return fmt.Errorf("root key must be the ∞2 sentinel")
+	}
+	return t.validateNode(t.root, nil, nil)
+}
+
+// validateNode recurses with exclusive upper and inclusive lower key
+// bounds (external BST: left subtree < node key ≤ right subtree).
+func (t *Tree) validateNode(n *node, lo, hi *key) error {
+	if u := n.update.Load(); u.state != stateClean {
+		return fmt.Errorf("reachable node (key %v) not Clean at quiescence", n.key)
+	}
+	if n.leaf {
+		if lo != nil && n.key.less(*lo) {
+			return fmt.Errorf("leaf %v below its lower bound %v", n.key, *lo)
+		}
+		if hi != nil && !n.key.less(*hi) {
+			return fmt.Errorf("leaf %v at or above its upper bound %v", n.key, *hi)
+		}
+		return nil
+	}
+	left, right := n.child[0].Load(), n.child[1].Load()
+	if left == nil || right == nil {
+		return fmt.Errorf("internal node %v has a nil child", n.key)
+	}
+	if err := t.validateNode(left, lo, &n.key); err != nil {
+		return err
+	}
+	return t.validateNode(right, &n.key, hi)
+}

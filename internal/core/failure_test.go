@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Failure-injection tests: a process is stalled right after planting its
+// flags — the paper's "if an operation dies while nodes are flagged for
+// it, other processes can complete the operation and remove the flags".
+// These tests prove the helping path deterministically, not just under
+// racy stress.
+
+// stallFirst installs a hook that blocks the first process to finish
+// flagging (simulating a crash) and lets every later caller — the
+// helpers — pass through. It returns (stalled, release): stalled is
+// signalled once the victim is parked; closing release revives it.
+func stallFirst(t *testing.T) (stalled chan *desc, release chan struct{}) {
+	t.Helper()
+	stalled = make(chan *desc, 1)
+	release = make(chan struct{})
+	var once atomic.Bool
+	testHookAfterFlagging = func(d *desc) {
+		if once.CompareAndSwap(false, true) {
+			stalled <- d
+			<-release
+		}
+	}
+	t.Cleanup(func() { testHookAfterFlagging = nil })
+	return stalled, release
+}
+
+// TestHelperCompletesStalledInsert stalls an Insert after flagging; a
+// second operation needing the same node must complete the stalled
+// insert (its key appears!) before performing its own.
+func TestHelperCompletesStalledInsert(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(100)
+	stalled, release := stallFirst(t)
+
+	done := make(chan bool)
+	go func() { done <- tr.Insert(101) }()
+	<-stalled // the inserter is parked with its flags planted
+
+	// 101's leaf is not linked yet: the stalled process never performed
+	// its child CAS. A search must not find it...
+	if tr.Contains(101) {
+		t.Fatal("stalled insert must not be visible before any helper runs")
+	}
+	// ...but an update that needs the flagged parent must help first.
+	// 100 and 101 share a parent, so Insert(102) (same 8-bit prefix
+	// region) collides with the planted flag and helps.
+	if !tr.Insert(102) {
+		t.Fatal("helper insert failed")
+	}
+	if !tr.Contains(101) {
+		t.Fatal("helper must have completed the stalled insert's child CAS")
+	}
+	if !tr.Contains(102) {
+		t.Fatal("helper's own insert lost")
+	}
+
+	close(release)
+	if !<-done {
+		t.Fatal("stalled inserter must still report success")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+}
+
+// TestHelperCompletesStalledReplace stalls a general-case Replace after
+// it flagged four nodes; the helper must then perform BOTH child CASes —
+// the old key vanishes and the new key appears atomically even though
+// the original process is dead to the world.
+func TestHelperCompletesStalledReplace(t *testing.T) {
+	tr := mustNew(t, 12)
+	tr.Insert(100)  // vd, left region
+	tr.Insert(101)  // vd's sibling-ish neighbour (gives vd a grandparent)
+	tr.Insert(3000) // far region so the replace takes the general case
+	tr.Insert(3001)
+	stalled, release := stallFirst(t)
+
+	done := make(chan bool)
+	go func() { done <- tr.Replace(100, 3002) }()
+	d := <-stalled
+	if d.rmvLeaf == nil {
+		t.Fatalf("expected the stall to catch a general-case replace (rmvLeaf set)")
+	}
+
+	// An update near the insertion point runs into the flags and helps.
+	if !tr.Insert(3003) {
+		t.Fatal("helper insert failed")
+	}
+	if tr.Contains(100) {
+		t.Fatal("helper must have completed the replace's delete half")
+	}
+	if !tr.Contains(3002) {
+		t.Fatal("helper must have completed the replace's insert half")
+	}
+
+	close(release)
+	if !<-done {
+		t.Fatal("stalled replacer must still report success")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{101, 3000, 3001, 3002, 3003} {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+// TestReaderNeverBlocksOnStalledUpdate pins the wait-free find claim: a
+// search crossing flagged nodes completes immediately, without helping
+// and without waiting for the stalled updater.
+func TestReaderNeverBlocksOnStalledUpdate(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(100)
+	stalled, release := stallFirst(t)
+
+	done := make(chan bool)
+	go func() { done <- tr.Insert(101) }()
+	<-stalled
+
+	finished := make(chan struct{})
+	go func() {
+		for k := uint64(0); k < 256; k++ {
+			tr.Contains(k)
+		}
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		// Searches sailed straight through the planted flags.
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait-free search blocked behind a stalled update")
+	}
+
+	close(release)
+	<-done
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests of the coordination machinery: the help routine's
+// backtrack path, newDesc's duplicate handling and ordering, the
+// logical-removal predicate, and createNode's conflict helping — the
+// paths a happy-path workload rarely exercises deterministically.
+
+// TestHelpBacktracksOnStaleFlag drives help with a descriptor whose
+// oldInfo is stale for its second flag target: flagging must fail
+// partway, the already-flagged node must be unflagged by the backtrack
+// CASes, and help must report failure.
+func TestHelpBacktracksOnStaleFlag(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(3)   // encodes with leading 0 bit: left subtree
+	tr.Insert(255) // encodes with leading 1 bit: right subtree
+
+	a := tr.root.child[0].Load()
+	b := tr.root.child[1].Load()
+	if a.leaf || b.leaf {
+		t.Fatal("test setup: expected internal children")
+	}
+	stale := newUnflag() // never the current info of b
+	d := &desc{kind: kindFlag, nFlag: 2, nUnflag: 2}
+	d.flag[0], d.flag[1] = a, b
+	d.oldInfo[0], d.oldInfo[1] = a.info.Load(), stale
+	d.unflag[0], d.unflag[1] = a, b
+
+	if tr.help(d) {
+		t.Fatal("help must fail when a flag CAS cannot succeed")
+	}
+	if d.flagDone.Load() {
+		t.Error("flagDone must stay false on a failed attempt")
+	}
+	if a.info.Load().flagged() {
+		t.Error("backtrack CAS must unflag the first node")
+	}
+	if b.info.Load().flagged() {
+		t.Error("second node must never have been flagged")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHelpIsIdempotent re-runs help on an already-completed descriptor:
+// every CAS must fail harmlessly and the result stay true.
+func TestHelpIsIdempotent(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(7)
+	r := tr.search(tr.encode(9))
+	nodeInfo := r.node.info.Load()
+	newNode := tr.makeInternal(copyNode(r.node), newLeaf(tr.encode(9), tr.klen), nodeInfo)
+	if newNode == nil {
+		t.Fatal("setup: makeInternal failed")
+	}
+	d := tr.newDesc(
+		[]*node{r.p}, []*desc{r.pInfo},
+		[]*node{r.p},
+		[]*node{r.p}, []*node{r.node}, []*node{newNode}, nil)
+	if d == nil || !tr.help(d) {
+		t.Fatal("setup: first help must succeed")
+	}
+	for i := 0; i < 3; i++ {
+		if !tr.help(d) {
+			t.Fatal("replayed help must still report success")
+		}
+	}
+	if !tr.Contains(9) || tr.Size() != 2 {
+		t.Error("replayed help corrupted the trie")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDescDuplicateHandling(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(3)
+	n := tr.root.child[0].Load()
+	info := n.info.Load()
+
+	// Same node twice with the same oldInfo: deduplicated to one entry.
+	d := tr.newDesc(
+		[]*node{n, n}, []*desc{info, info},
+		[]*node{n, n},
+		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil)
+	if d == nil {
+		t.Fatal("duplicates with equal oldInfo must be accepted")
+	}
+	if d.nFlag != 1 || d.nUnflag != 1 {
+		t.Errorf("dedup left nFlag=%d nUnflag=%d, want 1/1", d.nFlag, d.nUnflag)
+	}
+
+	// Same node with different oldInfo: the node changed between reads.
+	if tr.newDesc(
+		[]*node{n, n}, []*desc{info, newUnflag()},
+		[]*node{n},
+		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil) != nil {
+		t.Error("duplicates with different oldInfo must be rejected")
+	}
+
+	// A flagged oldInfo: the conflicting update gets helped, nil returned.
+	flagged := &desc{kind: kindFlag}
+	if tr.newDesc(
+		[]*node{n}, []*desc{flagged},
+		[]*node{n},
+		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil) != nil {
+		t.Error("flagged oldInfo must be rejected")
+	}
+}
+
+func TestNewDescSortsByLabel(t *testing.T) {
+	tr := mustNew(t, 8)
+	for _, k := range []uint64{3, 9, 200, 77} {
+		tr.Insert(k)
+	}
+	// Gather three internal nodes and pass them in reverse label order.
+	var internals []*node
+	var collect func(*node)
+	collect = func(n *node) {
+		if n.leaf {
+			return
+		}
+		internals = append(internals, n)
+		collect(n.child[0].Load())
+		collect(n.child[1].Load())
+	}
+	collect(tr.root)
+	if len(internals) < 3 {
+		t.Fatalf("setup: want >=3 internal nodes, got %d", len(internals))
+	}
+	ns := []*node{internals[2], internals[0], internals[1]}
+	is := []*desc{ns[0].info.Load(), ns[1].info.Load(), ns[2].info.Load()}
+	d := tr.newDesc(ns, is, []*node{ns[0]},
+		[]*node{ns[0]}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil)
+	if d == nil {
+		t.Fatal("newDesc failed")
+	}
+	for i := 1; i < int(d.nFlag); i++ {
+		if !labelLess(d.flag[i-1], d.flag[i]) {
+			t.Fatalf("flag array not sorted at %d", i)
+		}
+		// The oldInfo permutation must follow its node.
+		if d.flag[i].info.Load() != d.oldInfo[i] {
+			t.Fatalf("oldInfo not permuted with flag at %d", i)
+		}
+	}
+}
+
+func TestLogicallyRemovedPredicate(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(5)
+	leaf5 := tr.search(tr.encode(5)).node
+
+	if logicallyRemoved(leaf5.info.Load()) {
+		t.Error("unflagged leaf must not be logically removed")
+	}
+	// Fabricate a replace-style flag whose pNode still points at
+	// oldChild: not yet removed.
+	p := tr.search(tr.encode(5)).p
+	d := &desc{kind: kindFlag, nPNode: 1}
+	d.pNode[0] = p
+	d.oldChild[0] = leaf5
+	if logicallyRemoved(d) {
+		t.Error("leaf still linked under pNode[0] is not removed")
+	}
+	// Once oldChild is no longer a child of pNode[0], it is removed.
+	d.oldChild[0] = newLeaf(tr.encode(9), tr.klen)
+	if !logicallyRemoved(d) {
+		t.Error("leaf unlinked from pNode[0] must report removed")
+	}
+}
+
+func TestMakeInternalConflictHelps(t *testing.T) {
+	tr := mustNew(t, 8)
+	a := newLeaf(tr.encode(5), tr.klen)
+	b := newLeaf(tr.encode(5), tr.klen) // identical labels: prefix conflict
+
+	if tr.makeInternal(a, b, nil) != nil {
+		t.Error("equal labels must yield nil")
+	}
+	// With a completed Flag as info, makeInternal helps it (idempotent
+	// re-help) and still returns nil.
+	tr.Insert(7)
+	r := tr.search(tr.encode(9))
+	nodeInfo := r.node.info.Load()
+	nn := tr.makeInternal(copyNode(r.node), newLeaf(tr.encode(9), tr.klen), nodeInfo)
+	d := tr.newDesc([]*node{r.p}, []*desc{r.pInfo}, []*node{r.p},
+		[]*node{r.p}, []*node{r.node}, []*node{nn}, nil)
+	tr.help(d)
+	if tr.makeInternal(a, b, d) != nil {
+		t.Error("conflict with flagged info must still yield nil")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpSequences is the testing/quick property test over random
+// operation sequences: the trie must agree with a map oracle on every
+// result and on the final contents.
+func TestQuickOpSequences(t *testing.T) {
+	type op struct {
+		Kind byte
+		K    uint16
+		K2   uint16
+	}
+	f := func(ops []op) bool {
+		tr, err := New(16)
+		if err != nil {
+			return false
+		}
+		oracle := make(map[uint64]bool)
+		for _, o := range ops {
+			k, k2 := uint64(o.K), uint64(o.K2)
+			switch o.Kind % 4 {
+			case 0:
+				if tr.Insert(k) != !oracle[k] {
+					return false
+				}
+				oracle[k] = true
+			case 1:
+				if tr.Delete(k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			case 2:
+				if tr.Contains(k) != oracle[k] {
+					return false
+				}
+			case 3:
+				want := oracle[k] && !oracle[k2] && k != k2
+				if tr.Replace(k, k2) != want {
+					return false
+				}
+				if want {
+					delete(oracle, k)
+					oracle[k2] = true
+				}
+			}
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		if tr.Size() != len(oracle) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

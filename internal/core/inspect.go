@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nbtrie/internal/keys"
+)
+
+// The helpers in this file traverse the trie without synchronization and
+// are intended for quiescent use (tests, examples, offline inspection).
+// Called concurrently with updates they are safe — they only read — but
+// may observe a mix of states; only Range documents a weaker concurrent
+// guarantee.
+
+// Range calls fn for every user key in the set, in increasing order,
+// until fn returns false. Dummy leaves and logically removed leaves are
+// skipped. Concurrent updates may or may not be observed; keys that are
+// present for the whole traversal are always reported.
+func (t *Trie) Range(fn func(k uint64) bool) {
+	t.rangeNode(t.root, fn)
+}
+
+func (t *Trie) rangeNode(n *node, fn func(k uint64) bool) bool {
+	if n.leaf {
+		if n.bits == keys.DummyMin(t.width) || n.bits == keys.DummyMax(t.width) {
+			return true
+		}
+		if logicallyRemoved(n.info.Load()) {
+			return true
+		}
+		return fn(keys.Decode(n.bits, t.width))
+	}
+	return t.rangeNode(n.child[0].Load(), fn) && t.rangeNode(n.child[1].Load(), fn)
+}
+
+// Keys returns every user key in the set in increasing order.
+func (t *Trie) Keys() []uint64 {
+	var out []uint64
+	t.Range(func(k uint64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Size returns the number of user keys in the set.
+func (t *Trie) Size() int {
+	n := 0
+	t.Range(func(uint64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Validate checks the structural invariants of the trie and returns the
+// first violation found, or nil. It must be called at quiescence (no
+// concurrent updates). Checked invariants, from the paper's proof:
+//
+//   - Invariant 7: if x.child[i] = y then x.label · i is a prefix of
+//     y.label; hence labels strictly lengthen along every path.
+//   - Every internal node has exactly two non-nil children (Lemma 4).
+//   - Labels are canonical and leaf labels have full length ℓ.
+//   - The two dummy leaves are the extreme leaves of the trie.
+//   - Leaf labels appear in strictly increasing order.
+//   - No reachable node is flagged (Lemma 64: after every help call
+//     returns, no reachable node's info is a Flag).
+func (t *Trie) Validate() error {
+	if t.root.plen != 0 || t.root.leaf {
+		return fmt.Errorf("root must be an internal node with empty label")
+	}
+	var leaves []uint64
+	if err := t.validateNode(t.root, &leaves); err != nil {
+		return err
+	}
+	if len(leaves) < 2 {
+		return fmt.Errorf("trie must always hold the two dummy leaves, found %d leaves", len(leaves))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1] >= leaves[i] {
+			return fmt.Errorf("leaf labels out of order: %#x before %#x", leaves[i-1], leaves[i])
+		}
+	}
+	if leaves[0] != keys.DummyMin(t.width) {
+		return fmt.Errorf("leftmost leaf %#x is not the 0^ℓ dummy", leaves[0])
+	}
+	if leaves[len(leaves)-1] != keys.DummyMax(t.width) {
+		return fmt.Errorf("rightmost leaf %#x is not the 1^ℓ dummy", leaves[len(leaves)-1])
+	}
+	return nil
+}
+
+func (t *Trie) validateNode(n *node, leaves *[]uint64) error {
+	if n.bits&^keys.Mask(n.plen) != 0 {
+		return fmt.Errorf("label %#x/%d is not canonical", n.bits, n.plen)
+	}
+	if n.info.Load().flagged() {
+		return fmt.Errorf("reachable node %#x/%d is flagged at quiescence", n.bits, n.plen)
+	}
+	if n.leaf {
+		if n.plen != t.klen {
+			return fmt.Errorf("leaf label length %d != key length %d", n.plen, t.klen)
+		}
+		*leaves = append(*leaves, n.bits)
+		return nil
+	}
+	if n.plen >= t.klen {
+		return fmt.Errorf("internal label length %d must be < key length %d", n.plen, t.klen)
+	}
+	for idx := 0; idx < 2; idx++ {
+		c := n.child[idx].Load()
+		if c == nil {
+			return fmt.Errorf("internal node %#x/%d has nil child %d", n.bits, n.plen, idx)
+		}
+		if c.plen <= n.plen {
+			return fmt.Errorf("child label length %d not longer than parent's %d", c.plen, n.plen)
+		}
+		if !keys.IsPrefix(n.bits, n.plen, c.bits) {
+			return fmt.Errorf("parent label %#x/%d is not a prefix of child label %#x/%d",
+				n.bits, n.plen, c.bits, c.plen)
+		}
+		if keys.BitAt(c.bits, n.plen) != idx {
+			return fmt.Errorf("child %d of %#x/%d has wrong branch bit", idx, n.bits, n.plen)
+		}
+		if err := t.validateNode(c, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump renders the trie structure as an indented multi-line string, for
+// debugging and the triecli tool. Quiescent use only.
+func (t *Trie) Dump() string {
+	var sb strings.Builder
+	t.dumpNode(&sb, t.root, 0)
+	return sb.String()
+}
+
+func (t *Trie) dumpNode(sb *strings.Builder, n *node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	label := labelString(n.bits, n.plen)
+	if n.leaf {
+		switch n.bits {
+		case keys.DummyMin(t.width):
+			fmt.Fprintf(sb, "leaf %s (dummy 0^ℓ)\n", label)
+		case keys.DummyMax(t.width):
+			fmt.Fprintf(sb, "leaf %s (dummy 1^ℓ)\n", label)
+		default:
+			fmt.Fprintf(sb, "leaf %s = %d\n", label, keys.Decode(n.bits, t.width))
+		}
+		return
+	}
+	fmt.Fprintf(sb, "node %q\n", label)
+	t.dumpNode(sb, n.child[0].Load(), depth+1)
+	t.dumpNode(sb, n.child[1].Load(), depth+1)
+}
+
+func labelString(bits uint64, plen uint32) string {
+	if plen == 0 {
+		return "ε"
+	}
+	var sb strings.Builder
+	for i := uint32(0); i < plen; i++ {
+		sb.WriteByte(byte('0' + keys.BitAt(bits, i)))
+	}
+	return sb.String()
+}

@@ -1,0 +1,155 @@
+// Package core implements the non-blocking binary Patricia trie of
+// Shafiei, "Non-blocking Patricia Tries with Replace Operations"
+// (ICDCS 2013). The trie implements a linearizable set of fixed-width
+// integer keys with
+//
+//   - a wait-free Contains (the paper's find), which only reads shared
+//     memory and never performs CAS,
+//   - lock-free Insert and Delete, and
+//   - a lock-free Replace(old, new) that removes one key and inserts
+//     another atomically, even though the two changes touch two different
+//     child pointers. Both changes become visible at the first successful
+//     child CAS, which is the operation's linearization point.
+//
+// Coordination follows the flag/help scheme of Ellen et al. (PODC 2010),
+// extended per the paper: every update publishes a descriptor (the paper's
+// Flag object) carrying everything helpers need, flags the internal nodes
+// whose child pointers it will change (in label order, to avoid livelock),
+// performs the child CASes, and unflags the survivors. Nodes removed from
+// the trie stay flagged forever, and child pointers are only ever swung to
+// freshly allocated nodes, so neither info nor child fields can suffer ABA.
+// Memory reclamation is the garbage collector's job, exactly as in the
+// paper's Java setting.
+package core
+
+import (
+	"sync/atomic"
+
+	"nbtrie/internal/keys"
+)
+
+// node is the paper's Node type. Leaves and internal nodes share one
+// struct: a node is a leaf iff leaf is true, in which case its child
+// pointers are never set. The label (bits, plen) is immutable after
+// construction; bits is left-aligned and canonical (zero beyond plen).
+// Leaf labels always have plen == ℓ (the trie's key length).
+type node struct {
+	bits uint64
+	plen uint32
+	leaf bool
+
+	// info stores a pointer to the descriptor of the update operating on
+	// this node (a Flag object), or a fresh unflag descriptor when no
+	// update is in progress. It is never nil: the paper uses allocated
+	// Unflag objects rather than null precisely so that info values never
+	// repeat and flag CASes cannot suffer ABA.
+	info atomic.Pointer[desc]
+
+	// child holds the left (0) and right (1) children of an internal node.
+	child [2]atomic.Pointer[node]
+}
+
+// newLeaf returns a leaf node with the given full-length label and a fresh
+// unflag descriptor.
+func newLeaf(bits uint64, klen uint32) *node {
+	n := &node{bits: bits, plen: klen, leaf: true}
+	n.info.Store(newUnflag())
+	return n
+}
+
+// newInternal returns an internal node with the given label and children.
+// The children must already be ordered: left's bit at position plen is 0.
+func newInternal(bits uint64, plen uint32, left, right *node) *node {
+	n := &node{bits: bits, plen: plen}
+	n.info.Store(newUnflag())
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	return n
+}
+
+// copyNode returns a fresh copy of n (the paper's "new copy of node",
+// lines 26 and 52). For an internal node the children are read now; the
+// caller must have read n's info field beforehand, which — per Lemma 31 —
+// guarantees the children cannot change between this copy and the child
+// CAS that installs it, so the copy is faithful when it becomes reachable.
+func copyNode(n *node) *node {
+	if n.leaf {
+		return newLeaf(n.bits, n.plen)
+	}
+	return newInternal(n.bits, n.plen, n.child[0].Load(), n.child[1].Load())
+}
+
+// labelIsPrefixOf reports whether a's label is a prefix of b's label.
+func labelIsPrefixOf(a, b *node) bool {
+	return a.plen <= b.plen && keys.IsPrefix(a.bits, a.plen, b.bits)
+}
+
+// labelLess is the total order on internal-node labels used to sort flag
+// arrays (line 115); flagging in a fixed global order prevents livelock
+// (the "blaming" argument of the paper's progress proof). Reachable nodes
+// have distinct labels (Lemma 9), and comparing (bits, plen)
+// lexicographically orders distinct labels totally.
+func labelLess(a, b *node) bool {
+	if a.bits != b.bits {
+		return a.bits < b.bits
+	}
+	return a.plen < b.plen
+}
+
+// descKind discriminates the two Info subtypes of the paper.
+type descKind uint8
+
+const (
+	kindUnflag descKind = iota + 1 // no update in progress at the node
+	kindFlag                       // an update owns the node
+)
+
+// desc is the paper's Info object. A desc with kind == kindUnflag uses no
+// other field; a fresh unflag is allocated for every unflagging so that a
+// node's info field never repeats a value. A desc with kind == kindFlag
+// describes one update operation completely, so that any process reading
+// it can finish the update (help).
+//
+// Fixed-size arrays with explicit lengths keep each descriptor to a single
+// allocation; an update flags at most four internal nodes and changes at
+// most two child pointers (the replace general case).
+type desc struct {
+	kind descKind
+
+	nFlag   uint8 // entries used in flag/oldInfo
+	nUnflag uint8 // entries used in unflag
+	nPNode  uint8 // entries used in pNode/oldChild/newChild
+
+	// flag lists the internal nodes to flag, sorted by label; oldInfo[i]
+	// is the expected prior value of flag[i].info for the flag CAS.
+	flag    [4]*node
+	oldInfo [4]*desc
+
+	// unflag lists the flagged nodes that remain in the trie and must be
+	// unflagged once the child CASes are done. Nodes in flag but not in
+	// unflag are removed by the update and stay flagged ("marked").
+	unflag [2]*node
+
+	// For each i, the update CASes the appropriate child pointer of
+	// pNode[i] from oldChild[i] to newChild[i].
+	pNode    [2]*node
+	oldChild [2]*node
+	newChild [2]*node
+
+	// rmvLeaf, when non-nil, is the leaf holding the replaced key of a
+	// general-case replace. It is flagged (plain store) after all flag
+	// CASes succeed and before the first child CAS; searches reaching it
+	// afterwards use logicallyRemoved to decide whether the key is gone.
+	rmvLeaf *node
+
+	// flagDone is set once every node in flag was flagged successfully;
+	// helpers use it to distinguish "the update already happened and the
+	// node was unflagged" from "flagging failed, back off" (lines 93-106).
+	flagDone atomic.Bool
+}
+
+// newUnflag allocates a fresh Unflag descriptor.
+func newUnflag() *desc { return &desc{kind: kindUnflag} }
+
+// flagged reports whether d is a Flag descriptor.
+func (d *desc) flagged() bool { return d.kind == kindFlag }

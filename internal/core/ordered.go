@@ -1,0 +1,83 @@
+package core
+
+import "nbtrie/internal/keys"
+
+// Ordered queries. The trie's leaves are sorted by label, so
+// predecessor/successor queries are direct structural walks. Like Range,
+// these read without synchronization: results are exact at quiescence
+// and best-effort under concurrent updates (each visited link was
+// current at the moment it was read).
+
+// Min returns the smallest key in the set.
+func (t *Trie) Min() (uint64, bool) { return t.Ceiling(0) }
+
+// Max returns the largest key in the set.
+func (t *Trie) Max() (uint64, bool) {
+	if t.width == 64 {
+		return t.Floor(^uint64(0))
+	}
+	return t.Floor(uint64(1)<<t.width - 1)
+}
+
+// Ceiling returns the smallest key >= k, if any.
+func (t *Trie) Ceiling(k uint64) (uint64, bool) {
+	v := t.encode(k)
+	if bits, ok := t.ceilNode(t.root, v); ok {
+		return keys.Decode(bits, t.width), true
+	}
+	return 0, false
+}
+
+// Floor returns the largest key <= k, if any.
+func (t *Trie) Floor(k uint64) (uint64, bool) {
+	v := t.encode(k)
+	if bits, ok := t.floorNode(t.root, v); ok {
+		return keys.Decode(bits, t.width), true
+	}
+	return 0, false
+}
+
+// subtreeMax returns the largest label a key under n can have.
+func subtreeMax(n *node) uint64 {
+	return n.bits | ^keys.Mask(n.plen)
+}
+
+// usableLeaf reports whether a leaf holds a live user key.
+func (t *Trie) usableLeaf(n *node) bool {
+	if n.bits == keys.DummyMin(t.width) || n.bits == keys.DummyMax(t.width) {
+		return false
+	}
+	return !logicallyRemoved(n.info.Load())
+}
+
+func (t *Trie) ceilNode(n *node, v uint64) (uint64, bool) {
+	if n.leaf {
+		if n.bits >= v && t.usableLeaf(n) {
+			return n.bits, true
+		}
+		return 0, false
+	}
+	left := n.child[0].Load()
+	if subtreeMax(left) >= v {
+		if bits, ok := t.ceilNode(left, v); ok {
+			return bits, ok
+		}
+	}
+	return t.ceilNode(n.child[1].Load(), v)
+}
+
+func (t *Trie) floorNode(n *node, v uint64) (uint64, bool) {
+	if n.leaf {
+		if n.bits <= v && t.usableLeaf(n) {
+			return n.bits, true
+		}
+		return 0, false
+	}
+	right := n.child[1].Load()
+	if right.bits <= v {
+		if bits, ok := t.floorNode(right, v); ok {
+			return bits, ok
+		}
+	}
+	return t.floorNode(n.child[0].Load(), v)
+}

@@ -1,0 +1,124 @@
+package core
+
+import "nbtrie/internal/keys"
+
+// Replace atomically removes old and inserts new, returning true exactly
+// when old was present and new absent (lines 42-71). Both changes become
+// visible at the operation's first successful child CAS: in the general
+// case the new key's leaf is installed first, which simultaneously makes
+// the old key's leaf "logically removed" (searches detect this through
+// the leaf's info field), and the old leaf is physically unlinked by a
+// second child CAS. When the two changes would overlap — the four special
+// cases of the paper's Figure 6 — a single child CAS swings in a freshly
+// built subtree that realizes both changes at once.
+//
+// Replace panics if the trie was built with WithoutReplace.
+func (t *Trie) Replace(old, new uint64) bool {
+	if t.skipRmvdCheck {
+		panic("patricia trie: Replace called on a trie built with WithoutReplace")
+	}
+	vd, vi := t.encode(old), t.encode(new)
+	for {
+		rd := t.search(vd)
+		if !keyInTrie(rd.node, vd, rd.rmvd) {
+			return false // old key absent (line 46)
+		}
+		ri := t.search(vi)
+		if keyInTrie(ri.node, vi, ri.rmvd) {
+			return false // new key already present (line 48)
+		}
+		nodeInfoI := ri.node.info.Load()                       // line 49
+		sibD := rd.p.child[1-keys.BitAt(vd, rd.p.plen)].Load() // line 50
+
+		var i *desc
+		switch {
+		case rd.gp != nil &&
+			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
+			ri.p != rd.p:
+			i = t.replaceGeneral(vi, rd, ri, nodeInfoI, sibD)
+
+		case ri.node == rd.node:
+			// Special case 1 (lines 58-59): the insertion point is the
+			// very leaf being removed; overwrite it with a fresh leaf.
+			i = t.newDesc(
+				[]*node{rd.p}, []*desc{rd.pInfo},
+				[]*node{rd.p},
+				[]*node{rd.p}, []*node{ri.node},
+				[]*node{newLeaf(vi, t.klen)}, nil)
+
+		case (ri.node == rd.p && ri.p == rd.gp) ||
+			(rd.gp != nil && ri.p == rd.p):
+			// Special cases 2 and 3 (lines 60-64): the deletion removes
+			// the node the insertion would replace (or they share a
+			// parent). Replace the old leaf's parent with a new internal
+			// node joining the old leaf's sibling and the new key.
+			newNodeI := t.makeInternal(sibD, newLeaf(vi, t.klen), sibD.info.Load())
+			if newNodeI == nil {
+				break
+			}
+			i = t.newDesc(
+				[]*node{rd.gp, rd.p}, []*desc{rd.gpInfo, rd.pInfo},
+				[]*node{rd.gp},
+				[]*node{rd.gp}, []*node{rd.p},
+				[]*node{newNodeI}, nil)
+
+		case ri.node == rd.gp:
+			// Special case 4 (lines 65-70): the insertion would replace
+			// the old key's grandparent. Rebuild that subtree without the
+			// old leaf or its parent, then join it with the new key.
+			pSibD := rd.gp.child[1-keys.BitAt(vd, rd.gp.plen)].Load()
+			newChildI := t.makeInternal(sibD, pSibD, nil)
+			if newChildI == nil {
+				break
+			}
+			newNodeI := t.makeInternal(newChildI, newLeaf(vi, t.klen), nil)
+			if newNodeI == nil {
+				break
+			}
+			i = t.newDesc(
+				[]*node{ri.p, rd.gp, rd.p},
+				[]*desc{ri.pInfo, rd.gpInfo, rd.pInfo},
+				[]*node{ri.p},
+				[]*node{ri.p}, []*node{ri.node},
+				[]*node{newNodeI}, nil)
+		}
+
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}
+
+// replaceGeneral builds the descriptor for the paper's general case
+// (lines 51-57): the insertion and deletion touch disjoint parts of the
+// trie, so the update flags the union of what insert(vi) and delete(vd)
+// would flag, marks the old leaf, and performs two child CASes — insert
+// first, then delete. rmvLeaf is the old key's leaf; once the first child
+// CAS lands, searches reaching that leaf see it as logically removed.
+func (t *Trie) replaceGeneral(vi uint64, rd, ri searchResult, nodeInfoI *desc, sibD *node) *desc {
+	newNodeI := t.makeInternal(copyNode(ri.node), newLeaf(vi, t.klen), nodeInfoI) // lines 52-53
+	if newNodeI == nil {
+		return nil
+	}
+	if !ri.node.leaf {
+		// Line 55: the displaced insertion point is internal, so it too
+		// must be flagged (permanently — it leaves the trie).
+		return t.newDesc(
+			[]*node{rd.gp, rd.p, ri.p, ri.node},
+			[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI},
+			[]*node{rd.gp, ri.p},
+			[]*node{ri.p, rd.gp},
+			[]*node{ri.node, rd.p},
+			[]*node{newNodeI, sibD},
+			rd.node)
+	}
+	// Line 57: leaf insertion point.
+	return t.newDesc(
+		[]*node{rd.gp, rd.p, ri.p},
+		[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo},
+		[]*node{rd.gp, ri.p},
+		[]*node{ri.p, rd.gp},
+		[]*node{ri.node, rd.p},
+		[]*node{newNodeI, sibD},
+		rd.node)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"nbtrie/internal/keys"
+)
+
+// Trie is a non-blocking Patricia trie implementing a linearizable set of
+// uint64 keys in [0, 2^width). All methods are safe for concurrent use by
+// any number of goroutines without external synchronization.
+//
+// Internally keys are width+1 bits long (the paper's ℓ), shifted by one so
+// that the two permanent dummy leaves 0^ℓ and 1^ℓ can never collide with a
+// user key. The root is a permanent internal node labelled ε whose subtree
+// always contains both dummies, so the trie always has at least two leaves
+// and the root never needs replacing, exactly as in the paper's
+// initialization (Figure 2, line 19).
+type Trie struct {
+	width uint32
+	klen  uint32
+	root  *node
+
+	// skipRmvdCheck applies the paper's Section V optimization for
+	// workloads without replace operations: the search does not inspect
+	// leaf info fields for logical removal. Replace must not be used on
+	// such a trie.
+	skipRmvdCheck bool
+}
+
+// Option configures a Trie.
+type Option func(*Trie)
+
+// WithoutReplace applies the paper's Section V optimization ("we
+// eliminated the rmvd variable in search operations"): searches skip the
+// logical-removal check that only replace operations can trigger. Calling
+// Replace on a trie built with this option panics.
+func WithoutReplace() Option {
+	return func(t *Trie) { t.skipRmvdCheck = true }
+}
+
+// New returns an empty trie over keys in [0, 2^width). Width must be in
+// [1, keys.MaxWidth].
+func New(width uint32, opts ...Option) (*Trie, error) {
+	if width < 1 || width > keys.MaxWidth {
+		return nil, fmt.Errorf("patricia trie: width %d out of range [1, %d]", width, keys.MaxWidth)
+	}
+	klen := keys.KeyLen(width)
+	t := &Trie{width: width, klen: klen}
+	t.root = newInternal(0, 0,
+		newLeaf(keys.DummyMin(width), klen),
+		newLeaf(keys.DummyMax(width), klen))
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
+}
+
+// Width returns the user-key width in bits.
+func (t *Trie) Width() uint32 { return t.width }
+
+// encode maps a user key into the internal left-aligned key space,
+// panicking on out-of-range keys (caller misuse).
+func (t *Trie) encode(k uint64) uint64 {
+	if !keys.InRange(k, t.width) {
+		panic(fmt.Sprintf("patricia trie: key %d out of range for width %d", k, t.width))
+	}
+	return keys.Encode(k, t.width)
+}
+
+// searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
+// rmvd⟩ returned by search.
+type searchResult struct {
+	gp, p, node   *node
+	gpInfo, pInfo *desc
+	rmvd          bool
+}
+
+// search locates the internal key v, per lines 76-85. It starts at the
+// root and descends by the bit of v at each node's label length, stopping
+// at a leaf or at an internal node whose label is no longer a prefix of v.
+// It is wait-free: labels strictly lengthen along any path (Invariant 7),
+// so the loop runs at most ℓ times. It performs no CAS and never writes
+// shared memory.
+func (t *Trie) search(v uint64) searchResult {
+	var r searchResult
+	n := t.root
+	for !n.leaf && keys.IsPrefix(n.bits, n.plen, v) {
+		r.gp, r.gpInfo = r.p, r.pInfo
+		r.p, r.pInfo = n, n.info.Load()
+		n = r.p.child[keys.BitAt(v, r.p.plen)].Load()
+	}
+	r.node = n
+	if n.leaf && !t.skipRmvdCheck {
+		r.rmvd = logicallyRemoved(n.info.Load())
+	}
+	return r
+}
+
+// logicallyRemoved implements lines 122-124: a leaf whose info field holds
+// the Flag of a general-case replace is logically removed once that
+// replace's first child CAS has happened, which is detectable by the old
+// child no longer being a child of pNode[0] (Lemma 41).
+func logicallyRemoved(i *desc) bool {
+	if !i.flagged() {
+		return false
+	}
+	p, old := i.pNode[0], i.oldChild[0]
+	return p.child[0].Load() != old && p.child[1].Load() != old
+}
+
+// keyInTrie implements lines 125-126.
+func keyInTrie(n *node, v uint64, rmvd bool) bool {
+	return n.leaf && n.bits == v && !rmvd
+}
+
+// Contains reports whether k is in the set. It is wait-free and never
+// modifies the trie (the paper's find, lines 72-75).
+func (t *Trie) Contains(k uint64) bool {
+	v := t.encode(k)
+	r := t.search(v)
+	return keyInTrie(r.node, v, r.rmvd)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"nbtrie/internal/keys"
+)
+
+// testHookAfterFlagging, when non-nil, runs inside help after all flag
+// CASes succeeded and before the child CASes. It exists only for
+// failure-injection tests (stalling an operation at its most delicate
+// point); it is nil in production and must only be set at quiescence.
+var testHookAfterFlagging func(*desc)
+
+// help carries out the real work of the update described by the Flag
+// descriptor I (lines 86-106). It may be called by the update's own
+// process or by any process that encounters I while flagging; all calls
+// perform the same CAS sequence, and the algorithm guarantees each step
+// succeeds exactly once regardless of how many helpers race.
+//
+// The steps, in order: flag every node in I.flag (label order); if all
+// succeeded, publish flagDone, flag the removed leaf (general-case
+// replace only), and perform the child CASes; finally unflag survivors
+// (success) or backtrack the flags (failure). The update is linearized at
+// its first successful child CAS.
+func (t *Trie) help(i *desc) bool {
+	doChildCAS := true
+	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
+		n := i.flag[j]
+		n.info.CompareAndSwap(i.oldInfo[j], i) // flag CAS (line 90)
+		doChildCAS = n.info.Load() == i
+	}
+
+	if doChildCAS {
+		if h := testHookAfterFlagging; h != nil {
+			// Failure-injection point for tests: a process can be stalled
+			// here, "crashed" with its flags planted, to prove that other
+			// processes finish its update for it.
+			h(i)
+		}
+		i.flagDone.Store(true)
+		if i.rmvLeaf != nil {
+			// Flag the leaf to be removed (line 95). A plain store
+			// suffices in the paper because only helpers of I reach here
+			// and they all write the same value; Lemma 40 shows no other
+			// Flag can land on this leaf first.
+			i.rmvLeaf.info.Store(i)
+		}
+		for j := 0; j < int(i.nPNode); j++ {
+			p, nc := i.pNode[j], i.newChild[j]
+			k := keys.BitAt(nc.bits, p.plen)
+			p.child[k].CompareAndSwap(i.oldChild[j], nc) // child CAS (line 98)
+		}
+	}
+
+	if i.flagDone.Load() {
+		for j := int(i.nUnflag) - 1; j >= 0; j-- {
+			i.unflag[j].info.CompareAndSwap(i, newUnflag()) // unflag CAS (line 101)
+		}
+		return true
+	}
+	for j := int(i.nFlag) - 1; j >= 0; j-- {
+		i.flag[j].info.CompareAndSwap(i, newUnflag()) // backtrack CAS (line 105)
+	}
+	return false
+}
+
+// newDesc builds the Flag descriptor for an update (the paper's newFlag,
+// lines 107-116). It returns nil — after helping the conflicting update,
+// if any — when some node to be flagged is already owned by another
+// operation, or when the same node was captured twice with different info
+// values (its children may have changed between the two reads). Otherwise
+// it deduplicates, sorts the flag set by label, and packs the descriptor.
+func (t *Trie) newDesc(
+	flag []*node, oldInfo []*desc, unflag []*node,
+	pNode, oldChild, newChild []*node, rmvLeaf *node,
+) *desc {
+	// Lines 108-111: if any captured info value is a Flag, that update is
+	// incomplete; help it and make the caller retry from scratch.
+	for _, oi := range oldInfo {
+		if oi.flagged() {
+			t.help(oi)
+			return nil
+		}
+	}
+
+	// Lines 112-114: duplicates with disagreeing old values mean the node
+	// changed between our two reads of it; retry. Otherwise keep the
+	// first occurrence only.
+	for a := 0; a < len(flag); a++ {
+		for b := a + 1; b < len(flag); b++ {
+			if flag[a] == flag[b] && oldInfo[a] != oldInfo[b] {
+				return nil
+			}
+		}
+	}
+	df := make([]*node, 0, len(flag))
+	di := make([]*desc, 0, len(flag))
+	for a, n := range flag {
+		dup := false
+		for b := 0; b < a; b++ {
+			if flag[b] == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			df = append(df, n)
+			di = append(di, oldInfo[a])
+		}
+	}
+	du := make([]*node, 0, len(unflag))
+	for a, n := range unflag {
+		dup := false
+		for b := 0; b < a; b++ {
+			if unflag[b] == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			du = append(du, n)
+		}
+	}
+
+	// Line 115: sort the flag set (and its old values) by label so every
+	// operation flags nodes in the same global order.
+	for a := 1; a < len(df); a++ {
+		for b := a; b > 0 && labelLess(df[b], df[b-1]); b-- {
+			df[b], df[b-1] = df[b-1], df[b]
+			di[b], di[b-1] = di[b-1], di[b]
+		}
+	}
+
+	d := &desc{
+		kind:    kindFlag,
+		nFlag:   uint8(len(df)),
+		nUnflag: uint8(len(du)),
+		nPNode:  uint8(len(pNode)),
+		rmvLeaf: rmvLeaf,
+	}
+	copy(d.flag[:], df)
+	copy(d.oldInfo[:], di)
+	copy(d.unflag[:], du)
+	copy(d.pNode[:], pNode)
+	copy(d.oldChild[:], oldChild)
+	copy(d.newChild[:], newChild)
+	return d
+}
+
+// makeInternal is the paper's createNode (lines 117-121): it returns a new
+// internal node whose label is the longest common prefix of the two
+// labels and whose children are n1 and n2 in bit order. If either label
+// is a prefix of the other no such node exists; in that case the captured
+// info value is helped if it is a Flag (the usual cause: n1 is a stale
+// copy of a node another update is replacing) and nil is returned so the
+// caller retries.
+func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
+	if labelIsPrefixOf(n1, n2) || labelIsPrefixOf(n2, n1) {
+		if info != nil && info.flagged() {
+			t.help(info)
+		}
+		return nil
+	}
+	cpl := keys.CommonPrefixLen(n1.bits, n2.bits) // < min(plen1, plen2)
+	bits := n1.bits & keys.Mask(cpl)
+	if keys.BitAt(n1.bits, cpl) == 0 {
+		return newInternal(bits, cpl, n1, n2)
+	}
+	return newInternal(bits, cpl, n2, n1)
+}
+
+// Insert adds k to the set, returning false if it was already present
+// (lines 20-32). The leaf (or internal node) at the insertion point is
+// replaced by a new internal node whose children are a fresh leaf for k
+// and a fresh copy of the displaced node; copying avoids ABA on child
+// pointers. When the displaced node is internal it is flagged permanently,
+// since it leaves the trie.
+func (t *Trie) Insert(k uint64) bool {
+	v := t.encode(k)
+	for {
+		r := t.search(v)
+		if keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		n := r.node
+		nodeInfo := n.info.Load() // line 25: info before children
+		newNode := t.makeInternal(copyNode(n), newLeaf(v, t.klen), nodeInfo)
+		if newNode == nil {
+			continue
+		}
+		var i *desc
+		if !n.leaf {
+			i = t.newDesc(
+				[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
+				[]*node{r.p},
+				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+		} else {
+			i = t.newDesc(
+				[]*node{r.p}, []*desc{r.pInfo},
+				[]*node{r.p},
+				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+		}
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}
+
+// Delete removes k from the set, returning false if it was absent
+// (lines 33-41). The parent of k's leaf is replaced by the leaf's
+// sibling; both the grandparent and the parent are flagged, and the
+// parent — which leaves the trie — stays flagged forever.
+func (t *Trie) Delete(k uint64) bool {
+	v := t.encode(k)
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
+		if r.gp == nil {
+			// A leaf that is a direct child of the root necessarily holds
+			// a dummy key (the 0-prefix and 1-prefix subtrees always
+			// contain their dummies), and dummies never match a user key,
+			// so this branch is unreachable; retry defensively.
+			continue
+		}
+		i := t.newDesc(
+			[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
+			[]*node{r.gp},
+			[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package ctrie implements the non-blocking concurrent hash trie of
+// Prokopec, Bronson, Bagwell and Odersky, "Concurrent Tries with
+// Efficient Non-blocking Snapshots" (PPoPP 2012) — the paper's Ctrie
+// baseline. As in the paper's evaluation, snapshots are not used, so this
+// is the plain CAS-based trie: indirection nodes (inodes) whose main
+// pointer is CASed between immutable branch nodes (cnodes), with tombing
+// and compression keeping the trie from accumulating single-child paths.
+//
+// Nodes branch 32 ways on successive 5-bit chunks of the key's hash. The
+// hash is the splitmix64 finalizer, which is a bijection on uint64, so
+// distinct keys always separate at some level and the collision-list
+// (lnode) machinery of the original is unnecessary.
+package ctrie
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	chunkBits = 5
+	chunkMask = 1<<chunkBits - 1
+)
+
+// hash is the splitmix64 finalizer: an invertible mixer, so it is
+// injective on the full uint64 key space.
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// snode is an immutable singleton holding one key.
+type snode struct {
+	key uint64
+	h   uint64
+}
+
+// branch is one slot of a cnode: either a child inode or an snode.
+type branch struct {
+	in *inode
+	sn *snode
+}
+
+// cnode is an immutable 32-way branch node: a bitmap of occupied slots
+// plus a dense array of branches.
+type cnode struct {
+	bmp uint32
+	arr []branch
+}
+
+// mainNode is what an inode points at: a cnode, or a tombed snode (the
+// tnode of the original) marking a single-element subtree awaiting
+// contraction into its parent.
+type mainNode struct {
+	cn *cnode
+	tn *snode
+}
+
+// inode is the mutable indirection node; all modification is CAS on main.
+type inode struct {
+	main atomic.Pointer[mainNode]
+}
+
+func newINode(m *mainNode) *inode {
+	in := &inode{}
+	in.main.Store(m)
+	return in
+}
+
+// Trie is the concurrent hash trie set.
+type Trie struct {
+	root *inode
+}
+
+// New returns an empty Ctrie.
+func New() *Trie {
+	return &Trie{root: newINode(&mainNode{cn: &cnode{}})}
+}
+
+// flagpos splits the hash chunk for this level into the bitmap flag and
+// the dense array position.
+func flagpos(h uint64, lev uint, bmp uint32) (flag uint32, pos int) {
+	idx := uint32(h>>lev) & chunkMask
+	flag = 1 << idx
+	pos = bits.OnesCount32(bmp & (flag - 1))
+	return flag, pos
+}
+
+// inserted returns a copy of cn with a new branch at (flag, pos).
+func (cn *cnode) inserted(flag uint32, pos int, b branch) *cnode {
+	arr := make([]branch, len(cn.arr)+1)
+	copy(arr, cn.arr[:pos])
+	arr[pos] = b
+	copy(arr[pos+1:], cn.arr[pos:])
+	return &cnode{bmp: cn.bmp | flag, arr: arr}
+}
+
+// updated returns a copy of cn with the branch at pos replaced.
+func (cn *cnode) updated(pos int, b branch) *cnode {
+	arr := make([]branch, len(cn.arr))
+	copy(arr, cn.arr)
+	arr[pos] = b
+	return &cnode{bmp: cn.bmp, arr: arr}
+}
+
+// removed returns a copy of cn without the branch at (flag, pos).
+func (cn *cnode) removed(flag uint32, pos int) *cnode {
+	arr := make([]branch, len(cn.arr)-1)
+	copy(arr, cn.arr[:pos])
+	copy(arr[pos:], cn.arr[pos+1:])
+	return &cnode{bmp: cn.bmp &^ flag, arr: arr}
+}
+
+// dual builds the subtree separating two snodes whose hashes first
+// diverge at or below lev. Injective hashing guarantees termination.
+func dual(x, y *snode, lev uint) *mainNode {
+	xi := uint32(x.h>>lev) & chunkMask
+	yi := uint32(y.h>>lev) & chunkMask
+	if xi == yi {
+		inner := newINode(dual(x, y, lev+chunkBits))
+		return &mainNode{cn: &cnode{bmp: 1 << xi, arr: []branch{{in: inner}}}}
+	}
+	lo, hi := branch{sn: x}, branch{sn: y}
+	if xi > yi {
+		lo, hi = hi, lo
+	}
+	return &mainNode{cn: &cnode{bmp: 1<<xi | 1<<yi, arr: []branch{lo, hi}}}
+}
+
+// toContracted tombs a single-snode cnode below the root so the parent
+// can absorb it.
+func toContracted(cn *cnode, lev uint) *mainNode {
+	if lev > 0 && len(cn.arr) == 1 && cn.arr[0].sn != nil {
+		return &mainNode{tn: cn.arr[0].sn}
+	}
+	return &mainNode{cn: cn}
+}
+
+// toCompressed resurrects tombed children of cn and contracts the result.
+func toCompressed(cn *cnode, lev uint) *mainNode {
+	arr := make([]branch, len(cn.arr))
+	for i, b := range cn.arr {
+		if b.in != nil {
+			if m := b.in.main.Load(); m.tn != nil {
+				arr[i] = branch{sn: m.tn}
+				continue
+			}
+		}
+		arr[i] = b
+	}
+	return toContracted(&cnode{bmp: cn.bmp, arr: arr}, lev)
+}
+
+// clean compresses the cnode under i (called when a descent trips over a
+// tombed child).
+func clean(i *inode, lev uint) {
+	if m := i.main.Load(); m.cn != nil {
+		i.main.CompareAndSwap(m, toCompressed(m.cn, lev))
+	}
+}
+
+// cleanParent retries absorbing the tombed inode i into its parent.
+func cleanParent(p, i *inode, h uint64, lev uint) {
+	for {
+		m := p.main.Load()
+		if m.cn == nil {
+			return
+		}
+		flag, pos := flagpos(h, lev, m.cn.bmp)
+		if m.cn.bmp&flag == 0 {
+			return
+		}
+		if m.cn.arr[pos].in != i {
+			return
+		}
+		im := i.main.Load()
+		if im.tn == nil {
+			return
+		}
+		ncn := m.cn.updated(pos, branch{sn: im.tn})
+		if p.main.CompareAndSwap(m, toContracted(ncn, lev)) {
+			return
+		}
+	}
+}
+
+type result uint8
+
+const (
+	resRestart result = iota
+	resTrue
+	resFalse
+)
+
+// Contains reports whether k is in the set.
+func (t *Trie) Contains(k uint64) bool {
+	h := hash(k)
+	for {
+		if r := t.lookup(t.root, nil, h, k, 0); r != resRestart {
+			return r == resTrue
+		}
+	}
+}
+
+func (t *Trie) lookup(i, parent *inode, h, k uint64, lev uint) result {
+	m := i.main.Load()
+	if m.cn == nil {
+		clean(parent, lev-chunkBits)
+		return resRestart
+	}
+	flag, pos := flagpos(h, lev, m.cn.bmp)
+	if m.cn.bmp&flag == 0 {
+		return resFalse
+	}
+	b := m.cn.arr[pos]
+	if b.in != nil {
+		return t.lookup(b.in, i, h, k, lev+chunkBits)
+	}
+	if b.sn.key == k {
+		return resTrue
+	}
+	return resFalse
+}
+
+// Insert adds k, returning false if already present.
+func (t *Trie) Insert(k uint64) bool {
+	h := hash(k)
+	for {
+		if r := t.insert(t.root, nil, h, k, 0); r != resRestart {
+			return r == resTrue
+		}
+	}
+}
+
+func (t *Trie) insert(i, parent *inode, h, k uint64, lev uint) result {
+	m := i.main.Load()
+	if m.cn == nil {
+		clean(parent, lev-chunkBits)
+		return resRestart
+	}
+	cn := m.cn
+	flag, pos := flagpos(h, lev, cn.bmp)
+	if cn.bmp&flag == 0 {
+		ncn := cn.inserted(flag, pos, branch{sn: &snode{key: k, h: h}})
+		if i.main.CompareAndSwap(m, &mainNode{cn: ncn}) {
+			return resTrue
+		}
+		return resRestart
+	}
+	b := cn.arr[pos]
+	if b.in != nil {
+		return t.insert(b.in, i, h, k, lev+chunkBits)
+	}
+	if b.sn.key == k {
+		return resFalse
+	}
+	inner := newINode(dual(b.sn, &snode{key: k, h: h}, lev+chunkBits))
+	ncn := cn.updated(pos, branch{in: inner})
+	if i.main.CompareAndSwap(m, &mainNode{cn: ncn}) {
+		return resTrue
+	}
+	return resRestart
+}
+
+// Delete removes k, returning false if absent.
+func (t *Trie) Delete(k uint64) bool {
+	h := hash(k)
+	for {
+		if r := t.remove(t.root, nil, h, k, 0); r != resRestart {
+			return r == resTrue
+		}
+	}
+}
+
+func (t *Trie) remove(i, parent *inode, h, k uint64, lev uint) result {
+	m := i.main.Load()
+	if m.cn == nil {
+		clean(parent, lev-chunkBits)
+		return resRestart
+	}
+	cn := m.cn
+	flag, pos := flagpos(h, lev, cn.bmp)
+	if cn.bmp&flag == 0 {
+		return resFalse
+	}
+	b := cn.arr[pos]
+	var res result
+	switch {
+	case b.in != nil:
+		res = t.remove(b.in, i, h, k, lev+chunkBits)
+	case b.sn.key != k:
+		res = resFalse
+	default:
+		ncn := cn.removed(flag, pos)
+		if !i.main.CompareAndSwap(m, toContracted(ncn, lev)) {
+			return resRestart
+		}
+		res = resTrue
+	}
+	if res == resTrue && parent != nil {
+		// If the removal left this subtree tombed, pull it into the
+		// parent so lookups do not keep paying the extra indirection.
+		if cur := i.main.Load(); cur.tn != nil {
+			cleanParent(parent, i, h, lev-chunkBits)
+		}
+	}
+	return res
+}
+
+// Size counts the keys; quiescent use only.
+func (t *Trie) Size() int {
+	return sizeOf(t.root)
+}
+
+func sizeOf(i *inode) int {
+	m := i.main.Load()
+	if m.tn != nil {
+		return 1
+	}
+	n := 0
+	for _, b := range m.cn.arr {
+		if b.in != nil {
+			n += sizeOf(b.in)
+		} else {
+			n++
+		}
+	}
+	return n
+}

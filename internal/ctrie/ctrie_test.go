@@ -1,0 +1,76 @@
+package ctrie
+
+import (
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New() })
+}
+
+func TestHashInjectiveOnSample(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for k := uint64(0); k < 1<<16; k++ {
+		h := hash(k)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision: %d and %d", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestSizeAndCompression(t *testing.T) {
+	c := New()
+	for k := uint64(0); k < 1000; k++ {
+		c.Insert(k)
+	}
+	if got := c.Size(); got != 1000 {
+		t.Fatalf("Size() = %d, want 1000", got)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !c.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if got := c.Size(); got != 0 {
+		t.Fatalf("Size() = %d after deleting all, want 0", got)
+	}
+	// After removing everything, compression must have collapsed the
+	// trie back to (nearly) a bare root.
+	if d := maxDepth(c.root); d > 2 {
+		t.Errorf("trie depth %d after emptying; tombing/compression not working", d)
+	}
+}
+
+func maxDepth(i *inode) int {
+	m := i.main.Load()
+	if m.cn == nil {
+		return 1
+	}
+	d := 1
+	for _, b := range m.cn.arr {
+		if b.in != nil {
+			if c := 1 + maxDepth(b.in); c > d {
+				d = c
+			}
+		}
+	}
+	return d
+}
+
+func TestDualSeparatesDeepCollisions(t *testing.T) {
+	// Keys engineered to share low hash chunks still separate eventually.
+	c := New()
+	for k := uint64(0); k < 64; k++ {
+		if !c.Insert(k << 40) {
+			t.Fatalf("Insert(%d) failed", k<<40)
+		}
+	}
+	for k := uint64(0); k < 64; k++ {
+		if !c.Contains(k << 40) {
+			t.Fatalf("Contains(%d) = false", k<<40)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package kst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+func TestConformanceK4(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New(4) })
+}
+
+func TestConformanceK2(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New(2) })
+}
+
+func TestConformanceK8(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New(8) })
+}
+
+func TestSproutAndPrune(t *testing.T) {
+	tr := New(4)
+	// Fill one leaf past capacity to force a sprout.
+	for k := uint64(10); k < 15; k++ {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if got := tr.Size(); got != 5 {
+		t.Fatalf("Size() = %d, want 5", got)
+	}
+	for k := uint64(10); k < 15; k++ {
+		if !tr.Contains(k) {
+			t.Fatalf("Contains(%d) = false after sprout", k)
+		}
+	}
+	// Drain to force pruning back down.
+	for k := uint64(10); k < 15; k++ {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if got := tr.Size(); got != 0 {
+		t.Fatalf("Size() = %d after draining, want 0", got)
+	}
+}
+
+func TestValidateAfterChurn(t *testing.T) {
+	for _, arity := range []int{2, 4, 8} {
+		tr := New(arity)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("arity %d fresh: %v", arity, err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 10000; i++ {
+			k := rng.Uint64() % 512
+			if rng.Intn(2) == 0 {
+				tr.Insert(k)
+			} else {
+				tr.Delete(k)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("arity %d after churn: %v", arity, err)
+		}
+	}
+}
+
+func TestValidateAfterConcurrentChurn(t *testing.T) {
+	tr := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := rng.Uint64() % 128
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after concurrent churn: %v", err)
+	}
+}
+
+func TestArityDefaulting(t *testing.T) {
+	tr := New(0) // invalid arity falls back to the paper's k=4
+	if tr.arity != Arity {
+		t.Errorf("arity = %d, want %d", tr.arity, Arity)
+	}
+}
+
+func TestRouteBounds(t *testing.T) {
+	tr := New(4)
+	n := tr.root
+	if got := route(n, 0); got != 0 {
+		t.Errorf("route to sentinel root = %d, want 0", got)
+	}
+}
+
+func TestSortedHelpers(t *testing.T) {
+	ks := []uint64{2, 4, 6}
+	if got := insertSorted(ks, 5); len(got) != 4 || got[2] != 5 {
+		t.Errorf("insertSorted = %v", got)
+	}
+	if got := removeSorted(ks, 4); len(got) != 2 || got[1] != 6 {
+		t.Errorf("removeSorted = %v", got)
+	}
+	if got := insertSorted(nil, 1); len(got) != 1 {
+		t.Errorf("insertSorted(nil) = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package kst
+
+import "fmt"
+
+// Validate checks the structural invariants at quiescence: reachable
+// nodes are Clean, leaf key arrays are sorted, internal routing keys are
+// non-decreasing, and every leaf key lies within the routing bounds
+// accumulated on its path.
+func (t *Tree) Validate() error {
+	return t.validateNode(t.root, boundKey{}, boundKey{inf: true})
+}
+
+// boundKey is a routing bound; inf marks +∞ (also used as "-∞ absent"
+// for the lower bound via the unbounded flag).
+type boundKey struct {
+	v         uint64
+	inf       bool
+	unbounded bool
+}
+
+func (t *Tree) validateNode(n *node, lo, hi boundKey) error {
+	if u := n.update.Load(); u.state != stateClean {
+		return fmt.Errorf("reachable node not Clean at quiescence")
+	}
+	within := func(k uint64) bool {
+		if !lo.unbounded && lo.inf {
+			return false // subtree above a +∞ routing key must be empty
+		}
+		if !lo.unbounded && k < lo.v {
+			return false
+		}
+		if hi.inf {
+			return true
+		}
+		return k < hi.v
+	}
+	if n.leaf {
+		for i, k := range n.keys {
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("leaf keys not strictly sorted: %v", n.keys)
+			}
+			if !within(k) {
+				return fmt.Errorf("leaf key %d outside routing bounds [%+v, %+v)", k, lo, hi)
+			}
+		}
+		return nil
+	}
+	if len(n.child) != t.arity || len(n.keys) != t.arity-1 {
+		return fmt.Errorf("internal node has %d children / %d keys for arity %d",
+			len(n.child), len(n.keys), t.arity)
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if !n.inf[i-1] && !n.inf[i] && n.keys[i-1] > n.keys[i] {
+			return fmt.Errorf("routing keys not sorted: %v", n.keys)
+		}
+		if n.inf[i-1] && !n.inf[i] {
+			return fmt.Errorf("finite routing key after ∞: %v inf=%v", n.keys, n.inf)
+		}
+	}
+	childLo := boundKey{unbounded: true}
+	if !lo.unbounded {
+		childLo = lo
+	}
+	for i := 0; i < t.arity; i++ {
+		childHi := hi
+		if i < len(n.keys) {
+			childHi = boundKey{v: n.keys[i], inf: n.inf[i]}
+		}
+		c := n.child[i].Load()
+		if c == nil {
+			return fmt.Errorf("internal node has nil child %d", i)
+		}
+		if err := t.validateNode(c, childLo, childHi); err != nil {
+			return err
+		}
+		childLo = childHi
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package linearizable checks recorded concurrent histories of set
+// operations for linearizability (Herlihy & Wing), using the classic
+// Wing–Gong depth-first search with memoization. It is used by the test
+// suites to validate the atomicity claims of the trie — in particular
+// that Replace removes one key and inserts another at a single instant.
+//
+// Histories are bounded (at most 64 operations) because the problem is
+// NP-complete in general; the tests record many small histories rather
+// than one large one.
+package linearizable
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies a set operation.
+type Kind uint8
+
+// The set operations of the paper's sequential specification.
+const (
+	Insert Kind = iota + 1
+	Delete
+	Contains
+	Replace
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "Insert"
+	case Delete:
+		return "Delete"
+	case Contains:
+		return "Contains"
+	case Replace:
+		return "Replace"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation in a history. Start and End are logical
+// timestamps drawn from a shared monotone counter: operation A really
+// precedes operation B iff A.End < B.Start.
+type Op struct {
+	Kind   Kind
+	Key    uint64
+	Key2   uint64 // Replace only: the inserted key
+	Result bool
+	Start  int64
+	End    int64
+}
+
+func (o Op) String() string {
+	if o.Kind == Replace {
+		return fmt.Sprintf("%s(%d,%d)=%v@[%d,%d]", o.Kind, o.Key, o.Key2, o.Result, o.Start, o.End)
+	}
+	return fmt.Sprintf("%s(%d)=%v@[%d,%d]", o.Kind, o.Key, o.Result, o.Start, o.End)
+}
+
+// Check reports whether the history is linearizable with respect to the
+// sequential set specification, starting from the empty set. It panics if
+// the history holds more than 64 operations.
+func Check(history []Op) bool {
+	if len(history) > 64 {
+		panic("linearizable: history longer than 64 operations")
+	}
+	c := &checker{history: history, memo: make(map[string]struct{})}
+	return c.dfs(0, make(map[uint64]bool))
+}
+
+type checker struct {
+	history []Op
+	memo    map[string]struct{}
+}
+
+// dfs attempts to extend a partial linearization. mask records which
+// operations are already linearized; state is the set contents they
+// produce. An operation is a legal next choice only if it is "minimal":
+// no still-unlinearized operation finished before it started.
+func (c *checker) dfs(mask uint64, state map[uint64]bool) bool {
+	full := uint64(1)<<len(c.history) - 1
+	if mask == full {
+		return true
+	}
+	key := memoKey(mask, state)
+	if _, seen := c.memo[key]; seen {
+		return false
+	}
+
+	for i := range c.history {
+		if mask&(1<<i) != 0 {
+			continue
+		}
+		minimal := true
+		for j := range c.history {
+			if j != i && mask&(1<<j) == 0 && c.history[j].End < c.history[i].Start {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		op := c.history[i]
+		undo, ok := apply(op, state)
+		if !ok {
+			continue
+		}
+		if c.dfs(mask|1<<i, state) {
+			return true
+		}
+		undo(state)
+	}
+	c.memo[key] = struct{}{}
+	return false
+}
+
+// apply checks op's recorded result against the current state and, if
+// consistent, applies its effect. It returns an undo function.
+func apply(op Op, state map[uint64]bool) (func(map[uint64]bool), bool) {
+	switch op.Kind {
+	case Insert:
+		if op.Result == state[op.Key] {
+			return nil, false // true iff key was absent
+		}
+		if !op.Result {
+			return undoNothing, true
+		}
+		state[op.Key] = true
+		k := op.Key
+		return func(s map[uint64]bool) { delete(s, k) }, true
+	case Delete:
+		if op.Result != state[op.Key] {
+			return nil, false // true iff key was present
+		}
+		if !op.Result {
+			return undoNothing, true
+		}
+		delete(state, op.Key)
+		k := op.Key
+		return func(s map[uint64]bool) { s[k] = true }, true
+	case Contains:
+		if op.Result != state[op.Key] {
+			return nil, false
+		}
+		return undoNothing, true
+	case Replace:
+		want := state[op.Key] && !state[op.Key2] && op.Key != op.Key2
+		if op.Result != want {
+			return nil, false
+		}
+		if !op.Result {
+			return undoNothing, true
+		}
+		delete(state, op.Key)
+		state[op.Key2] = true
+		k, k2 := op.Key, op.Key2
+		return func(s map[uint64]bool) { delete(s, k2); s[k] = true }, true
+	default:
+		return nil, false
+	}
+}
+
+func undoNothing(map[uint64]bool) {}
+
+// memoKey canonically serializes (mask, state). Two search nodes with the
+// same linearized set and the same resulting contents explore identical
+// futures, so revisiting either is pointless.
+func memoKey(mask uint64, state map[uint64]bool) string {
+	ks := make([]uint64, 0, len(state))
+	for k, v := range state {
+		if v {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatUint(mask, 16))
+	for _, k := range ks {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatUint(k, 16))
+	}
+	return sb.String()
+}

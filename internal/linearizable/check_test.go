@@ -1,0 +1,198 @@
+package linearizable
+
+import (
+	"sync"
+	"testing"
+)
+
+// seq builds a strictly sequential history from (kind, key, key2, result)
+// tuples.
+func seq(ops ...[4]int64) []Op {
+	out := make([]Op, len(ops))
+	t := int64(0)
+	for i, o := range ops {
+		out[i] = Op{
+			Kind: Kind(o[0]), Key: uint64(o[1]), Key2: uint64(o[2]),
+			Result: o[3] != 0, Start: t, End: t + 1,
+		}
+		t += 2
+	}
+	return out
+}
+
+func TestSequentialHistories(t *testing.T) {
+	i, d, c, r := int64(Insert), int64(Delete), int64(Contains), int64(Replace)
+	good := [][]Op{
+		{},
+		seq([4]int64{i, 1, 0, 1}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{i, 1, 0, 0}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{d, 1, 0, 1}, [4]int64{d, 1, 0, 0}),
+		seq([4]int64{c, 9, 0, 0}, [4]int64{i, 9, 0, 1}, [4]int64{c, 9, 0, 1}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{r, 1, 2, 1}, [4]int64{c, 1, 0, 0}, [4]int64{c, 2, 0, 1}),
+		seq([4]int64{r, 1, 2, 0}), // replace on empty set fails
+		seq([4]int64{i, 1, 0, 1}, [4]int64{i, 2, 0, 1}, [4]int64{r, 1, 2, 0}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{r, 1, 1, 0}), // same-key replace fails
+	}
+	for n, h := range good {
+		if !Check(h) {
+			t.Errorf("history %d should be linearizable: %v", n, h)
+		}
+	}
+	bad := [][]Op{
+		seq([4]int64{i, 1, 0, 0}),                       // insert into empty set can't fail
+		seq([4]int64{d, 1, 0, 1}),                       // delete from empty set can't succeed
+		seq([4]int64{c, 1, 0, 1}),                       // contains on empty set can't be true
+		seq([4]int64{i, 1, 0, 1}, [4]int64{i, 1, 0, 1}), // double insert both true
+		seq([4]int64{i, 1, 0, 1}, [4]int64{r, 1, 2, 1}, [4]int64{c, 1, 0, 1}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{r, 1, 2, 1}, [4]int64{c, 2, 0, 0}),
+		seq([4]int64{i, 1, 0, 1}, [4]int64{r, 1, 1, 1}), // same-key replace can't succeed
+	}
+	for n, h := range bad {
+		if Check(h) {
+			t.Errorf("history %d should NOT be linearizable: %v", n, h)
+		}
+	}
+}
+
+func TestConcurrentOverlapAllowsReordering(t *testing.T) {
+	// Two overlapping inserts of the same key: exactly one may win,
+	// regardless of internal timing.
+	h := []Op{
+		{Kind: Insert, Key: 5, Result: false, Start: 0, End: 10},
+		{Kind: Insert, Key: 5, Result: true, Start: 1, End: 2},
+	}
+	if !Check(h) {
+		t.Error("overlapping inserts with one winner must be linearizable")
+	}
+	// But a strict real-time order cannot be inverted: the first insert
+	// completed before the second began, so the first must win.
+	h = []Op{
+		{Kind: Insert, Key: 5, Result: false, Start: 0, End: 1},
+		{Kind: Insert, Key: 5, Result: true, Start: 2, End: 3},
+	}
+	if Check(h) {
+		t.Error("real-time order violation must be rejected")
+	}
+}
+
+// TestNonAtomicReplaceDetected encodes the anomaly an atomic replace
+// forbids: a reader observing the window where a delete+insert "replace"
+// has removed the old key but not yet inserted the new one. The paper's
+// Replace makes both changes visible at one instant, so this history is
+// not linearizable for a correct implementation.
+func TestNonAtomicReplaceDetected(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Key: 1, Result: true, Start: 0, End: 1},
+		// Replace(1,2) succeeding, spanning [2, 9].
+		{Kind: Replace, Key: 1, Key2: 2, Result: true, Start: 2, End: 9},
+		// A reader inside that window sees neither key: impossible if the
+		// replace is atomic.
+		{Kind: Contains, Key: 1, Result: false, Start: 3, End: 4},
+		{Kind: Contains, Key: 2, Result: false, Start: 5, End: 6},
+	}
+	if Check(h) {
+		t.Error("torn replace (both keys absent) must be rejected")
+	}
+	// The same shape with the second read seeing the new key is fine.
+	h[3].Result = true
+	if !Check(h) {
+		t.Error("replace observed as already-applied must be accepted")
+	}
+}
+
+// fakeLockedSet is a trivially correct reference implementation used to
+// exercise the Recorder + Check pipeline end to end.
+type fakeLockedSet struct {
+	mu sync.Mutex
+	m  map[uint64]bool
+}
+
+func (s *fakeLockedSet) insert(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
+}
+
+func (s *fakeLockedSet) delete(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[k] {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *fakeLockedSet) contains(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func TestRecorderWithReferenceSet(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rec := NewRecorder()
+		set := &fakeLockedSet{m: make(map[uint64]bool)}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					k := uint64((g + i) % 3)
+					switch (g + i) % 3 {
+					case 0:
+						rec.Record(Insert, k, 0, func() bool { return set.insert(k) })
+					case 1:
+						rec.Record(Delete, k, 0, func() bool { return set.delete(k) })
+					case 2:
+						rec.Record(Contains, k, 0, func() bool { return set.contains(k) })
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !Check(rec.History()) {
+			t.Fatalf("trial %d: history of a lock-protected set must linearize:\n%v",
+				trial, rec.History())
+		}
+	}
+}
+
+func TestCheckPanicsOnHugeHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Check should panic on >64 operations")
+		}
+	}()
+	Check(make([]Op, 65))
+}
+
+func TestRecorderLen(t *testing.T) {
+	rec := NewRecorder()
+	if rec.Len() != 0 {
+		t.Error("fresh recorder not empty")
+	}
+	rec.Record(Insert, 1, 0, func() bool { return true })
+	rec.Record(Contains, 1, 0, func() bool { return true })
+	if rec.Len() != 2 {
+		t.Errorf("Len = %d, want 2", rec.Len())
+	}
+	h := rec.History()
+	if len(h) != 2 || h[0].Start >= h[0].End || h[0].End >= h[1].Start {
+		t.Errorf("sequential records must have ordered timestamps: %v", h)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Insert.String() != "Insert" || Replace.String() != "Replace" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

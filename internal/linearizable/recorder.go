@@ -1,0 +1,49 @@
+package linearizable
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder collects a concurrent history of set operations. Each worker
+// wraps its calls in Invoke/Return pairs; timestamps come from one shared
+// atomic counter, so End < Start between two operations certifies real
+// precedence. A Recorder must not be reused across histories.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record runs fn — which must perform exactly the described operation and
+// return its result — between two timestamp draws and appends the
+// completed Op to the history.
+func (r *Recorder) Record(kind Kind, key, key2 uint64, fn func() bool) bool {
+	start := r.clock.Add(1)
+	res := fn()
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{Kind: kind, Key: key, Key2: key2, Result: res, Start: start, End: end})
+	r.mu.Unlock()
+	return res
+}
+
+// History returns the recorded operations. Call only after all workers
+// have finished.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

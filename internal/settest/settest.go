@@ -1,0 +1,292 @@
+// Package settest is a reusable conformance and stress-test kit for the
+// concurrent set implementations in this repository. Every implementation
+// (the Patricia trie and all five baselines from the paper's evaluation)
+// runs the same battery, so a behavioural difference between them is a
+// test failure rather than a benchmarking artifact.
+package settest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nbtrie/internal/linearizable"
+)
+
+// Set is the minimal linearizable-set contract shared by every
+// implementation.
+type Set interface {
+	Insert(k uint64) bool
+	Delete(k uint64) bool
+	Contains(k uint64) bool
+}
+
+// ReplaceSet is a Set that also supports the paper's atomic replace.
+type ReplaceSet interface {
+	Set
+	Replace(old, new uint64) bool
+}
+
+// Factory creates a fresh, empty set able to hold keys in [0, keyRange).
+type Factory func(keyRange uint64) Set
+
+// Run executes the full battery against the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("Basic", func(t *testing.T) { Basic(t, factory) })
+	t.Run("SequentialOracle", func(t *testing.T) { SequentialOracle(t, factory) })
+	t.Run("ConcurrentDisjoint", func(t *testing.T) { ConcurrentDisjoint(t, factory) })
+	t.Run("ContendedCounting", func(t *testing.T) { ContendedCounting(t, factory) })
+	t.Run("Linearizability", func(t *testing.T) { Linearizability(t, factory) })
+}
+
+// Basic checks single-threaded semantics on a handful of fixed cases.
+func Basic(t *testing.T, factory Factory) {
+	s := factory(1024)
+	if s.Contains(0) || s.Contains(5) || s.Contains(1023) {
+		t.Error("fresh set should be empty")
+	}
+	if s.Delete(5) {
+		t.Error("Delete on empty set should fail")
+	}
+	if !s.Insert(5) {
+		t.Error("Insert(5) into empty set should succeed")
+	}
+	if s.Insert(5) {
+		t.Error("duplicate Insert(5) should fail")
+	}
+	if !s.Contains(5) || s.Contains(6) {
+		t.Error("Contains wrong after insert")
+	}
+	for _, k := range []uint64{0, 1023, 512, 511} {
+		if !s.Insert(k) || !s.Contains(k) {
+			t.Errorf("boundary key %d not usable", k)
+		}
+	}
+	if !s.Delete(5) || s.Delete(5) || s.Contains(5) {
+		t.Error("Delete semantics wrong")
+	}
+	for _, k := range []uint64{0, 1023, 512, 511} {
+		if !s.Delete(k) {
+			t.Errorf("Delete(%d) should succeed", k)
+		}
+	}
+}
+
+// SequentialOracle replays random single-threaded workloads against a
+// map-based oracle, for several seeds and key ranges.
+func SequentialOracle(t *testing.T, factory Factory) {
+	for _, keyRange := range []uint64{8, 100, 4096} {
+		for seed := int64(0); seed < 3; seed++ {
+			s := factory(keyRange)
+			rng := rand.New(rand.NewSource(seed))
+			oracle := make(map[uint64]bool)
+			rs, hasReplace := s.(ReplaceSet)
+			for i := 0; i < 15000; i++ {
+				k := rng.Uint64() % keyRange
+				op := rng.Intn(4)
+				if op == 3 && !hasReplace {
+					op = rng.Intn(3)
+				}
+				switch op {
+				case 0:
+					if got, want := s.Insert(k), !oracle[k]; got != want {
+						t.Fatalf("range=%d seed=%d op=%d: Insert(%d)=%v want %v", keyRange, seed, i, k, got, want)
+					}
+					oracle[k] = true
+				case 1:
+					if got, want := s.Delete(k), oracle[k]; got != want {
+						t.Fatalf("range=%d seed=%d op=%d: Delete(%d)=%v want %v", keyRange, seed, i, k, got, want)
+					}
+					delete(oracle, k)
+				case 2:
+					if got, want := s.Contains(k), oracle[k]; got != want {
+						t.Fatalf("range=%d seed=%d op=%d: Contains(%d)=%v want %v", keyRange, seed, i, k, got, want)
+					}
+				case 3:
+					k2 := rng.Uint64() % keyRange
+					want := oracle[k] && !oracle[k2] && k != k2
+					if got := rs.Replace(k, k2); got != want {
+						t.Fatalf("range=%d seed=%d op=%d: Replace(%d,%d)=%v want %v", keyRange, seed, i, k, k2, got, want)
+					}
+					if want {
+						delete(oracle, k)
+						oracle[k2] = true
+					}
+				}
+			}
+			for k := uint64(0); k < keyRange; k += 1 + keyRange/997 {
+				if got, want := s.Contains(k), oracle[k]; got != want {
+					t.Fatalf("range=%d seed=%d final: Contains(%d)=%v want %v", keyRange, seed, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// ConcurrentDisjoint partitions the key space among goroutines, each with
+// a private oracle; afterwards the set must exactly match the union.
+func ConcurrentDisjoint(t *testing.T, factory Factory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const (
+		goroutines = 8
+		span       = uint64(256)
+		ops        = 20000
+	)
+	s := factory(goroutines * span)
+	oracles := make([]map[uint64]bool, goroutines)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		oracles[g] = make(map[uint64]bool)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * span
+			rng := rand.New(rand.NewSource(int64(g)))
+			oracle := oracles[g]
+			rs, hasReplace := s.(ReplaceSet)
+			for i := 0; i < ops && !failed.Load(); i++ {
+				k := base + rng.Uint64()%span
+				op := rng.Intn(4)
+				if op == 3 && !hasReplace {
+					op = rng.Intn(3)
+				}
+				switch op {
+				case 0:
+					if got, want := s.Insert(k), !oracle[k]; got != want {
+						failed.Store(true)
+						t.Errorf("g%d Insert(%d)=%v want %v", g, k, got, want)
+					}
+					oracle[k] = true
+				case 1:
+					if got, want := s.Delete(k), oracle[k]; got != want {
+						failed.Store(true)
+						t.Errorf("g%d Delete(%d)=%v want %v", g, k, got, want)
+					}
+					delete(oracle, k)
+				case 2:
+					if got, want := s.Contains(k), oracle[k]; got != want {
+						failed.Store(true)
+						t.Errorf("g%d Contains(%d)=%v want %v", g, k, got, want)
+					}
+				case 3:
+					k2 := base + rng.Uint64()%span
+					want := oracle[k] && !oracle[k2] && k != k2
+					if got := rs.Replace(k, k2); got != want {
+						failed.Store(true)
+						t.Errorf("g%d Replace(%d,%d)=%v want %v", g, k, k2, got, want)
+					}
+					if want {
+						delete(oracle, k)
+						oracle[k2] = true
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return
+	}
+	for g, oracle := range oracles {
+		base := uint64(g) * span
+		for k := base; k < base+span; k++ {
+			if got, want := s.Contains(k), oracle[k]; got != want {
+				t.Fatalf("g%d final Contains(%d)=%v want %v", g, k, got, want)
+			}
+		}
+	}
+}
+
+// ContendedCounting hammers a tiny key range and verifies per-key insert/
+// delete accounting, which must hold in every linearization.
+func ContendedCounting(t *testing.T, factory Factory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const (
+		goroutines = 8
+		keyRange   = 16
+		ops        = 15000
+	)
+	s := factory(keyRange)
+	var ins, del [keyRange]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := rng.Uint64() % keyRange
+				if rng.Intn(2) == 0 {
+					if s.Insert(k) {
+						ins[k].Add(1)
+					}
+				} else {
+					if s.Delete(k) {
+						del[k].Add(1)
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	for k := 0; k < keyRange; k++ {
+		diff := ins[k].Load() - del[k].Load()
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d: inserts-deletes = %d, must be 0 or 1", k, diff)
+		}
+		if got, want := s.Contains(uint64(k)), diff == 1; got != want {
+			t.Fatalf("key %d: Contains=%v but accounting says %v", k, got, want)
+		}
+	}
+}
+
+// Linearizability records many small concurrent histories and checks each
+// with the Wing–Gong checker. Keys are drawn from a 3-element universe to
+// keep contention (and hence interesting interleavings) high.
+func Linearizability(t *testing.T, factory Factory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		trials  = 150
+		workers = 3
+		perW    = 6
+	)
+	for trial := 0; trial < trials; trial++ {
+		s := factory(8)
+		_, hasReplace := s.(ReplaceSet)
+		rec := linearizable.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < perW; i++ {
+					k := rng.Uint64() % 3
+					op := rng.Intn(4)
+					if op == 3 && !hasReplace {
+						op = rng.Intn(3)
+					}
+					switch op {
+					case 0:
+						rec.Record(linearizable.Insert, k, 0, func() bool { return s.Insert(k) })
+					case 1:
+						rec.Record(linearizable.Delete, k, 0, func() bool { return s.Delete(k) })
+					case 2:
+						rec.Record(linearizable.Contains, k, 0, func() bool { return s.Contains(k) })
+					case 3:
+						k2 := rng.Uint64() % 3
+						rs := s.(ReplaceSet)
+						rec.Record(linearizable.Replace, k, k2, func() bool { return rs.Replace(k, k2) })
+					}
+				}
+			}(int64(trial*workers + w))
+		}
+		wg.Wait()
+		if !linearizable.Check(rec.History()) {
+			t.Fatalf("trial %d: non-linearizable history:\n%v", trial, rec.History())
+		}
+	}
+}

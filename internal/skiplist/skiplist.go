@@ -1,0 +1,259 @@
+// Package skiplist implements a lock-free skip list set, the repository's
+// stand-in for the Java ConcurrentSkipListMap baseline ("SL") of the
+// paper's evaluation. The algorithm is the classic lock-free skip list of
+// the Fraser / Fomitchev–Ruppert / Lea lineage as presented by Herlihy &
+// Shavit: a node is deleted logically by marking its next pointers from
+// the top level down, and marked nodes are physically snipped out by
+// subsequent traversals.
+//
+// Go has no spare pointer bits to steal, so each (next, marked) pair is
+// boxed in an immutable cell swapped by CAS on an atomic.Pointer. Every
+// cell is freshly allocated, which also rules out ABA. The garbage
+// collector reclaims snipped nodes, as in the Java original.
+package skiplist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const maxLevel = 24 // supports ~2^24 elements at p = 1/2
+
+// rank orders the head sentinel below and the tail sentinel above every
+// user key.
+type rank uint8
+
+const (
+	rankHead rank = iota
+	rankUser
+	rankTail
+)
+
+type key struct {
+	v uint64
+	r rank
+}
+
+func (a key) less(b key) bool {
+	if a.r != b.r {
+		return a.r < b.r
+	}
+	return a.v < b.v
+}
+
+func (a key) equal(b key) bool { return a.r == b.r && a.v == b.v }
+
+// cell is one immutable (successor, marked) pair. marked means the node
+// owning this cell is logically deleted at that level.
+type cell struct {
+	next   *node
+	marked bool
+}
+
+type node struct {
+	key      key
+	topLevel int
+	next     []atomic.Pointer[cell]
+}
+
+func newNode(k key, topLevel int) *node {
+	n := &node{key: k, topLevel: topLevel, next: make([]atomic.Pointer[cell], topLevel+1)}
+	for i := range n.next {
+		n.next[i].Store(&cell{})
+	}
+	return n
+}
+
+// List is the lock-free skip list set.
+type List struct {
+	head *node
+	seed atomic.Uint64
+}
+
+// New returns an empty skip list.
+func New() *List {
+	head := newNode(key{r: rankHead}, maxLevel)
+	tail := newNode(key{r: rankTail}, maxLevel)
+	for i := 0; i <= maxLevel; i++ {
+		head.next[i].Store(&cell{next: tail})
+	}
+	l := &List{head: head}
+	l.seed.Store(0x9e3779b97f4a7c15)
+	return l
+}
+
+// randomLevel draws a geometric(1/2) level from a shared splitmix64
+// stream; the single atomic add is cheap and keeps the list deterministic
+// enough for tests without the contention of a locked rand.Source.
+func (l *List) randomLevel() int {
+	x := l.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := bits.TrailingZeros64(x | 1<<maxLevel)
+	return lvl
+}
+
+// find locates k, filling preds/succs per level and physically removing
+// any marked nodes it passes. It returns true if an unmarked node with
+// key k was found at the bottom level.
+func (l *List) find(k key, preds, succs *[maxLevel + 1]*node) bool {
+retry:
+	for {
+		pred := l.head
+		for level := maxLevel; level >= 0; level-- {
+			curr := pred.next[level].Load().next
+			for {
+				c := curr.next[level].Load()
+				for c.marked {
+					// curr is logically deleted: snip it at this level.
+					pc := pred.next[level].Load()
+					if pc.marked || pc.next != curr {
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(pc, &cell{next: c.next}) {
+						continue retry
+					}
+					curr = c.next
+					c = curr.next[level].Load()
+				}
+				if curr.key.less(k) {
+					pred = curr
+					curr = c.next
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0].key.equal(k)
+	}
+}
+
+// Contains reports whether k is in the set. It never writes: marked nodes
+// are skipped, not snipped.
+func (l *List) Contains(k uint64) bool {
+	kk := key{v: k, r: rankUser}
+	pred := l.head
+	var curr *node
+	for level := maxLevel; level >= 0; level-- {
+		curr = pred.next[level].Load().next
+		for {
+			c := curr.next[level].Load()
+			if c.marked {
+				curr = c.next
+				continue
+			}
+			if curr.key.less(kk) {
+				pred = curr
+				curr = c.next
+				continue
+			}
+			break
+		}
+	}
+	return curr.key.equal(kk)
+}
+
+// Insert adds k, returning false if already present.
+func (l *List) Insert(k uint64) bool {
+	kk := key{v: k, r: rankUser}
+	topLevel := l.randomLevel()
+	var preds, succs [maxLevel + 1]*node
+	for {
+		if l.find(kk, &preds, &succs) {
+			return false
+		}
+		nn := newNode(kk, topLevel)
+		for level := 0; level <= topLevel; level++ {
+			nn.next[level].Store(&cell{next: succs[level]})
+		}
+		// Link at the bottom level first: this is the linearization point.
+		pc := preds[0].next[0].Load()
+		if pc.marked || pc.next != succs[0] {
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(pc, &cell{next: nn}) {
+			continue
+		}
+		// Link the upper levels, re-finding on interference. The element
+		// is already in the set (bottom-level link is the linearization
+		// point); upper links are an optimization, so we stop quietly if
+		// the node is deleted under us.
+		for level := 1; level <= topLevel; level++ {
+			for {
+				if succs[level] == nn {
+					break // already linked at this level by a re-find race
+				}
+				// Refresh nn's forward pointer to the current successor.
+				nc := nn.next[level].Load()
+				if nc.marked {
+					return true // concurrently deleted; stop linking
+				}
+				if nc.next != succs[level] &&
+					!nn.next[level].CompareAndSwap(nc, &cell{next: succs[level]}) {
+					continue
+				}
+				pc := preds[level].next[level].Load()
+				if !pc.marked && pc.next == succs[level] &&
+					preds[level].next[level].CompareAndSwap(pc, &cell{next: nn}) {
+					break
+				}
+				l.find(kk, &preds, &succs)
+				if succs[0] != nn {
+					return true // nn was deleted and snipped while linking
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Delete removes k, returning false if absent. The victim is marked top
+// down; marking the bottom level is the linearization point and only one
+// deleter can win it.
+func (l *List) Delete(k uint64) bool {
+	kk := key{v: k, r: rankUser}
+	var preds, succs [maxLevel + 1]*node
+	for {
+		if !l.find(kk, &preds, &succs) {
+			return false
+		}
+		victim := succs[0]
+		for level := victim.topLevel; level >= 1; level-- {
+			for {
+				c := victim.next[level].Load()
+				if c.marked {
+					break
+				}
+				if victim.next[level].CompareAndSwap(c, &cell{next: c.next, marked: true}) {
+					break
+				}
+			}
+		}
+		for {
+			c := victim.next[0].Load()
+			if c.marked {
+				return false // another deleter won
+			}
+			if victim.next[0].CompareAndSwap(c, &cell{next: c.next, marked: true}) {
+				l.find(kk, &preds, &succs) // physical cleanup
+				return true
+			}
+		}
+	}
+}
+
+// Size counts user keys; quiescent use only.
+func (l *List) Size() int {
+	n := 0
+	for curr := l.head.next[0].Load().next; curr.key.r != rankTail; curr = curr.next[0].Load().next {
+		if !curr.next[0].Load().marked {
+			n++
+		}
+	}
+	return n
+}

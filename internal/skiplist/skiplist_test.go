@@ -1,0 +1,48 @@
+package skiplist
+
+import (
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return New() })
+}
+
+func TestSizeQuiescent(t *testing.T) {
+	l := New()
+	for k := uint64(0); k < 200; k++ {
+		l.Insert(k)
+	}
+	if got := l.Size(); got != 200 {
+		t.Errorf("Size() = %d, want 200", got)
+	}
+	for k := uint64(0); k < 200; k += 2 {
+		l.Delete(k)
+	}
+	if got := l.Size(); got != 100 {
+		t.Errorf("Size() = %d, want 100", got)
+	}
+}
+
+func TestRandomLevelDistribution(t *testing.T) {
+	l := New()
+	var counts [maxLevel + 1]int
+	const draws = 1 << 16
+	for i := 0; i < draws; i++ {
+		lv := l.randomLevel()
+		if lv < 0 || lv > maxLevel {
+			t.Fatalf("level %d out of range", lv)
+		}
+		counts[lv]++
+	}
+	// Roughly half the draws should be level 0 and the tail should decay;
+	// loose bounds, this only guards against a broken mixer.
+	if counts[0] < draws/3 || counts[0] > 2*draws/3 {
+		t.Errorf("level-0 fraction %d/%d far from 1/2", counts[0], draws)
+	}
+	if counts[maxLevel] > draws/100 {
+		t.Errorf("top level drawn too often: %d", counts[maxLevel])
+	}
+}

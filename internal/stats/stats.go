@@ -1,0 +1,52 @@
+// Package stats provides the summary statistics reported by the paper's
+// charts: per-configuration means with standard-deviation error bars over
+// repeated trials.
+package stats
+
+import "math"
+
+// Summary describes a sample of trial measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs. The standard deviation is the
+// sample (n-1) estimator, matching the error bars of the paper's charts;
+// it is zero for fewer than two samples.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	total := 0.0
+	for _, x := range xs {
+		total += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = total / float64(len(xs))
+	if len(xs) < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	return s
+}
+
+// RelStddev returns the coefficient of variation (stddev/mean), or 0 when
+// the mean is 0.
+func (s Summary) RelStddev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}

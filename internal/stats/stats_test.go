@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || !almost(s.Mean, 42) || s.Stddev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(s.Mean, 5) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.Stddev, want) {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelStddev(t *testing.T) {
+	if got := (Summary{Mean: 10, Stddev: 1}).RelStddev(); !almost(got, 0.1) {
+		t.Errorf("RelStddev = %v", got)
+	}
+	if got := (Summary{}).RelStddev(); got != 0 {
+		t.Errorf("RelStddev of zero mean = %v", got)
+	}
+}

@@ -1,0 +1,471 @@
+// Package strtrie implements the unbounded-length-key extension of the
+// paper's Section VI: a non-blocking Patricia trie over arbitrary byte
+// strings. Each key is encoded bit-wise as 01/10 pairs with a 11
+// terminator (keys.EncodeString), making the encoded key space
+// prefix-free, and the two dummy leaves hold 00 and 111, which bound all
+// encoded keys. The algorithm is the same flag/help scheme as
+// internal/core with one semantic difference the paper calls out:
+// because key length is unbounded, searches are non-blocking but no
+// longer wait-free.
+//
+// Empty keys are rejected: the paper's encoding maps the empty string to
+// "11", which is a prefix of the 111 dummy and therefore cannot coexist
+// with it in a Patricia trie.
+package strtrie
+
+import (
+	"fmt"
+
+	"sync/atomic"
+
+	"nbtrie/internal/keys"
+)
+
+// node mirrors internal/core's node with Bitstring labels.
+type node struct {
+	label keys.Bitstring
+	leaf  bool
+	info  atomic.Pointer[desc]
+	child [2]atomic.Pointer[node]
+}
+
+func newLeaf(label keys.Bitstring) *node {
+	n := &node{label: label, leaf: true}
+	n.info.Store(newUnflag())
+	return n
+}
+
+func newInternal(label keys.Bitstring, left, right *node) *node {
+	n := &node{label: label}
+	n.info.Store(newUnflag())
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	return n
+}
+
+func copyNode(n *node) *node {
+	if n.leaf {
+		return newLeaf(n.label)
+	}
+	return newInternal(n.label, n.child[0].Load(), n.child[1].Load())
+}
+
+type descKind uint8
+
+const (
+	kindUnflag descKind = iota + 1
+	kindFlag
+)
+
+// desc is the Flag/Unflag Info object, identical in role to core's.
+type desc struct {
+	kind descKind
+
+	flag     []*node
+	oldInfo  []*desc
+	unflag   []*node
+	pNode    []*node
+	oldChild []*node
+	newChild []*node
+
+	rmvLeaf  *node
+	flagDone atomic.Bool
+}
+
+func newUnflag() *desc { return &desc{kind: kindUnflag} }
+
+func (d *desc) flagged() bool { return d.kind == kindFlag }
+
+// Trie is the variable-length-key Patricia trie. Keys are arbitrary
+// non-empty byte strings.
+type Trie struct {
+	root *node
+}
+
+// New returns an empty trie.
+func New() *Trie {
+	return &Trie{root: newInternal(keys.Bitstring{},
+		newLeaf(keys.StrDummyMin()),
+		newLeaf(keys.StrDummyMax()))}
+}
+
+func encode(k []byte) keys.Bitstring {
+	if len(k) == 0 {
+		panic("strtrie: empty keys are not supported (their Section VI encoding " +
+			"collides with the 111 dummy)")
+	}
+	return keys.EncodeString(k)
+}
+
+type searchResult struct {
+	gp, p, node   *node
+	gpInfo, pInfo *desc
+	rmvd          bool
+}
+
+// search descends to v's location. The loop is bounded by v's encoded
+// length plus churn from concurrent restructuring: lock-free, not
+// wait-free (Section VI).
+func (t *Trie) search(v keys.Bitstring) searchResult {
+	var r searchResult
+	n := t.root
+	for !n.leaf && n.label.IsPrefixOf(v) && n.label.Len() < v.Len() {
+		r.gp, r.gpInfo = r.p, r.pInfo
+		r.p, r.pInfo = n, n.info.Load()
+		n = r.p.child[v.Bit(r.p.label.Len())].Load()
+	}
+	r.node = n
+	if n.leaf {
+		r.rmvd = logicallyRemoved(n.info.Load())
+	}
+	return r
+}
+
+func logicallyRemoved(i *desc) bool {
+	if !i.flagged() {
+		return false
+	}
+	p, old := i.pNode[0], i.oldChild[0]
+	return p.child[0].Load() != old && p.child[1].Load() != old
+}
+
+func keyInTrie(n *node, v keys.Bitstring, rmvd bool) bool {
+	return n.leaf && n.label.Equal(v) && !rmvd
+}
+
+// Contains reports whether k is in the set (read-only, lock-free).
+func (t *Trie) Contains(k []byte) bool {
+	v := encode(k)
+	r := t.search(v)
+	return keyInTrie(r.node, v, r.rmvd)
+}
+
+// help is the core help routine over Bitstring nodes; see
+// internal/core/update.go for the step-by-step commentary.
+func (t *Trie) help(i *desc) bool {
+	doChildCAS := true
+	for j := 0; j < len(i.flag) && doChildCAS; j++ {
+		n := i.flag[j]
+		n.info.CompareAndSwap(i.oldInfo[j], i)
+		doChildCAS = n.info.Load() == i
+	}
+	if doChildCAS {
+		i.flagDone.Store(true)
+		if i.rmvLeaf != nil {
+			i.rmvLeaf.info.Store(i)
+		}
+		for j := 0; j < len(i.pNode); j++ {
+			p, nc := i.pNode[j], i.newChild[j]
+			k := nc.label.Bit(p.label.Len())
+			p.child[k].CompareAndSwap(i.oldChild[j], nc)
+		}
+	}
+	if i.flagDone.Load() {
+		for j := len(i.unflag) - 1; j >= 0; j-- {
+			i.unflag[j].info.CompareAndSwap(i, newUnflag())
+		}
+		return true
+	}
+	for j := len(i.flag) - 1; j >= 0; j-- {
+		i.flag[j].info.CompareAndSwap(i, newUnflag())
+	}
+	return false
+}
+
+// newDesc validates, deduplicates and orders the flag set (newFlag).
+func (t *Trie) newDesc(
+	flag []*node, oldInfo []*desc, unflag []*node,
+	pNode, oldChild, newChild []*node, rmvLeaf *node,
+) *desc {
+	for _, oi := range oldInfo {
+		if oi.flagged() {
+			t.help(oi)
+			return nil
+		}
+	}
+	for a := 0; a < len(flag); a++ {
+		for b := a + 1; b < len(flag); b++ {
+			if flag[a] == flag[b] && oldInfo[a] != oldInfo[b] {
+				return nil
+			}
+		}
+	}
+	df := make([]*node, 0, len(flag))
+	di := make([]*desc, 0, len(flag))
+	for a, n := range flag {
+		dup := false
+		for b := 0; b < a; b++ {
+			if flag[b] == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			df = append(df, n)
+			di = append(di, oldInfo[a])
+		}
+	}
+	du := make([]*node, 0, len(unflag))
+	for a, n := range unflag {
+		dup := false
+		for b := 0; b < a; b++ {
+			if unflag[b] == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			du = append(du, n)
+		}
+	}
+	// Sort the flag set by label, permuting oldInfo alongside.
+	for a := 1; a < len(df); a++ {
+		for b := a; b > 0 && df[b].label.Compare(df[b-1].label) < 0; b-- {
+			df[b], df[b-1] = df[b-1], df[b]
+			di[b], di[b-1] = di[b-1], di[b]
+		}
+	}
+	return &desc{
+		kind: kindFlag, flag: df, oldInfo: di, unflag: du,
+		pNode: pNode, oldChild: oldChild, newChild: newChild, rmvLeaf: rmvLeaf,
+	}
+}
+
+// makeInternal is createNode: nil on prefix conflict (helping the given
+// info first when it is a Flag).
+func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
+	if n1.label.IsPrefixOf(n2.label) || n2.label.IsPrefixOf(n1.label) {
+		if info != nil && info.flagged() {
+			t.help(info)
+		}
+		return nil
+	}
+	cp := n1.label.CommonPrefix(n2.label)
+	if n1.label.Bit(cp.Len()) == 0 {
+		return newInternal(cp, n1, n2)
+	}
+	return newInternal(cp, n2, n1)
+}
+
+// Insert adds k, returning false if already present.
+func (t *Trie) Insert(k []byte) bool {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		n := r.node
+		nodeInfo := n.info.Load()
+		newNode := t.makeInternal(copyNode(n), newLeaf(v), nodeInfo)
+		if newNode == nil {
+			continue
+		}
+		var i *desc
+		if !n.leaf {
+			i = t.newDesc(
+				[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
+				[]*node{r.p},
+				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+		} else {
+			i = t.newDesc(
+				[]*node{r.p}, []*desc{r.pInfo},
+				[]*node{r.p},
+				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+		}
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}
+
+// Delete removes k, returning false if absent.
+func (t *Trie) Delete(k []byte) bool {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
+		if r.gp == nil {
+			continue // only dummies sit directly under the root
+		}
+		i := t.newDesc(
+			[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
+			[]*node{r.gp},
+			[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}
+
+// Replace atomically removes old and inserts new; the same general and
+// special cases as internal/core's Replace (paper lines 42-71).
+func (t *Trie) Replace(old, new []byte) bool {
+	vd, vi := encode(old), encode(new)
+	for {
+		rd := t.search(vd)
+		if !keyInTrie(rd.node, vd, rd.rmvd) {
+			return false
+		}
+		ri := t.search(vi)
+		if keyInTrie(ri.node, vi, ri.rmvd) {
+			return false
+		}
+		nodeInfoI := ri.node.info.Load()
+		sibD := rd.p.child[1-vd.Bit(rd.p.label.Len())].Load()
+
+		var i *desc
+		switch {
+		case rd.gp != nil &&
+			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
+			ri.p != rd.p:
+			// General case: two child CASes, insert side first.
+			newNodeI := t.makeInternal(copyNode(ri.node), newLeaf(vi), nodeInfoI)
+			if newNodeI == nil {
+				break
+			}
+			if !ri.node.leaf {
+				i = t.newDesc(
+					[]*node{rd.gp, rd.p, ri.p, ri.node},
+					[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI},
+					[]*node{rd.gp, ri.p},
+					[]*node{ri.p, rd.gp},
+					[]*node{ri.node, rd.p},
+					[]*node{newNodeI, sibD},
+					rd.node)
+			} else {
+				i = t.newDesc(
+					[]*node{rd.gp, rd.p, ri.p},
+					[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo},
+					[]*node{rd.gp, ri.p},
+					[]*node{ri.p, rd.gp},
+					[]*node{ri.node, rd.p},
+					[]*node{newNodeI, sibD},
+					rd.node)
+			}
+		case ri.node == rd.node:
+			i = t.newDesc(
+				[]*node{rd.p}, []*desc{rd.pInfo},
+				[]*node{rd.p},
+				[]*node{rd.p}, []*node{ri.node},
+				[]*node{newLeaf(vi)}, nil)
+		case (ri.node == rd.p && ri.p == rd.gp) ||
+			(rd.gp != nil && ri.p == rd.p):
+			newNodeI := t.makeInternal(sibD, newLeaf(vi), sibD.info.Load())
+			if newNodeI == nil {
+				break
+			}
+			i = t.newDesc(
+				[]*node{rd.gp, rd.p}, []*desc{rd.gpInfo, rd.pInfo},
+				[]*node{rd.gp},
+				[]*node{rd.gp}, []*node{rd.p},
+				[]*node{newNodeI}, nil)
+		case ri.node == rd.gp:
+			pSibD := rd.gp.child[1-vd.Bit(rd.gp.label.Len())].Load()
+			newChildI := t.makeInternal(sibD, pSibD, nil)
+			if newChildI == nil {
+				break
+			}
+			newNodeI := t.makeInternal(newChildI, newLeaf(vi), nil)
+			if newNodeI == nil {
+				break
+			}
+			i = t.newDesc(
+				[]*node{ri.p, rd.gp, rd.p},
+				[]*desc{ri.pInfo, rd.gpInfo, rd.pInfo},
+				[]*node{ri.p},
+				[]*node{ri.p}, []*node{ri.node},
+				[]*node{newNodeI}, nil)
+		}
+		if i != nil && t.help(i) {
+			return true
+		}
+	}
+}
+
+// Keys returns the decoded keys in encoded-key order; quiescent use
+// only. Encoded order is lexicographic for keys that are not prefixes of
+// one another; a proper prefix sorts after its extensions, because the
+// Section VI terminator (11) is greater than either continuation pair
+// (01, 10).
+func (t *Trie) Keys() [][]byte {
+	var out [][]byte
+	t.walk(t.root, &out)
+	return out
+}
+
+func (t *Trie) walk(n *node, out *[][]byte) {
+	if n.leaf {
+		if k, ok := keys.DecodeString(n.label); ok && !logicallyRemoved(n.info.Load()) {
+			*out = append(*out, k)
+		}
+		return
+	}
+	t.walk(n.child[0].Load(), out)
+	t.walk(n.child[1].Load(), out)
+}
+
+// Size counts keys; quiescent use only.
+func (t *Trie) Size() int { return len(t.Keys()) }
+
+// Validate checks the structural invariants at quiescence, mirroring
+// internal/core's checker over variable-length labels: labels strictly
+// lengthen along paths with the correct branch bits, leaves hold the
+// dummies at the extremes, leaf labels are strictly increasing in
+// encoded order, and no reachable node is still flagged.
+func (t *Trie) Validate() error {
+	if t.root.leaf || t.root.label.Len() != 0 {
+		return fmt.Errorf("root must be internal with empty label")
+	}
+	var leaves []keys.Bitstring
+	if err := t.validateNode(t.root, &leaves); err != nil {
+		return err
+	}
+	if len(leaves) < 2 {
+		return fmt.Errorf("dummies missing: %d leaves", len(leaves))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1].Compare(leaves[i]) >= 0 {
+			return fmt.Errorf("leaf labels out of order: %q before %q", leaves[i-1], leaves[i])
+		}
+	}
+	if !leaves[0].Equal(keys.StrDummyMin()) {
+		return fmt.Errorf("leftmost leaf %q is not the 00 dummy", leaves[0])
+	}
+	if !leaves[len(leaves)-1].Equal(keys.StrDummyMax()) {
+		return fmt.Errorf("rightmost leaf %q is not the 111 dummy", leaves[len(leaves)-1])
+	}
+	return nil
+}
+
+func (t *Trie) validateNode(n *node, leaves *[]keys.Bitstring) error {
+	if n.info.Load().flagged() {
+		return fmt.Errorf("reachable node %q flagged at quiescence", n.label)
+	}
+	if n.leaf {
+		*leaves = append(*leaves, n.label)
+		return nil
+	}
+	for idx := 0; idx < 2; idx++ {
+		c := n.child[idx].Load()
+		if c == nil {
+			return fmt.Errorf("internal node %q has nil child %d", n.label, idx)
+		}
+		if c.label.Len() <= n.label.Len() {
+			return fmt.Errorf("child label %q not longer than parent %q", c.label, n.label)
+		}
+		if !n.label.IsPrefixOf(c.label) {
+			return fmt.Errorf("parent label %q not a prefix of child %q", n.label, c.label)
+		}
+		if c.label.Bit(n.label.Len()) != idx {
+			return fmt.Errorf("child %d of %q has wrong branch bit", idx, n.label)
+		}
+		if err := t.validateNode(c, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}

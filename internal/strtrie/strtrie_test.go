@@ -1,0 +1,228 @@
+package strtrie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nbtrie/internal/settest"
+)
+
+// stringAdapter drives the byte-string trie through the uint64-based
+// conformance kit by printing keys in decimal (order differs from
+// numeric, which the kit never relies on).
+type stringAdapter struct{ t *Trie }
+
+func key(k uint64) []byte { return []byte(fmt.Sprintf("%020d", k)) }
+
+func (a stringAdapter) Insert(k uint64) bool   { return a.t.Insert(key(k)) }
+func (a stringAdapter) Delete(k uint64) bool   { return a.t.Delete(key(k)) }
+func (a stringAdapter) Contains(k uint64) bool { return a.t.Contains(key(k)) }
+func (a stringAdapter) Replace(old, new uint64) bool {
+	return a.t.Replace(key(old), key(new))
+}
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return stringAdapter{t: New()} })
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New()
+	ks := [][]byte{
+		[]byte("a"), []byte("ab"), []byte("abc"), []byte("b"),
+		[]byte("zebra"), []byte("z"), {0}, {0, 0}, {0xff, 0xff, 0xff, 0xff},
+	}
+	for _, k := range ks {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%q) failed", k)
+		}
+	}
+	for _, k := range ks {
+		if !tr.Contains(k) {
+			t.Fatalf("Contains(%q) = false", k)
+		}
+		if tr.Insert(k) {
+			t.Fatalf("duplicate Insert(%q) succeeded", k)
+		}
+	}
+	// Prefix relations between source keys must not confuse membership.
+	if tr.Contains([]byte("abcd")) || tr.Contains([]byte("zeb")) {
+		t.Error("prefix/extension of a stored key reported present")
+	}
+	if got := tr.Size(); got != len(ks) {
+		t.Fatalf("Size() = %d, want %d", got, len(ks))
+	}
+	for _, k := range ks {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%q) failed", k)
+		}
+	}
+	if got := tr.Size(); got != 0 {
+		t.Fatalf("Size() = %d after draining", got)
+	}
+}
+
+func TestKeysEncodedOrder(t *testing.T) {
+	// Prefix-free word sets come out in plain lexicographic order.
+	tr := New()
+	words := []string{"pear", "apple", "banana", "cherry", "zebra"}
+	for _, w := range words {
+		tr.Insert([]byte(w))
+	}
+	got := tr.Keys()
+	want := make([]string, len(words))
+	copy(want, words)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Keys() returned %d keys", len(got))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("Keys()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// The Section VI terminator sorts a proper prefix after its
+	// extensions (11 > 01/10); pin that documented quirk.
+	tr2 := New()
+	tr2.Insert([]byte("app"))
+	tr2.Insert([]byte("applesauce"))
+	got2 := tr2.Keys()
+	if string(got2[0]) != "applesauce" || string(got2[1]) != "app" {
+		t.Fatalf("encoded order of prefix pair = %q", got2)
+	}
+}
+
+func TestReplaceAcrossLengths(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("short"))
+	if !tr.Replace([]byte("short"), []byte("a much longer key than before")) {
+		t.Fatal("replace to longer key failed")
+	}
+	if tr.Contains([]byte("short")) || !tr.Contains([]byte("a much longer key than before")) {
+		t.Fatal("replace semantics wrong")
+	}
+}
+
+func TestEmptyKeyPanics(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("empty key must panic (encoding collides with the 111 dummy)")
+		}
+	}()
+	tr.Insert(nil)
+}
+
+func TestQuickRandomByteKeys(t *testing.T) {
+	tr := New()
+	oracle := make(map[string]bool)
+	f := func(k []byte, insert bool) bool {
+		if len(k) == 0 {
+			return true
+		}
+		if insert {
+			want := !oracle[string(k)]
+			if tr.Insert(k) != want {
+				return false
+			}
+			oracle[string(k)] = true
+		} else {
+			want := oracle[string(k)]
+			if tr.Delete(k) != want {
+				return false
+			}
+			delete(oracle, string(k))
+		}
+		return tr.Contains(k) == oracle[string(k)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReplaceConservation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	tr := New()
+	const initial = 100
+	for i := 0; i < initial; i++ {
+		tr.Insert([]byte(fmt.Sprintf("task-%03d", i*7)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4000; i++ {
+				from := []byte(fmt.Sprintf("task-%03d", rng.Intn(1000)))
+				to := []byte(fmt.Sprintf("task-%03d", rng.Intn(1000)))
+				tr.Replace(from, to)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := tr.Size(); got != initial {
+		t.Fatalf("Size() = %d after replace-only churn, want %d", got, initial)
+	}
+}
+
+func TestValidateAfterChurn(t *testing.T) {
+	tr := New()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fresh trie: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	live := make(map[string]bool)
+	for i := 0; i < 3000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", rng.Intn(500)))
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			live[string(k)] = true
+		} else {
+			tr.Delete(k)
+			delete(live, string(k))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	if tr.Size() != len(live) {
+		t.Fatalf("Size() = %d, oracle %d", tr.Size(), len(live))
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("x"))
+	c0 := tr.root.child[0].Load()
+	c1 := tr.root.child[1].Load()
+	tr.root.child[0].Store(c1)
+	tr.root.child[1].Store(c0)
+	if tr.Validate() == nil {
+		t.Error("swapped children must fail validation")
+	}
+	tr.root.child[0].Store(c0)
+	tr.root.child[1].Store(c1)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("restored: %v", err)
+	}
+}
+
+func TestLongKeysCrossWordBoundaries(t *testing.T) {
+	tr := New()
+	long := bytes.Repeat([]byte("x"), 100) // 1602 encoded bits
+	tr.Insert(long)
+	if !tr.Contains(long) {
+		t.Fatal("long key lost")
+	}
+	almost := bytes.Repeat([]byte("x"), 99)
+	if tr.Contains(almost) {
+		t.Fatal("prefix of long key misreported")
+	}
+}

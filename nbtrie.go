@@ -1,0 +1,179 @@
+// Package nbtrie provides a non-blocking Patricia trie implementing a
+// linearizable concurrent set of uint64 keys, reproducing Shafiei,
+// "Non-blocking Patricia Tries with Replace Operations" (ICDCS 2013),
+// together with the five concurrent-set baselines the paper evaluates
+// against: the Ellen-et-al. non-blocking BST, a non-blocking k-ary search
+// tree, a lock-free skip list, a Bronson-style lock-based AVL tree and a
+// Prokopec concurrent hash trie.
+//
+// The headline structure is the Patricia trie (NewPatriciaTrie): it
+// offers a wait-free Contains, lock-free Insert and Delete, and a
+// lock-free Replace(old, new) that deletes one key and inserts another
+// atomically — a capability none of the baselines provide. All
+// implementations are safe for unrestricted concurrent use and rely on
+// the Go garbage collector for memory reclamation, mirroring the paper's
+// Java setting.
+package nbtrie
+
+import (
+	"nbtrie/internal/avl"
+	"nbtrie/internal/bst"
+	"nbtrie/internal/core"
+	"nbtrie/internal/ctrie"
+	"nbtrie/internal/kst"
+	"nbtrie/internal/skiplist"
+	"nbtrie/internal/strtrie"
+)
+
+// Set is a linearizable concurrent set of uint64 keys. All methods may be
+// called from any number of goroutines without external synchronization.
+type Set interface {
+	// Insert adds k to the set; it returns false iff k was present.
+	Insert(k uint64) bool
+	// Delete removes k from the set; it returns false iff k was absent.
+	Delete(k uint64) bool
+	// Contains reports whether k is in the set, without modifying it.
+	Contains(k uint64) bool
+}
+
+// ReplaceSet is a Set with the paper's atomic replace operation.
+type ReplaceSet interface {
+	Set
+	// Replace removes old and inserts new atomically: both changes become
+	// visible at a single linearization point. It returns true iff old
+	// was present and new absent (and old != new); otherwise the set is
+	// unchanged.
+	Replace(old, new uint64) bool
+}
+
+// PatriciaTrie is the paper's non-blocking Patricia trie. Contains is
+// wait-free; Insert, Delete and Replace are lock-free. Keys must lie in
+// [0, 2^width) for the width given at construction.
+type PatriciaTrie struct {
+	t *core.Trie
+}
+
+var _ ReplaceSet = (*PatriciaTrie)(nil)
+
+// NewPatriciaTrie returns an empty trie over keys in [0, 2^width);
+// width must be in [1, 63].
+func NewPatriciaTrie(width uint32) (*PatriciaTrie, error) {
+	t, err := core.New(width)
+	if err != nil {
+		return nil, err
+	}
+	return &PatriciaTrie{t: t}, nil
+}
+
+// NewPatriciaTrieNoReplace returns a trie with the paper's Section V
+// fast-path optimization for workloads that never call Replace: searches
+// skip the logical-removal check. Calling Replace on it panics.
+func NewPatriciaTrieNoReplace(width uint32) (*PatriciaTrie, error) {
+	t, err := core.New(width, core.WithoutReplace())
+	if err != nil {
+		return nil, err
+	}
+	return &PatriciaTrie{t: t}, nil
+}
+
+// Insert adds k; false iff k was present. Lock-free.
+func (p *PatriciaTrie) Insert(k uint64) bool { return p.t.Insert(k) }
+
+// Delete removes k; false iff k was absent. Lock-free.
+func (p *PatriciaTrie) Delete(k uint64) bool { return p.t.Delete(k) }
+
+// Contains reports membership. Wait-free: it completes in at most
+// width+1 child-pointer reads regardless of concurrent updates.
+func (p *PatriciaTrie) Contains(k uint64) bool { return p.t.Contains(k) }
+
+// Replace atomically moves membership from old to new; true iff old was
+// present and new absent. Lock-free.
+func (p *PatriciaTrie) Replace(old, new uint64) bool { return p.t.Replace(old, new) }
+
+// Size returns the number of keys; quiescent use only.
+func (p *PatriciaTrie) Size() int { return p.t.Size() }
+
+// Keys returns the keys in increasing order; quiescent use only.
+func (p *PatriciaTrie) Keys() []uint64 { return p.t.Keys() }
+
+// Range calls fn on each key in increasing order until fn returns false.
+func (p *PatriciaTrie) Range(fn func(k uint64) bool) { p.t.Range(fn) }
+
+// Validate checks the trie's structural invariants (tests/diagnostics;
+// quiescent use only).
+func (p *PatriciaTrie) Validate() error { return p.t.Validate() }
+
+// Dump renders the trie structure for debugging; quiescent use only.
+func (p *PatriciaTrie) Dump() string { return p.t.Dump() }
+
+// Width returns the key width the trie was built with.
+func (p *PatriciaTrie) Width() uint32 { return p.t.Width() }
+
+// Min returns the smallest key in the set. Exact at quiescence;
+// best-effort under concurrent updates (like Range).
+func (p *PatriciaTrie) Min() (uint64, bool) { return p.t.Min() }
+
+// Max returns the largest key in the set (same consistency as Min).
+func (p *PatriciaTrie) Max() (uint64, bool) { return p.t.Max() }
+
+// Ceiling returns the smallest key >= k (same consistency as Min).
+func (p *PatriciaTrie) Ceiling(k uint64) (uint64, bool) { return p.t.Ceiling(k) }
+
+// Floor returns the largest key <= k (same consistency as Min).
+func (p *PatriciaTrie) Floor(k uint64) (uint64, bool) { return p.t.Floor(k) }
+
+// NewBST returns the non-blocking external binary search tree of Ellen,
+// Fatourou, Ruppert and van Breugel (PODC 2010) — the paper's BST
+// baseline.
+func NewBST() Set { return bst.New() }
+
+// NewKST returns a non-blocking k-ary external search tree after Brown &
+// Helga (OPODIS 2011) — the paper's 4-ST baseline. arity < 2 falls back
+// to the paper's k = 4.
+func NewKST(arity int) Set { return kst.New(arity) }
+
+// NewSkipList returns a lock-free skip list — the paper's SL baseline
+// (Java's ConcurrentSkipListMap lineage).
+func NewSkipList() Set { return skiplist.New() }
+
+// NewAVL returns a lock-based relaxed-balance AVL tree with optimistic
+// reads after Bronson et al. (PPoPP 2010) — the paper's AVL baseline.
+func NewAVL() Set { return avl.New() }
+
+// NewCtrie returns a non-blocking 32-way hash trie after Prokopec et al.
+// (PPoPP 2012), without snapshots — the paper's Ctrie baseline.
+func NewCtrie() Set { return ctrie.New() }
+
+// StringTrie is the paper's Section VI extension: a non-blocking
+// Patricia trie over arbitrary-length byte-string keys. Each key is
+// encoded bit-wise (0→01, 1→10, end→11) so the encoded key space is
+// prefix-free. Searches are lock-free (no longer wait-free: key length
+// is unbounded); Insert, Delete and Replace are lock-free. Keys must be
+// non-empty — the empty string's encoding collides with a dummy leaf.
+type StringTrie struct {
+	t *strtrie.Trie
+}
+
+// NewStringTrie returns an empty variable-length-key trie.
+func NewStringTrie() *StringTrie { return &StringTrie{t: strtrie.New()} }
+
+// Insert adds k; false iff k was present. k is copied logically via its
+// encoding, so the caller may reuse the slice.
+func (s *StringTrie) Insert(k []byte) bool { return s.t.Insert(k) }
+
+// Delete removes k; false iff k was absent.
+func (s *StringTrie) Delete(k []byte) bool { return s.t.Delete(k) }
+
+// Contains reports whether k is in the set.
+func (s *StringTrie) Contains(k []byte) bool { return s.t.Contains(k) }
+
+// Replace atomically removes old and inserts new; true iff old was
+// present and new absent.
+func (s *StringTrie) Replace(old, new []byte) bool { return s.t.Replace(old, new) }
+
+// Size returns the number of keys; quiescent use only.
+func (s *StringTrie) Size() int { return s.t.Size() }
+
+// Keys returns the keys in encoded order (lexicographic except that a
+// proper prefix follows its extensions); quiescent use only.
+func (s *StringTrie) Keys() [][]byte { return s.t.Keys() }

@@ -1,0 +1,144 @@
+package nbtrie
+
+import (
+	"testing"
+
+	"nbtrie/internal/settest"
+)
+
+// Every implementation exposed by the public API runs the same
+// conformance battery (each internal package also runs it white-box).
+
+func patFactory(t *testing.T) settest.Factory {
+	t.Helper()
+	return func(keyRange uint64) settest.Set {
+		width := uint32(1)
+		for keyRange > 1<<width {
+			width++
+		}
+		p, err := NewPatriciaTrie(width + 1)
+		if err != nil {
+			t.Fatalf("NewPatriciaTrie: %v", err)
+		}
+		return p
+	}
+}
+
+func TestPatriciaTrieConformance(t *testing.T) {
+	settest.Run(t, patFactory(t))
+}
+
+func TestBSTConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return NewBST() })
+}
+
+func TestKSTConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return NewKST(4) })
+}
+
+func TestSkipListConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return NewSkipList() })
+}
+
+func TestAVLConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return NewAVL() })
+}
+
+func TestCtrieConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return NewCtrie() })
+}
+
+func TestPatriciaTrieExtras(t *testing.T) {
+	p, err := NewPatriciaTrie(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 1, 9} {
+		p.Insert(k)
+	}
+	if got := p.Keys(); len(got) != 3 || got[0] != 1 || got[2] != 9 {
+		t.Errorf("Keys() = %v", got)
+	}
+	if p.Size() != 3 {
+		t.Errorf("Size() = %d", p.Size())
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if p.Width() != 16 {
+		t.Errorf("Width() = %d", p.Width())
+	}
+	if p.Dump() == "" {
+		t.Error("Dump() empty")
+	}
+	if !p.Replace(5, 6) || p.Contains(5) || !p.Contains(6) {
+		t.Error("Replace through the facade broken")
+	}
+	n := 0
+	p.Range(func(uint64) bool { n++; return true })
+	if n != 3 {
+		t.Errorf("Range visited %d keys, want 3", n)
+	}
+	if k, ok := p.Min(); !ok || k != 1 {
+		t.Errorf("Min = %d,%v", k, ok)
+	}
+	if k, ok := p.Max(); !ok || k != 9 {
+		t.Errorf("Max = %d,%v", k, ok)
+	}
+	if k, ok := p.Ceiling(2); !ok || k != 6 {
+		t.Errorf("Ceiling(2) = %d,%v", k, ok)
+	}
+	if k, ok := p.Floor(8); !ok || k != 6 {
+		t.Errorf("Floor(8) = %d,%v", k, ok)
+	}
+}
+
+func TestNoReplaceVariant(t *testing.T) {
+	p, err := NewPatriciaTrieNoReplace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Insert(7)
+	if !p.Contains(7) {
+		t.Error("basic ops broken on no-replace trie")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Replace should panic on the no-replace variant")
+		}
+	}()
+	p.Replace(7, 8)
+}
+
+func TestStringTrieFacade(t *testing.T) {
+	s := NewStringTrie()
+	if !s.Insert([]byte("alpha")) || s.Insert([]byte("alpha")) {
+		t.Error("Insert semantics broken")
+	}
+	if !s.Contains([]byte("alpha")) || s.Contains([]byte("alp")) {
+		t.Error("Contains semantics broken")
+	}
+	if !s.Replace([]byte("alpha"), []byte("beta")) {
+		t.Error("Replace failed")
+	}
+	if s.Contains([]byte("alpha")) || !s.Contains([]byte("beta")) {
+		t.Error("Replace left wrong state")
+	}
+	if !s.Delete([]byte("beta")) || s.Delete([]byte("beta")) {
+		t.Error("Delete semantics broken")
+	}
+	s.Insert([]byte("k1"))
+	s.Insert([]byte("k2"))
+	if s.Size() != 2 || len(s.Keys()) != 2 {
+		t.Error("Size/Keys broken")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewPatriciaTrie(0); err == nil {
+		t.Error("width 0 should be rejected")
+	}
+	if _, err := NewPatriciaTrie(64); err == nil {
+		t.Error("width 64 should be rejected")
+	}
+}
