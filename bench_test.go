@@ -22,33 +22,27 @@ import (
 	"nbtrie/internal/workload"
 )
 
-// mkSet builds each implementation by legend name.
+// mkSet builds an implementation through the registry (legend labels
+// resolve as well as registry names).
 func mkSet(b *testing.B, name string, width uint32) bench.Set {
 	b.Helper()
-	switch name {
-	case "PAT":
-		p, err := NewPatriciaTrie(width)
-		if err != nil {
-			b.Fatal(err)
-		}
-		return p
-	case "4-ST":
-		return NewKST(4)
-	case "BST":
-		return NewBST()
-	case "AVL":
-		return NewAVL()
-	case "SL":
-		return NewSkipList()
-	case "Ctrie":
-		return NewCtrie()
-	default:
-		b.Fatalf("unknown implementation %q", name)
-		return nil
+	s, err := NewSetWithWidth(name, width)
+	if err != nil {
+		b.Fatal(err)
 	}
+	return s
 }
 
-var legend = []string{"PAT", "4-ST", "BST", "AVL", "SL", "Ctrie"}
+// legend returns the series labels in the paper's order, from the
+// registry.
+func legend() []string {
+	impls := AllImplementations()
+	out := make([]string, 0, len(impls))
+	for _, im := range impls {
+		out = append(out, im.Legend)
+	}
+	return out
+}
 
 // widthFor returns the smallest trie width covering keyRange.
 func widthFor(keyRange uint64) uint32 {
@@ -96,7 +90,7 @@ func runMix(b *testing.B, s bench.Set, mix workload.Mix, keyRange, seqLen uint64
 // figBench runs one figure: every legend entry on the same workload.
 func figBench(b *testing.B, mix workload.Mix, keyRange, seqLen uint64) {
 	width := widthFor(keyRange)
-	for _, name := range legend {
+	for _, name := range legend() {
 		b.Run(name, func(b *testing.B) {
 			runMix(b, mkSet(b, name, width), mix, keyRange, seqLen)
 		})

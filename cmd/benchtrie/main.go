@@ -88,14 +88,17 @@ func run(args []string) error {
 	return nil
 }
 
-// experiment describes one figure of the paper.
+// experiment describes one figure of the paper. replaceOnly marks the
+// figures whose workload contains replace operations; only
+// implementations whose registry entry advertises HasReplace can run
+// them (in the paper: PAT alone).
 type experiment struct {
-	id       string
-	title    string
-	mix      workload.Mix
-	keyRange uint64
-	seqLen   uint64
-	patOnly  bool
+	id          string
+	title       string
+	mix         workload.Mix
+	keyRange    uint64
+	seqLen      uint64
+	replaceOnly bool
 }
 
 var experiments = []experiment{
@@ -107,8 +110,8 @@ var experiments = []experiment{
 		mix: workload.MixI5D5F90, keyRange: 100},
 	{id: "9b", title: "Figure 9 (bottom): uniform keys, i50-d50-f0, range (0,100)",
 		mix: workload.MixI50D50, keyRange: 100},
-	{id: "10", title: "Figure 10: replace operations, i10-d10-r80, range (0,10^6), PAT only",
-		mix: workload.MixI10D10R80, keyRange: 1_000_000, patOnly: true},
+	{id: "10", title: "Figure 10: replace operations, i10-d10-r80, range (0,10^6), replace-capable only",
+		mix: workload.MixI10D10R80, keyRange: 1_000_000, replaceOnly: true},
 	{id: "11", title: "Figure 11: non-uniform keys (runs of 50), i15-d15-f70, range (0,10^6)",
 		mix: workload.MixI15D15F70, keyRange: 1_000_000, seqLen: 50},
 	{id: "medium", title: "Section V text: uniform keys, i15-d15-f70, range (0,10^3) (medium contention)",
@@ -127,36 +130,33 @@ func selectExperiments(fig string) ([]experiment, error) {
 	return nil, fmt.Errorf("unknown figure %q (want 8a 8b 9a 9b 10 11 medium all)", fig)
 }
 
-// factories returns the implementations of one figure, in the paper's
-// legend order.
+// factories returns the implementations of one figure by enumerating
+// the registry, which already lists them in the paper's legend order.
+// Figures with replace operations keep only replace-capable entries.
 func factories(e experiment, width uint32) []struct {
 	name string
 	mk   func() bench.Set
 } {
-	pat := func() bench.Set {
-		p, err := nbtrie.NewPatriciaTrie(width)
-		if err != nil {
-			panic(err)
-		}
-		return p
-	}
-	if e.patOnly {
-		return []struct {
-			name string
-			mk   func() bench.Set
-		}{{"PAT", pat}}
-	}
-	return []struct {
+	var out []struct {
 		name string
 		mk   func() bench.Set
-	}{
-		{"PAT", pat},
-		{"4-ST", func() bench.Set { return nbtrie.NewKST(4) }},
-		{"BST", func() bench.Set { return nbtrie.NewBST() }},
-		{"AVL", func() bench.Set { return nbtrie.NewAVL() }},
-		{"SL", func() bench.Set { return nbtrie.NewSkipList() }},
-		{"Ctrie", func() bench.Set { return nbtrie.NewCtrie() }},
 	}
+	for _, im := range nbtrie.AllImplementations() {
+		if e.replaceOnly && !im.HasReplace {
+			continue
+		}
+		out = append(out, struct {
+			name string
+			mk   func() bench.Set
+		}{im.Legend, func() bench.Set {
+			s, err := im.New(width)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}})
+	}
+	return out
 }
 
 func runExperiment(e experiment, cfg bench.Config, ths []int, width uint32, csv bool) error {

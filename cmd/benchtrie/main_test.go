@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"nbtrie"
+)
 
 func TestParseThreads(t *testing.T) {
 	got, err := parseThreads("1, 2,8")
@@ -68,5 +72,37 @@ func TestRunRejectsNarrowWidth(t *testing.T) {
 		"-threads", "1", "-width", "8"})
 	if err == nil {
 		t.Fatal("width 8 cannot hold key range 10^6; expected error")
+	}
+}
+
+func TestFactoriesEnumerateRegistry(t *testing.T) {
+	full, err := selectExperiments("8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := factories(full[0], 21)
+	if len(fs) != len(nbtrie.Implementations()) {
+		t.Fatalf("figure 8a should run every registered implementation, got %d of %d",
+			len(fs), len(nbtrie.Implementations()))
+	}
+	if fs[0].name != "PAT" {
+		t.Errorf("legend order broken: first series is %q", fs[0].name)
+	}
+	for _, f := range fs {
+		s := f.mk()
+		if !s.Insert(1) || !s.Contains(1) {
+			t.Errorf("%s: factory produced a broken set", f.name)
+		}
+	}
+
+	rep, err := selectExperiments("10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range factories(rep[0], 21) {
+		im, ok := nbtrie.LookupImplementation(f.name)
+		if !ok || !im.HasReplace {
+			t.Errorf("replace figure must only run replace-capable impls, got %q", f.name)
+		}
 	}
 }

@@ -1,23 +1,30 @@
-// Command triecli is an interactive inspector for the non-blocking
-// Patricia trie. It reads commands from stdin and prints results and —
-// on demand — the trie's internal structure, which makes the paper's
-// figures (labels as prefixes, two dummy leaves, replace rewiring) easy
-// to see.
+// Command triecli is an interactive inspector for the concurrent-set
+// implementations in this repository. It reads commands from stdin and
+// prints results and — on demand — the structure's internals, which
+// makes the paper's figures (labels as prefixes, two dummy leaves,
+// replace rewiring) easy to see.
+//
+// The implementation is chosen with -impl from the registry (see the
+// impls command); the default is the paper's Patricia trie. Commands
+// needing a capability the chosen implementation lacks (replace, dump,
+// ordered keys) say so instead of failing.
 //
 // Commands:
 //
 //	insert K        add key K
 //	delete K        remove key K
 //	find K          membership test
-//	replace K1 K2   atomically move K1 to K2
-//	keys            list keys in order
+//	replace K1 K2   atomically move K1 to K2 (replace-capable impls)
+//	keys            list keys (in order where supported)
 //	size            count keys
-//	dump            print the trie structure
+//	dump            print the internal structure (where supported)
+//	impls           list the registered implementations
 //	quit
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,34 +35,51 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdin, os.Stdout, 16); err != nil {
+	fs := flag.NewFlagSet("triecli", flag.ContinueOnError)
+	impl := fs.String("impl", "patricia", "implementation to drive (see the impls command)")
+	width := fs.Uint("width", 16, "key width in bits: keys lie in [0, 2^width)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(os.Stdin, os.Stdout, *impl, uint32(*width)); err != nil {
 		fmt.Fprintln(os.Stderr, "triecli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer, width uint32) error {
-	trie, err := nbtrie.NewPatriciaTrie(width)
+func run(in io.Reader, out io.Writer, impl string, width uint32) error {
+	// Validate here: width-ignoring baselines would otherwise accept any
+	// width and uint64(1)<<width would overflow for width >= 64.
+	if width < 1 || width > 63 {
+		return fmt.Errorf("width %d out of range [1, 63]", width)
+	}
+	s, err := nbtrie.NewSetWithWidth(impl, width)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "patricia trie over [0, %d); commands: insert/delete/find/replace/keys/size/dump/quit\n",
-		uint64(1)<<width)
+	im, _ := nbtrie.LookupImplementation(impl)
+	fmt.Fprintf(out, "%s (%s) over [0, %d); commands: insert/delete/find/replace/keys/size/dump/impls/quit\n",
+		im.Name, im.Legend, uint64(1)<<width)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		if done := exec(trie, out, line, width); done {
+		if done := exec(s, out, line, width); done {
 			return nil
 		}
 	}
 	return sc.Err()
 }
 
-// exec runs one command line; it returns true on quit.
-func exec(trie *nbtrie.PatriciaTrie, out io.Writer, line string, width uint32) bool {
+// Optional capabilities probed from the chosen implementation.
+type sizer interface{ Size() int }
+type keyser interface{ Keys() []uint64 }
+type dumper interface{ Dump() string }
+
+// exec runs one command line against the set; it returns true on quit.
+func exec(s nbtrie.Set, out io.Writer, line string, width uint32) bool {
 	fields := strings.Fields(line)
 	cmd := fields[0]
 
@@ -75,17 +99,22 @@ func exec(trie *nbtrie.PatriciaTrie, out io.Writer, line string, width uint32) b
 	switch cmd {
 	case "insert":
 		if k, ok := parseKey(1); ok {
-			fmt.Fprintln(out, trie.Insert(k))
+			fmt.Fprintln(out, s.Insert(k))
 		}
 	case "delete":
 		if k, ok := parseKey(1); ok {
-			fmt.Fprintln(out, trie.Delete(k))
+			fmt.Fprintln(out, s.Delete(k))
 		}
 	case "find":
 		if k, ok := parseKey(1); ok {
-			fmt.Fprintln(out, trie.Contains(k))
+			fmt.Fprintln(out, s.Contains(k))
 		}
 	case "replace":
+		rs, canReplace := s.(nbtrie.ReplaceSet)
+		if !canReplace {
+			fmt.Fprintln(out, "error: this implementation has no atomic replace")
+			return false
+		}
 		k1, ok := parseKey(1)
 		if !ok {
 			return false
@@ -94,13 +123,36 @@ func exec(trie *nbtrie.PatriciaTrie, out io.Writer, line string, width uint32) b
 		if !ok {
 			return false
 		}
-		fmt.Fprintln(out, trie.Replace(k1, k2))
+		fmt.Fprintln(out, rs.Replace(k1, k2))
 	case "keys":
-		fmt.Fprintln(out, trie.Keys())
+		ks, ok := s.(keyser)
+		if !ok {
+			fmt.Fprintln(out, "error: this implementation does not enumerate keys")
+			return false
+		}
+		fmt.Fprintln(out, ks.Keys())
 	case "size":
-		fmt.Fprintln(out, trie.Size())
+		sz, ok := s.(sizer)
+		if !ok {
+			fmt.Fprintln(out, "error: this implementation does not report its size")
+			return false
+		}
+		fmt.Fprintln(out, sz.Size())
 	case "dump":
-		fmt.Fprint(out, trie.Dump())
+		d, ok := s.(dumper)
+		if !ok {
+			fmt.Fprintln(out, "error: this implementation has no structure dump")
+			return false
+		}
+		fmt.Fprint(out, d.Dump())
+	case "impls":
+		for _, im := range nbtrie.AllImplementations() {
+			replace := ""
+			if im.HasReplace {
+				replace = " [replace]"
+			}
+			fmt.Fprintf(out, "%-10s %-6s%s %s\n", im.Name, im.Legend, replace, im.Description)
+		}
 	case "quit", "exit":
 		return true
 	default:

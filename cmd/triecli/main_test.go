@@ -21,7 +21,7 @@ func TestCLISession(t *testing.T) {
 		"quit",
 	}, "\n"))
 	var out strings.Builder
-	if err := run(in, &out, 8); err != nil {
+	if err := run(in, &out, "patricia", 8); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -49,7 +49,7 @@ func TestCLIErrors(t *testing.T) {
 		"quit",
 	}, "\n"))
 	var out strings.Builder
-	if err := run(in, &out, 8); err != nil {
+	if err := run(in, &out, "patricia", 8); err != nil {
 		t.Fatal(err)
 	}
 	if n := strings.Count(out.String(), "error:"); n != 5 {
@@ -59,7 +59,57 @@ func TestCLIErrors(t *testing.T) {
 
 func TestCLIEmptyAndEOF(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader("\n\n  \n"), &out, 8); err != nil {
+	if err := run(strings.NewReader("\n\n  \n"), &out, "patricia", 8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCLIBaselineImplementation(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"insert 5",
+		"find 5",
+		"replace 5 9", // BST has no atomic replace
+		"dump",        // and no structure dump
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := run(in, &out, "bst", 8); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "true\ntrue\n") {
+		t.Errorf("insert/find through a baseline broken:\n%s", got)
+	}
+	if n := strings.Count(got, "error:"); n != 2 {
+		t.Errorf("replace+dump on BST should produce 2 capability errors, got %d:\n%s", n, got)
+	}
+}
+
+func TestCLIImplsCommand(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("impls\nquit\n"), &out, "PAT", 8); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"patricia", "bst", "kst", "avl", "skiplist", "ctrie", "[replace]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("impls output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCLIUnknownImplementation(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("quit\n"), &out, "nope", 8); err == nil {
+		t.Fatal("unknown implementation must error")
+	}
+}
+
+func TestCLIWidthValidation(t *testing.T) {
+	for _, w := range []uint32{0, 64, 100} {
+		var out strings.Builder
+		if err := run(strings.NewReader("quit\n"), &out, "bst", w); err == nil {
+			t.Errorf("width %d must be rejected", w)
+		}
 	}
 }

@@ -79,3 +79,58 @@ func ExampleNewStringTrie() {
 	// true
 	// 2
 }
+
+// A Map binds values to keys with the sync.Map operation set plus the
+// paper's atomic ReplaceKey, which moves a binding between keys at a
+// single linearization point.
+func ExampleNewMap() {
+	m, err := nbtrie.NewMap[string](16)
+	if err != nil {
+		panic(err)
+	}
+	m.Store(1, "one")
+	fmt.Println(m.LoadOrStore(1, "uno")) // already bound (loaded=true, ok=true)
+	fmt.Println(m.CompareAndSwap(1, "one", "ONE"))
+	fmt.Println(m.ReplaceKey(1, 2)) // the value travels with the key
+	v, ok := m.Load(2)
+	fmt.Println(v, ok)
+	// Output:
+	// one true true
+	// true
+	// true
+	// ONE true
+}
+
+// All and Ascend iterate the map in key order (Go 1.23 range-over-func).
+func ExampleMap_Ascend() {
+	m, _ := nbtrie.NewMap[string](16)
+	m.Store(30, "c")
+	m.Store(10, "a")
+	m.Store(20, "b")
+	for k, v := range m.Ascend(15) {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 20 b
+	// 30 c
+}
+
+// The registry enumerates every implementation by name; NewSet builds
+// one without hard-coding a switch.
+func ExampleNewSet() {
+	for _, name := range nbtrie.Implementations() {
+		s, err := nbtrie.NewSet(name)
+		if err != nil {
+			panic(err)
+		}
+		s.Insert(42)
+		fmt.Println(name, s.Contains(42))
+	}
+	// Output:
+	// patricia true
+	// kst true
+	// bst true
+	// avl true
+	// skiplist true
+	// ctrie true
+}

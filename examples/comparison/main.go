@@ -14,22 +14,20 @@ import (
 )
 
 func main() {
-	impls := []struct {
+	// The registry enumerates every implementation — no hard-coded list.
+	type impl struct {
 		name string
 		mk   func() bench.Set
-	}{
-		{"PAT", func() bench.Set {
-			p, err := nbtrie.NewPatriciaTrie(20)
+	}
+	var impls []impl
+	for _, im := range nbtrie.AllImplementations() {
+		impls = append(impls, impl{im.Legend, func() bench.Set {
+			s, err := im.New(20)
 			if err != nil {
 				log.Fatal(err)
 			}
-			return p
-		}},
-		{"4-ST", func() bench.Set { return nbtrie.NewKST(4) }},
-		{"BST", func() bench.Set { return nbtrie.NewBST() }},
-		{"AVL", func() bench.Set { return nbtrie.NewAVL() }},
-		{"SL", func() bench.Set { return nbtrie.NewSkipList() }},
-		{"Ctrie", func() bench.Set { return nbtrie.NewCtrie() }},
+			return s
+		}})
 	}
 
 	cfg := bench.Config{

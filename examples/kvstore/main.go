@@ -1,0 +1,76 @@
+// KV store: the value-bearing map layer in action. A Map[V] is a
+// linearizable uint64 → V map with wait-free reads, sync.Map-style
+// conditional updates, the paper's atomic ReplaceKey, and ordered
+// iteration — here used as a tiny session store where renumbering a
+// session (ReplaceKey) never loses its data, and CompareAndSwap
+// implements optimistic concurrency on the values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"nbtrie"
+)
+
+type session struct {
+	User string
+	Hits int
+}
+
+func main() {
+	store, err := nbtrie.NewMap[session](20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain upserts and wait-free reads.
+	store.Store(1001, session{User: "ada", Hits: 1})
+	store.Store(1002, session{User: "grace", Hits: 1})
+	if s, ok := store.Load(1001); ok {
+		fmt.Println("session 1001:", s.User)
+	}
+
+	// LoadOrStore: first writer wins, everyone agrees on the winner.
+	if s, loaded, _ := store.LoadOrStore(1001, session{User: "eve"}); loaded {
+		fmt.Println("1001 already taken by:", s.User)
+	}
+
+	// Optimistic concurrency: bump the hit counter via CompareAndSwap.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				for {
+					old, ok := store.Load(1002)
+					if !ok {
+						return
+					}
+					upd := old
+					upd.Hits++
+					if store.CompareAndSwap(1002, old, upd) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s, _ := store.Load(1002)
+	fmt.Println("session 1002 hits:", s.Hits) // 1 + 4*250
+
+	// Atomic renumbering: the session's value travels with the key; no
+	// reader ever sees the session at two ids or at none.
+	if store.ReplaceKey(1002, 2002) {
+		moved, _ := store.Load(2002)
+		fmt.Println("moved to 2002, user:", moved.User)
+	}
+
+	// Ordered iteration over the live sessions.
+	for id, s := range store.All() {
+		fmt.Printf("id %d -> %s (%d hits)\n", id, s.User, s.Hits)
+	}
+}

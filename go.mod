@@ -1,0 +1,3 @@
+module nbtrie
+
+go 1.24

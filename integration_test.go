@@ -13,14 +13,18 @@ import (
 // the final contents must agree pairwise across all six.
 func TestCrossImplementationAgreement(t *testing.T) {
 	const keyRange = 2048
+	names := Implementations()
 	mk := func() []Set {
-		p, err := NewPatriciaTrie(12)
-		if err != nil {
-			t.Fatal(err)
+		sets := make([]Set, len(names))
+		for i, name := range names {
+			s, err := NewSetWithWidth(name, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets[i] = s
 		}
-		return []Set{p, NewKST(4), NewBST(), NewAVL(), NewSkipList(), NewCtrie()}
+		return sets
 	}
-	names := []string{"PAT", "4-ST", "BST", "AVL", "SL", "Ctrie"}
 
 	for seed := uint64(1); seed <= 3; seed++ {
 		sets := mk()

@@ -16,22 +16,10 @@ import (
 // Range calls fn for every user key in the set, in increasing order,
 // until fn returns false. Dummy leaves and logically removed leaves are
 // skipped. Concurrent updates may or may not be observed; keys that are
-// present for the whole traversal are always reported.
+// present for the whole traversal are always reported. It is the
+// key-only view of AscendKV from the bottom of the key space.
 func (t *Trie) Range(fn func(k uint64) bool) {
-	t.rangeNode(t.root, fn)
-}
-
-func (t *Trie) rangeNode(n *node, fn func(k uint64) bool) bool {
-	if n.leaf {
-		if n.bits == keys.DummyMin(t.width) || n.bits == keys.DummyMax(t.width) {
-			return true
-		}
-		if logicallyRemoved(n.info.Load()) {
-			return true
-		}
-		return fn(keys.Decode(n.bits, t.width))
-	}
-	return t.rangeNode(n.child[0].Load(), fn) && t.rangeNode(n.child[1].Load(), fn)
+	t.AscendKV(0, func(k uint64, _ any) bool { return fn(k) })
 }
 
 // Keys returns every user key in the set in increasing order.

@@ -1,0 +1,125 @@
+package core
+
+// Map operations: the trie as a linearizable uint64 → value map. Every
+// leaf carries an immutable value payload, so a value update is a
+// structural update — the leaf is replaced wholesale by a fresh leaf via
+// the same flag/child-CAS protocol as the paper's Replace special case 1
+// (overwrite the leaf at the insertion point). That keeps all of the
+// paper's invariants intact: child pointers only ever swing to freshly
+// allocated nodes (no ABA), the flag on the leaf's parent serializes the
+// overwrite against any concurrent insert/delete/replace touching the
+// same pointer, and the overwrite is linearized at its single child CAS.
+//
+// Reads (Load) reuse the wait-free search and add only a field read of
+// the immutable leaf; they perform no CAS and write no shared memory.
+//
+// CompareAndSwap and CompareAndDelete compare values with Go interface
+// equality, mirroring sync.Map: the old value must be comparable or the
+// comparison panics. Because leaf values are immutable, a value read at
+// search time is still the leaf's value when the parent flag CAS
+// succeeds — the flag CAS aborts if the parent's info changed since the
+// search, and the paper's Lemma 31 argument then pins the child pointer
+// (and hence the leaf) for the duration.
+
+// Store binds k to val, inserting the key if absent and overwriting the
+// value if present (lock-free upsert). It returns false only for
+// out-of-range keys, which cannot be stored.
+func (t *Trie) Store(k uint64, val any) bool {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			if t.tryInsert(v, val, r) {
+				return true
+			}
+			continue
+		}
+		if t.tryOverwrite(v, val, r) {
+			return true
+		}
+	}
+}
+
+// LoadOrStore returns the value bound to k if present (loaded == true);
+// otherwise it stores val and returns it. The load path is wait-free.
+// ok is false only for out-of-range keys, which can neither be loaded
+// nor stored; loaded is false and actual is nil in that case.
+func (t *Trie) LoadOrStore(k uint64, val any) (actual any, loaded, ok bool) {
+	v, inRange := t.encodeOK(k)
+	if !inRange {
+		return nil, false, false
+	}
+	for {
+		r := t.search(v)
+		if keyInTrie(r.node, v, r.rmvd) {
+			return r.node.val, true, true
+		}
+		if t.tryInsert(v, val, r) {
+			return val, false, true
+		}
+	}
+}
+
+// CompareAndSwap swaps the value bound to k from old to new if the stored
+// value equals old (interface equality; old must be comparable). It
+// returns true iff the swap happened.
+func (t *Trie) CompareAndSwap(k uint64, old, new any) bool {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		if r.node.val != old {
+			return false
+		}
+		if t.tryOverwrite(v, new, r) {
+			return true
+		}
+	}
+}
+
+// CompareAndDelete deletes k if its stored value equals old (interface
+// equality; old must be comparable). It returns true iff the key was
+// deleted.
+func (t *Trie) CompareAndDelete(k uint64, old any) bool {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		if r.node.val != old {
+			return false
+		}
+		// The value check above is still valid when the delete commits:
+		// tryDelete's flag CAS on the parent fails unless the parent's
+		// info is unchanged since the search, which pins the leaf we
+		// inspected (a concurrent overwrite must flag the same parent).
+		if t.tryDelete(v, r) {
+			return true
+		}
+	}
+}
+
+// tryOverwrite attempts to replace the live leaf r.node (holding internal
+// key v) with a fresh leaf carrying val — the descriptor shape of the
+// paper's Replace special case 1: flag the parent, one child CAS from the
+// old leaf to the new. False means re-search and retry.
+func (t *Trie) tryOverwrite(v uint64, val any, r searchResult) bool {
+	i := t.newDesc(
+		[]*node{r.p}, []*desc{r.pInfo},
+		[]*node{r.p},
+		[]*node{r.p}, []*node{r.node},
+		[]*node{newLeafVal(v, t.klen, val)}, nil)
+	return i != nil && t.help(i)
+}

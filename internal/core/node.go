@@ -38,6 +38,14 @@ type node struct {
 	plen uint32
 	leaf bool
 
+	// val is the value payload of a leaf (nil for internal nodes and for
+	// leaves created through the set API). Like the label it is immutable
+	// after construction: a value update installs a fresh leaf through the
+	// same child-CAS path as every other update, so the no-ABA argument —
+	// child pointers are only ever swung to freshly allocated nodes — is
+	// untouched, and readers never observe a half-written value.
+	val any
+
 	// info stores a pointer to the descriptor of the update operating on
 	// this node (a Flag object), or a fresh unflag descriptor when no
 	// update is in progress. It is never nil: the paper uses allocated
@@ -49,10 +57,15 @@ type node struct {
 	child [2]atomic.Pointer[node]
 }
 
-// newLeaf returns a leaf node with the given full-length label and a fresh
-// unflag descriptor.
+// newLeaf returns a leaf node with the given full-length label, no value
+// payload and a fresh unflag descriptor.
 func newLeaf(bits uint64, klen uint32) *node {
-	n := &node{bits: bits, plen: klen, leaf: true}
+	return newLeafVal(bits, klen, nil)
+}
+
+// newLeafVal returns a leaf node carrying a value payload.
+func newLeafVal(bits uint64, klen uint32, val any) *node {
+	n := &node{bits: bits, plen: klen, leaf: true, val: val}
 	n.info.Store(newUnflag())
 	return n
 }
@@ -74,7 +87,7 @@ func newInternal(bits uint64, plen uint32, left, right *node) *node {
 // CAS that installs it, so the copy is faithful when it becomes reachable.
 func copyNode(n *node) *node {
 	if n.leaf {
-		return newLeaf(n.bits, n.plen)
+		return newLeafVal(n.bits, n.plen, n.val)
 	}
 	return newInternal(n.bits, n.plen, n.child[0].Load(), n.child[1].Load())
 }

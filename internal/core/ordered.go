@@ -19,18 +19,26 @@ func (t *Trie) Max() (uint64, bool) {
 	return t.Floor(uint64(1)<<t.width - 1)
 }
 
-// Ceiling returns the smallest key >= k, if any.
+// Ceiling returns the smallest key >= k, if any. A k beyond the trie's
+// key range has no ceiling.
 func (t *Trie) Ceiling(k uint64) (uint64, bool) {
-	v := t.encode(k)
+	v, inRange := t.encodeOK(k)
+	if !inRange {
+		return 0, false
+	}
 	if bits, ok := t.ceilNode(t.root, v); ok {
 		return keys.Decode(bits, t.width), true
 	}
 	return 0, false
 }
 
-// Floor returns the largest key <= k, if any.
+// Floor returns the largest key <= k, if any. A k beyond the trie's key
+// range bounds every member, so its floor is the maximum.
 func (t *Trie) Floor(k uint64) (uint64, bool) {
-	v := t.encode(k)
+	v, inRange := t.encodeOK(k)
+	if !inRange {
+		return t.Max()
+	}
 	if bits, ok := t.floorNode(t.root, v); ok {
 		return keys.Decode(bits, t.width), true
 	}
@@ -64,6 +72,39 @@ func (t *Trie) ceilNode(n *node, v uint64) (uint64, bool) {
 		}
 	}
 	return t.ceilNode(n.child[1].Load(), v)
+}
+
+// AscendKV calls fn on every key >= from, in increasing order with the
+// bound value, until fn returns false. It shares Range's consistency
+// contract: read-only, exact at quiescence, best-effort under concurrent
+// updates. Subtrees whose label range lies entirely below from are
+// pruned, so resuming an iteration from a midpoint costs one descent,
+// not a full walk.
+func (t *Trie) AscendKV(from uint64, fn func(k uint64, val any) bool) {
+	v, inRange := t.encodeOK(from)
+	if !inRange {
+		return // nothing at or above a key beyond the range
+	}
+	t.ascendNode(t.root, v, fn)
+}
+
+func (t *Trie) ascendNode(n *node, v uint64, fn func(k uint64, val any) bool) bool {
+	if n.leaf {
+		if n.bits >= v && t.usableLeaf(n) {
+			return fn(keys.Decode(n.bits, t.width), n.val)
+		}
+		return true
+	}
+	for idx := 0; idx < 2; idx++ {
+		c := n.child[idx].Load()
+		if subtreeMax(c) < v {
+			continue // every leaf below c sorts before v
+		}
+		if !t.ascendNode(c, v, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 func (t *Trie) floorNode(n *node, v uint64) (uint64, bool) {

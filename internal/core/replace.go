@@ -12,12 +12,21 @@ import "nbtrie/internal/keys"
 // cases of the paper's Figure 6 — a single child CAS swings in a freshly
 // built subtree that realizes both changes at once.
 //
+// Replace moves the key's value payload along with it: after a
+// successful Replace(old, new), new is bound to the value old held.
+// Out-of-range keys make the operation fail (an out-of-range old is
+// never present; an out-of-range new cannot be inserted).
+//
 // Replace panics if the trie was built with WithoutReplace.
 func (t *Trie) Replace(old, new uint64) bool {
 	if t.skipRmvdCheck {
 		panic("patricia trie: Replace called on a trie built with WithoutReplace")
 	}
-	vd, vi := t.encode(old), t.encode(new)
+	vd, okD := t.encodeOK(old)
+	vi, okI := t.encodeOK(new)
+	if !okD || !okI {
+		return false
+	}
 	for {
 		rd := t.search(vd)
 		if !keyInTrie(rd.node, vd, rd.rmvd) {
@@ -44,7 +53,7 @@ func (t *Trie) Replace(old, new uint64) bool {
 				[]*node{rd.p}, []*desc{rd.pInfo},
 				[]*node{rd.p},
 				[]*node{rd.p}, []*node{ri.node},
-				[]*node{newLeaf(vi, t.klen)}, nil)
+				[]*node{newLeafVal(vi, t.klen, rd.node.val)}, nil)
 
 		case (ri.node == rd.p && ri.p == rd.gp) ||
 			(rd.gp != nil && ri.p == rd.p):
@@ -52,7 +61,7 @@ func (t *Trie) Replace(old, new uint64) bool {
 			// the node the insertion would replace (or they share a
 			// parent). Replace the old leaf's parent with a new internal
 			// node joining the old leaf's sibling and the new key.
-			newNodeI := t.makeInternal(sibD, newLeaf(vi, t.klen), sibD.info.Load())
+			newNodeI := t.makeInternal(sibD, newLeafVal(vi, t.klen, rd.node.val), sibD.info.Load())
 			if newNodeI == nil {
 				break
 			}
@@ -71,7 +80,7 @@ func (t *Trie) Replace(old, new uint64) bool {
 			if newChildI == nil {
 				break
 			}
-			newNodeI := t.makeInternal(newChildI, newLeaf(vi, t.klen), nil)
+			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, t.klen, rd.node.val), nil)
 			if newNodeI == nil {
 				break
 			}
@@ -96,7 +105,10 @@ func (t *Trie) Replace(old, new uint64) bool {
 // first, then delete. rmvLeaf is the old key's leaf; once the first child
 // CAS lands, searches reaching that leaf see it as logically removed.
 func (t *Trie) replaceGeneral(vi uint64, rd, ri searchResult, nodeInfoI *desc, sibD *node) *desc {
-	newNodeI := t.makeInternal(copyNode(ri.node), newLeaf(vi, t.klen), nodeInfoI) // lines 52-53
+	// The fresh leaf for the new key inherits the removed leaf's value:
+	// rd.node is immutable, so reading its payload here is consistent
+	// with the leaf the descriptor marks as rmvLeaf.
+	newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, t.klen, rd.node.val), nodeInfoI) // lines 52-53
 	if newNodeI == nil {
 		return nil
 	}

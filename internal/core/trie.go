@@ -60,12 +60,25 @@ func New(width uint32, opts ...Option) (*Trie, error) {
 func (t *Trie) Width() uint32 { return t.width }
 
 // encode maps a user key into the internal left-aligned key space,
-// panicking on out-of-range keys (caller misuse).
+// panicking on out-of-range keys. The exported operations never call it
+// with an out-of-range key (they go through encodeOK); it is retained for
+// white-box tests that construct internal keys directly.
 func (t *Trie) encode(k uint64) uint64 {
 	if !keys.InRange(k, t.width) {
 		panic(fmt.Sprintf("patricia trie: key %d out of range for width %d", k, t.width))
 	}
 	return keys.Encode(k, t.width)
+}
+
+// encodeOK maps a user key into the internal key space, reporting false
+// for keys outside [0, 2^width). Out-of-range keys are never members of
+// the set, so every operation treats them as simply absent instead of
+// panicking.
+func (t *Trie) encodeOK(k uint64) (uint64, bool) {
+	if !keys.InRange(k, t.width) {
+		return 0, false
+	}
+	return keys.Encode(k, t.width), true
 }
 
 // searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
@@ -115,9 +128,29 @@ func keyInTrie(n *node, v uint64, rmvd bool) bool {
 }
 
 // Contains reports whether k is in the set. It is wait-free and never
-// modifies the trie (the paper's find, lines 72-75).
+// modifies the trie (the paper's find, lines 72-75). Out-of-range keys
+// are reported absent.
 func (t *Trie) Contains(k uint64) bool {
-	v := t.encode(k)
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
 	r := t.search(v)
 	return keyInTrie(r.node, v, r.rmvd)
+}
+
+// Load returns the value stored under k, or (nil, false) when k is not in
+// the set. Like Contains it is wait-free: one descent, only reads, no CAS.
+// Leaf values are immutable (updates install fresh leaves), so the value
+// returned is exactly the one bound to k at the linearization point.
+func (t *Trie) Load(k uint64) (any, bool) {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return nil, false
+	}
+	r := t.search(v)
+	if !keyInTrie(r.node, v, r.rmvd) {
+		return nil, false
+	}
+	return r.node.val, true
 }

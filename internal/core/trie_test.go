@@ -270,14 +270,41 @@ func TestWithoutReplaceOption(t *testing.T) {
 	tr.Replace(1, 2)
 }
 
-func TestOutOfRangeKeyPanics(t *testing.T) {
+func TestOutOfRangeKeysAreAbsent(t *testing.T) {
 	tr := mustNew(t, 8)
-	defer func() {
-		if recover() == nil {
-			t.Error("Insert(256) on width-8 trie should panic")
+	tr.Insert(3)
+	for _, k := range []uint64{256, 1 << 20, ^uint64(0)} {
+		if tr.Insert(k) {
+			t.Errorf("Insert(%d) on width-8 trie must return false", k)
 		}
-	}()
-	tr.Insert(256)
+		if tr.Contains(k) {
+			t.Errorf("Contains(%d) on width-8 trie must return false", k)
+		}
+		if tr.Delete(k) {
+			t.Errorf("Delete(%d) on width-8 trie must return false", k)
+		}
+		if tr.Replace(3, k) || tr.Replace(k, 5) {
+			t.Errorf("Replace involving out-of-range %d must return false", k)
+		}
+		if tr.Store(k, "v") {
+			t.Errorf("Store(%d) on width-8 trie must return false", k)
+		}
+		if _, ok := tr.Load(k); ok {
+			t.Errorf("Load(%d) on width-8 trie must report absent", k)
+		}
+		if _, ok := tr.Ceiling(k); ok {
+			t.Errorf("Ceiling(%d) on width-8 trie must be empty", k)
+		}
+		if f, ok := tr.Floor(k); !ok || f != 3 {
+			t.Errorf("Floor(%d) = %d,%v; want the max key 3", k, f, ok)
+		}
+	}
+	if !tr.Contains(3) {
+		t.Error("in-range key lost during out-of-range probing")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestKeysSortedAndRangeStops(t *testing.T) {

@@ -169,67 +169,93 @@ func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
 }
 
 // Insert adds k to the set, returning false if it was already present
-// (lines 20-32). The leaf (or internal node) at the insertion point is
-// replaced by a new internal node whose children are a fresh leaf for k
-// and a fresh copy of the displaced node; copying avoids ABA on child
-// pointers. When the displaced node is internal it is flagged permanently,
-// since it leaves the trie.
+// (lines 20-32). Out-of-range keys are rejected (false). The leaf (or
+// internal node) at the insertion point is replaced by a new internal
+// node whose children are a fresh leaf for k and a fresh copy of the
+// displaced node; copying avoids ABA on child pointers. When the
+// displaced node is internal it is flagged permanently, since it leaves
+// the trie.
 func (t *Trie) Insert(k uint64) bool {
-	v := t.encode(k)
+	return t.InsertValue(k, nil)
+}
+
+// InsertValue is Insert with a value payload bound to the fresh leaf.
+func (t *Trie) InsertValue(k uint64, val any) bool {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
 	for {
 		r := t.search(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		n := r.node
-		nodeInfo := n.info.Load() // line 25: info before children
-		newNode := t.makeInternal(copyNode(n), newLeaf(v, t.klen), nodeInfo)
-		if newNode == nil {
-			continue
-		}
-		var i *desc
-		if !n.leaf {
-			i = t.newDesc(
-				[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
-				[]*node{r.p},
-				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
-		} else {
-			i = t.newDesc(
-				[]*node{r.p}, []*desc{r.pInfo},
-				[]*node{r.p},
-				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
-		}
-		if i != nil && t.help(i) {
+		if t.tryInsert(v, val, r) {
 			return true
 		}
 	}
 }
 
+// tryInsert attempts one round of the insert protocol for the internal
+// key v at the position located by r; it returns false when the caller
+// must re-search and retry (conflicting update helped, or CAS lost).
+func (t *Trie) tryInsert(v uint64, val any, r searchResult) bool {
+	n := r.node
+	nodeInfo := n.info.Load() // line 25: info before children
+	newNode := t.makeInternal(copyNode(n), newLeafVal(v, t.klen, val), nodeInfo)
+	if newNode == nil {
+		return false
+	}
+	var i *desc
+	if !n.leaf {
+		i = t.newDesc(
+			[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
+			[]*node{r.p},
+			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+	} else {
+		i = t.newDesc(
+			[]*node{r.p}, []*desc{r.pInfo},
+			[]*node{r.p},
+			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+	}
+	return i != nil && t.help(i)
+}
+
 // Delete removes k from the set, returning false if it was absent
-// (lines 33-41). The parent of k's leaf is replaced by the leaf's
-// sibling; both the grandparent and the parent are flagged, and the
-// parent — which leaves the trie — stays flagged forever.
+// (lines 33-41). Out-of-range keys are reported absent. The parent of
+// k's leaf is replaced by the leaf's sibling; both the grandparent and
+// the parent are flagged, and the parent — which leaves the trie — stays
+// flagged forever.
 func (t *Trie) Delete(k uint64) bool {
-	v := t.encode(k)
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
-		if r.gp == nil {
-			// A leaf that is a direct child of the root necessarily holds
-			// a dummy key (the 0-prefix and 1-prefix subtrees always
-			// contain their dummies), and dummies never match a user key,
-			// so this branch is unreachable; retry defensively.
-			continue
-		}
-		i := t.newDesc(
-			[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
-			[]*node{r.gp},
-			[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
-		if i != nil && t.help(i) {
+		if t.tryDelete(v, r) {
 			return true
 		}
 	}
+}
+
+// tryDelete attempts one round of the delete protocol for the internal
+// key v located by r; false means re-search and retry.
+func (t *Trie) tryDelete(v uint64, r searchResult) bool {
+	sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
+	if r.gp == nil {
+		// A leaf that is a direct child of the root necessarily holds
+		// a dummy key (the 0-prefix and 1-prefix subtrees always
+		// contain their dummies), and dummies never match a user key,
+		// so this branch is unreachable; retry defensively.
+		return false
+	}
+	i := t.newDesc(
+		[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
+		[]*node{r.gp},
+		[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+	return i != nil && t.help(i)
 }

@@ -1,8 +1,13 @@
-// Package linearizable checks recorded concurrent histories of set
-// operations for linearizability (Herlihy & Wing), using the classic
+// Package linearizable checks recorded concurrent histories of set and
+// map operations for linearizability (Herlihy & Wing), using the classic
 // Wing–Gong depth-first search with memoization. It is used by the test
 // suites to validate the atomicity claims of the trie — in particular
-// that Replace removes one key and inserts another at a single instant.
+// that Replace removes one key and inserts another at a single instant,
+// and that value reads (Load) never observe a binding that no
+// linearization can explain.
+//
+// The sequential specification is a uint64 → uint64 map; the set
+// operations are the special case that ignores values (Insert binds 0).
 //
 // Histories are bounded (at most 64 operations) because the problem is
 // NP-complete in general; the tests record many small histories rather
@@ -19,12 +24,27 @@ import (
 // Kind identifies a set operation.
 type Kind uint8
 
-// The set operations of the paper's sequential specification.
+// The set operations of the paper's sequential specification, followed
+// by the value-bearing map operations layered on top of it.
 const (
 	Insert Kind = iota + 1
 	Delete
 	Contains
 	Replace
+	// Load reads k's binding: Result is presence, Val the value observed
+	// (meaningful only when Result is true).
+	Load
+	// Store unconditionally binds Val to the key; Result must be true.
+	Store
+	// LoadOrStore tries to bind Val; Result reports whether an existing
+	// binding was loaded instead, and Val2 is the value returned.
+	LoadOrStore
+	// CompareAndSwap rebinds the key from Val to Val2; Result reports
+	// whether the swap happened.
+	CompareAndSwap
+	// CompareAndDelete removes the key if bound to Val; Result reports
+	// whether the delete happened.
+	CompareAndDelete
 )
 
 func (k Kind) String() string {
@@ -37,6 +57,16 @@ func (k Kind) String() string {
 		return "Contains"
 	case Replace:
 		return "Replace"
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case LoadOrStore:
+		return "LoadOrStore"
+	case CompareAndSwap:
+		return "CompareAndSwap"
+	case CompareAndDelete:
+		return "CompareAndDelete"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -44,21 +74,36 @@ func (k Kind) String() string {
 
 // Op is one completed operation in a history. Start and End are logical
 // timestamps drawn from a shared monotone counter: operation A really
-// precedes operation B iff A.End < B.Start.
+// precedes operation B iff A.End < B.Start. Val and Val2 carry the value
+// arguments/observations of the map kinds (see the Kind constants).
 type Op struct {
 	Kind   Kind
 	Key    uint64
 	Key2   uint64 // Replace only: the inserted key
+	Val    uint64
+	Val2   uint64
 	Result bool
 	Start  int64
 	End    int64
 }
 
 func (o Op) String() string {
-	if o.Kind == Replace {
+	switch o.Kind {
+	case Replace:
 		return fmt.Sprintf("%s(%d,%d)=%v@[%d,%d]", o.Kind, o.Key, o.Key2, o.Result, o.Start, o.End)
+	case Load:
+		return fmt.Sprintf("%s(%d)=%d,%v@[%d,%d]", o.Kind, o.Key, o.Val, o.Result, o.Start, o.End)
+	case Store:
+		return fmt.Sprintf("%s(%d,%d)@[%d,%d]", o.Kind, o.Key, o.Val, o.Start, o.End)
+	case LoadOrStore:
+		return fmt.Sprintf("%s(%d,%d)=%d,%v@[%d,%d]", o.Kind, o.Key, o.Val, o.Val2, o.Result, o.Start, o.End)
+	case CompareAndSwap:
+		return fmt.Sprintf("%s(%d,%d,%d)=%v@[%d,%d]", o.Kind, o.Key, o.Val, o.Val2, o.Result, o.Start, o.End)
+	case CompareAndDelete:
+		return fmt.Sprintf("%s(%d,%d)=%v@[%d,%d]", o.Kind, o.Key, o.Val, o.Result, o.Start, o.End)
+	default:
+		return fmt.Sprintf("%s(%d)=%v@[%d,%d]", o.Kind, o.Key, o.Result, o.Start, o.End)
 	}
-	return fmt.Sprintf("%s(%d)=%v@[%d,%d]", o.Kind, o.Key, o.Result, o.Start, o.End)
 }
 
 // Check reports whether the history is linearizable with respect to the
@@ -69,7 +114,7 @@ func Check(history []Op) bool {
 		panic("linearizable: history longer than 64 operations")
 	}
 	c := &checker{history: history, memo: make(map[string]struct{})}
-	return c.dfs(0, make(map[uint64]bool))
+	return c.dfs(0, make(map[uint64]uint64))
 }
 
 type checker struct {
@@ -78,10 +123,10 @@ type checker struct {
 }
 
 // dfs attempts to extend a partial linearization. mask records which
-// operations are already linearized; state is the set contents they
-// produce. An operation is a legal next choice only if it is "minimal":
-// no still-unlinearized operation finished before it started.
-func (c *checker) dfs(mask uint64, state map[uint64]bool) bool {
+// operations are already linearized; state maps each present key to its
+// bound value. An operation is a legal next choice only if it is
+// "minimal": no still-unlinearized operation finished before it started.
+func (c *checker) dfs(mask uint64, state map[uint64]uint64) bool {
 	full := uint64(1)<<len(c.history) - 1
 	if mask == full {
 		return true
@@ -121,61 +166,122 @@ func (c *checker) dfs(mask uint64, state map[uint64]bool) bool {
 
 // apply checks op's recorded result against the current state and, if
 // consistent, applies its effect. It returns an undo function.
-func apply(op Op, state map[uint64]bool) (func(map[uint64]bool), bool) {
+func apply(op Op, state map[uint64]uint64) (func(map[uint64]uint64), bool) {
+	_, present := state[op.Key]
 	switch op.Kind {
 	case Insert:
-		if op.Result == state[op.Key] {
+		if op.Result == present {
 			return nil, false // true iff key was absent
 		}
 		if !op.Result {
 			return undoNothing, true
 		}
-		state[op.Key] = true
+		state[op.Key] = 0
 		k := op.Key
-		return func(s map[uint64]bool) { delete(s, k) }, true
+		return func(s map[uint64]uint64) { delete(s, k) }, true
 	case Delete:
-		if op.Result != state[op.Key] {
+		if op.Result != present {
 			return nil, false // true iff key was present
 		}
 		if !op.Result {
 			return undoNothing, true
 		}
+		old := state[op.Key]
 		delete(state, op.Key)
 		k := op.Key
-		return func(s map[uint64]bool) { s[k] = true }, true
+		return func(s map[uint64]uint64) { s[k] = old }, true
 	case Contains:
-		if op.Result != state[op.Key] {
+		if op.Result != present {
 			return nil, false
 		}
 		return undoNothing, true
 	case Replace:
-		want := state[op.Key] && !state[op.Key2] && op.Key != op.Key2
+		_, present2 := state[op.Key2]
+		want := present && !present2 && op.Key != op.Key2
 		if op.Result != want {
 			return nil, false
 		}
 		if !op.Result {
 			return undoNothing, true
 		}
+		moved := state[op.Key]
 		delete(state, op.Key)
-		state[op.Key2] = true
+		state[op.Key2] = moved
 		k, k2 := op.Key, op.Key2
-		return func(s map[uint64]bool) { delete(s, k2); s[k] = true }, true
+		return func(s map[uint64]uint64) { delete(s, k2); s[k] = moved }, true
+	case Load:
+		if op.Result != present || (present && state[op.Key] != op.Val) {
+			return nil, false
+		}
+		return undoNothing, true
+	case Store:
+		if !op.Result {
+			return nil, false // Store cannot fail on in-range keys
+		}
+		old, had := state[op.Key], present
+		state[op.Key] = op.Val
+		k := op.Key
+		return func(s map[uint64]uint64) {
+			if had {
+				s[k] = old
+			} else {
+				delete(s, k)
+			}
+		}, true
+	case LoadOrStore:
+		if op.Result != present {
+			return nil, false // loaded iff present
+		}
+		if present {
+			if state[op.Key] != op.Val2 {
+				return nil, false // must return the existing binding
+			}
+			return undoNothing, true
+		}
+		if op.Val2 != op.Val {
+			return nil, false // a store must return the stored value
+		}
+		state[op.Key] = op.Val
+		k := op.Key
+		return func(s map[uint64]uint64) { delete(s, k) }, true
+	case CompareAndSwap:
+		want := present && state[op.Key] == op.Val
+		if op.Result != want {
+			return nil, false
+		}
+		if !op.Result {
+			return undoNothing, true
+		}
+		old := state[op.Key]
+		state[op.Key] = op.Val2
+		k := op.Key
+		return func(s map[uint64]uint64) { s[k] = old }, true
+	case CompareAndDelete:
+		want := present && state[op.Key] == op.Val
+		if op.Result != want {
+			return nil, false
+		}
+		if !op.Result {
+			return undoNothing, true
+		}
+		old := state[op.Key]
+		delete(state, op.Key)
+		k := op.Key
+		return func(s map[uint64]uint64) { s[k] = old }, true
 	default:
 		return nil, false
 	}
 }
 
-func undoNothing(map[uint64]bool) {}
+func undoNothing(map[uint64]uint64) {}
 
 // memoKey canonically serializes (mask, state). Two search nodes with the
 // same linearized set and the same resulting contents explore identical
 // futures, so revisiting either is pointless.
-func memoKey(mask uint64, state map[uint64]bool) string {
+func memoKey(mask uint64, state map[uint64]uint64) string {
 	ks := make([]uint64, 0, len(state))
-	for k, v := range state {
-		if v {
-			ks = append(ks, k)
-		}
+	for k := range state {
+		ks = append(ks, k)
 	}
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	var sb strings.Builder
@@ -183,6 +289,8 @@ func memoKey(mask uint64, state map[uint64]bool) string {
 	for _, k := range ks {
 		sb.WriteByte(',')
 		sb.WriteString(strconv.FormatUint(k, 16))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(state[k], 16))
 	}
 	return sb.String()
 }

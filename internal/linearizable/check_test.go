@@ -196,3 +196,99 @@ func TestKindString(t *testing.T) {
 		t.Error("unknown kind should still render")
 	}
 }
+
+// --- value-bearing map kinds ---
+
+// seq builds a sequential history (op i strictly precedes op i+1).
+func seqOps(ops []Op) []Op {
+	for i := range ops {
+		ops[i].Start = int64(2 * i)
+		ops[i].End = int64(2*i + 1)
+	}
+	return ops
+}
+
+func TestCheckMapKindsSequential(t *testing.T) {
+	ok := seqOps([]Op{
+		{Kind: Store, Key: 1, Val: 10, Result: true},
+		{Kind: Load, Key: 1, Val: 10, Result: true},
+		{Kind: LoadOrStore, Key: 1, Val: 99, Val2: 10, Result: true}, // loaded existing
+		{Kind: CompareAndSwap, Key: 1, Val: 10, Val2: 20, Result: true},
+		{Kind: CompareAndSwap, Key: 1, Val: 10, Val2: 30, Result: false}, // stale old
+		{Kind: Load, Key: 1, Val: 20, Result: true},
+		{Kind: CompareAndDelete, Key: 1, Val: 99, Result: false},
+		{Kind: CompareAndDelete, Key: 1, Val: 20, Result: true},
+		{Kind: Load, Key: 1, Result: false},
+		{Kind: LoadOrStore, Key: 2, Val: 7, Val2: 7, Result: false}, // stored
+		{Kind: Replace, Key: 2, Key2: 3, Result: true},
+		{Kind: Load, Key: 3, Val: 7, Result: true}, // Replace moved the value
+	})
+	if !Check(ok) {
+		t.Error("valid sequential map history rejected")
+	}
+}
+
+func TestCheckMapKindsRejectAnomalies(t *testing.T) {
+	cases := map[string][]Op{
+		"stale load": seqOps([]Op{
+			{Kind: Store, Key: 1, Val: 10, Result: true},
+			{Kind: Store, Key: 1, Val: 20, Result: true},
+			{Kind: Load, Key: 1, Val: 10, Result: true},
+		}),
+		"load from nowhere": seqOps([]Op{
+			{Kind: Load, Key: 1, Val: 5, Result: true},
+		}),
+		"cas ghost": seqOps([]Op{
+			{Kind: Store, Key: 1, Val: 10, Result: true},
+			{Kind: CompareAndSwap, Key: 1, Val: 11, Val2: 20, Result: true},
+		}),
+		"loadorstore wrong return": seqOps([]Op{
+			{Kind: Store, Key: 1, Val: 10, Result: true},
+			{Kind: LoadOrStore, Key: 1, Val: 5, Val2: 5, Result: true},
+		}),
+		"replace drops value": seqOps([]Op{
+			{Kind: Store, Key: 1, Val: 10, Result: true},
+			{Kind: Replace, Key: 1, Key2: 2, Result: true},
+			{Kind: Load, Key: 2, Val: 0, Result: true},
+		}),
+		"failed store": seqOps([]Op{
+			{Kind: Store, Key: 1, Val: 10, Result: false},
+		}),
+	}
+	for name, h := range cases {
+		if Check(h) {
+			t.Errorf("%s: anomalous history accepted:\n%v", name, h)
+		}
+	}
+}
+
+func TestCheckMapKindsConcurrentOverlap(t *testing.T) {
+	// Two overlapping stores and a later load: either winner explains the
+	// load, so this must linearize...
+	h := []Op{
+		{Kind: Store, Key: 1, Val: 10, Result: true, Start: 0, End: 3},
+		{Kind: Store, Key: 1, Val: 20, Result: true, Start: 1, End: 4},
+		{Kind: Load, Key: 1, Val: 10, Result: true, Start: 5, End: 6},
+	}
+	if !Check(h) {
+		t.Error("overlapping stores: load of either value must linearize")
+	}
+	// ...but a load of a third value must not.
+	h[2].Val = 30
+	if Check(h) {
+		t.Error("load of a never-stored value accepted")
+	}
+}
+
+func TestRecordOp(t *testing.T) {
+	rec := NewRecorder()
+	rec.RecordOp(func() Op { return Op{Kind: Store, Key: 1, Val: 10, Result: true} })
+	rec.RecordOp(func() Op { return Op{Kind: Load, Key: 1, Val: 10, Result: true} })
+	h := rec.History()
+	if len(h) != 2 || h[0].End >= h[1].Start {
+		t.Fatalf("RecordOp timestamps wrong: %v", h)
+	}
+	if !Check(h) {
+		t.Error("recorded map history must linearize")
+	}
+}

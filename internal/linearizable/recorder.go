@@ -31,6 +31,20 @@ func (r *Recorder) Record(kind Kind, key, key2 uint64, fn func() bool) bool {
 	return res
 }
 
+// RecordOp runs fn between two timestamp draws and appends the Op it
+// returns — with Start/End filled in by the recorder — to the history.
+// It is the general form of Record for the value-bearing map kinds,
+// whose observed values are only known after the call.
+func (r *Recorder) RecordOp(fn func() Op) {
+	start := r.clock.Add(1)
+	op := fn()
+	end := r.clock.Add(1)
+	op.Start, op.End = start, end
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
 // History returns the recorded operations. Call only after all workers
 // have finished.
 func (r *Recorder) History() []Op {

@@ -1,0 +1,311 @@
+package settest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nbtrie/internal/linearizable"
+)
+
+// Map is the linearizable key→value contract of the map layer, stated
+// over uint64 values so the kit can drive any Map[V] instantiation
+// through a thin adapter.
+type Map interface {
+	Load(k uint64) (uint64, bool)
+	Store(k uint64, v uint64) bool
+	LoadOrStore(k, v uint64) (uint64, bool)
+	Delete(k uint64) bool
+	CompareAndSwap(k, old, new uint64) bool
+	CompareAndDelete(k, old uint64) bool
+	ReplaceKey(old, new uint64) bool
+}
+
+// MapFactory creates a fresh, empty map able to hold keys in
+// [0, keyRange).
+type MapFactory func(keyRange uint64) Map
+
+// RunMap executes the map battery against the factory.
+func RunMap(t *testing.T, factory MapFactory) {
+	t.Run("MapBasic", func(t *testing.T) { MapBasic(t, factory) })
+	t.Run("MapSequentialOracle", func(t *testing.T) { MapSequentialOracle(t, factory) })
+	t.Run("ConcurrentLoadOrStore", func(t *testing.T) { ConcurrentLoadOrStore(t, factory) })
+	t.Run("ConcurrentCASCounter", func(t *testing.T) { ConcurrentCASCounter(t, factory) })
+	t.Run("MapLinearizability", func(t *testing.T) { MapLinearizability(t, factory) })
+}
+
+// MapBasic checks single-threaded map semantics on fixed cases.
+func MapBasic(t *testing.T, factory MapFactory) {
+	m := factory(1024)
+	if _, ok := m.Load(5); ok {
+		t.Error("fresh map must be empty")
+	}
+	if !m.Store(5, 50) {
+		t.Error("Store must succeed")
+	}
+	if v, ok := m.Load(5); !ok || v != 50 {
+		t.Errorf("Load(5) = %d,%v want 50,true", v, ok)
+	}
+	m.Store(5, 51)
+	if v, _ := m.Load(5); v != 51 {
+		t.Errorf("Load(5) after overwrite = %d", v)
+	}
+	if v, loaded := m.LoadOrStore(5, 99); !loaded || v != 51 {
+		t.Errorf("LoadOrStore(present) = %d,%v", v, loaded)
+	}
+	if v, loaded := m.LoadOrStore(6, 60); loaded || v != 60 {
+		t.Errorf("LoadOrStore(absent) = %d,%v", v, loaded)
+	}
+	if m.CompareAndSwap(5, 99, 1) || !m.CompareAndSwap(5, 51, 52) {
+		t.Error("CompareAndSwap semantics wrong")
+	}
+	if m.CompareAndDelete(5, 99) || !m.CompareAndDelete(5, 52) {
+		t.Error("CompareAndDelete semantics wrong")
+	}
+	if !m.ReplaceKey(6, 7) {
+		t.Error("ReplaceKey must succeed")
+	}
+	if v, ok := m.Load(7); !ok || v != 60 {
+		t.Errorf("ReplaceKey must carry the value: Load(7) = %d,%v", v, ok)
+	}
+	if _, ok := m.Load(6); ok {
+		t.Error("ReplaceKey must remove the old key")
+	}
+	if !m.Delete(7) || m.Delete(7) {
+		t.Error("Delete semantics wrong")
+	}
+}
+
+// MapSequentialOracle replays random single-threaded map workloads
+// against a Go map oracle.
+func MapSequentialOracle(t *testing.T, factory MapFactory) {
+	for _, keyRange := range []uint64{8, 100, 4096} {
+		for seed := int64(0); seed < 3; seed++ {
+			m := factory(keyRange)
+			rng := rand.New(rand.NewSource(seed))
+			oracle := make(map[uint64]uint64)
+			for i := 0; i < 12000; i++ {
+				k := rng.Uint64() % keyRange
+				val := rng.Uint64() % 16
+				switch op := rng.Intn(7); op {
+				case 0:
+					if !m.Store(k, val) {
+						t.Fatalf("range=%d seed=%d op=%d: Store(%d) failed", keyRange, seed, i, k)
+					}
+					oracle[k] = val
+				case 1:
+					ov, oOK := oracle[k]
+					if v, ok := m.Load(k); ok != oOK || (ok && v != ov) {
+						t.Fatalf("range=%d seed=%d op=%d: Load(%d)=%d,%v want %d,%v", keyRange, seed, i, k, v, ok, ov, oOK)
+					}
+				case 2:
+					ov, oOK := oracle[k]
+					v, loaded := m.LoadOrStore(k, val)
+					if loaded != oOK || (loaded && v != ov) || (!loaded && v != val) {
+						t.Fatalf("range=%d seed=%d op=%d: LoadOrStore(%d,%d)=%d,%v oracle %d,%v", keyRange, seed, i, k, val, v, loaded, ov, oOK)
+					}
+					if !loaded {
+						oracle[k] = val
+					}
+				case 3:
+					old := rng.Uint64() % 16
+					ov, oOK := oracle[k]
+					want := oOK && ov == old
+					if got := m.CompareAndSwap(k, old, val); got != want {
+						t.Fatalf("range=%d seed=%d op=%d: CAS(%d,%d,%d)=%v want %v", keyRange, seed, i, k, old, val, got, want)
+					}
+					if want {
+						oracle[k] = val
+					}
+				case 4:
+					old := rng.Uint64() % 16
+					ov, oOK := oracle[k]
+					want := oOK && ov == old
+					if got := m.CompareAndDelete(k, old); got != want {
+						t.Fatalf("range=%d seed=%d op=%d: CompareAndDelete(%d,%d)=%v want %v", keyRange, seed, i, k, old, got, want)
+					}
+					if want {
+						delete(oracle, k)
+					}
+				case 5:
+					_, oOK := oracle[k]
+					if got := m.Delete(k); got != oOK {
+						t.Fatalf("range=%d seed=%d op=%d: Delete(%d)=%v want %v", keyRange, seed, i, k, got, oOK)
+					}
+					delete(oracle, k)
+				case 6:
+					k2 := rng.Uint64() % keyRange
+					ov, oOK := oracle[k]
+					_, o2OK := oracle[k2]
+					want := oOK && !o2OK && k != k2
+					if got := m.ReplaceKey(k, k2); got != want {
+						t.Fatalf("range=%d seed=%d op=%d: ReplaceKey(%d,%d)=%v want %v", keyRange, seed, i, k, k2, got, want)
+					}
+					if want {
+						delete(oracle, k)
+						oracle[k2] = ov
+					}
+				}
+			}
+			for k, ov := range oracle {
+				if v, ok := m.Load(k); !ok || v != ov {
+					t.Fatalf("range=%d seed=%d final: Load(%d)=%d,%v want %d,true", keyRange, seed, k, v, ok, ov)
+				}
+			}
+		}
+	}
+}
+
+// ConcurrentLoadOrStore races LoadOrStore on shared keys: per key exactly
+// one value wins, and every racer observes the winner.
+func ConcurrentLoadOrStore(t *testing.T, factory MapFactory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const (
+		goroutines = 8
+		keyCount   = 128
+	)
+	m := factory(keyCount)
+	seen := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		seen[g] = make([]uint64, keyCount)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(0); k < keyCount; k++ {
+				v, _ := m.LoadOrStore(k, uint64(g)*1000+k)
+				seen[g][k] = v
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := uint64(0); k < keyCount; k++ {
+		winner, ok := m.Load(k)
+		if !ok {
+			t.Fatalf("key %d missing after the race", k)
+		}
+		for g := 0; g < goroutines; g++ {
+			if seen[g][k] != winner {
+				t.Fatalf("key %d: goroutine %d saw %d, winner %d", k, g, seen[g][k], winner)
+			}
+		}
+	}
+}
+
+// ConcurrentCASCounter increments shared counters through CAS loops; no
+// increment may be lost or duplicated.
+func ConcurrentCASCounter(t *testing.T, factory MapFactory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const (
+		goroutines = 8
+		increments = 1500
+		counters   = 4
+	)
+	m := factory(64)
+	for k := uint64(0); k < counters; k++ {
+		m.Store(k, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < increments; i++ {
+				k := rng.Uint64() % counters
+				for {
+					v, ok := m.Load(k)
+					if !ok {
+						t.Error("counter key vanished")
+						return
+					}
+					if m.CompareAndSwap(k, v, v+1) {
+						break
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	var total uint64
+	for k := uint64(0); k < counters; k++ {
+		v, _ := m.Load(k)
+		total += v
+	}
+	if total != goroutines*increments {
+		t.Fatalf("counters sum to %d, want %d", total, goroutines*increments)
+	}
+}
+
+// MapLinearizability records many small concurrent histories over the
+// full map surface — including value reads — and checks each with the
+// Wing–Gong checker.
+func MapLinearizability(t *testing.T, factory MapFactory) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		trials  = 150
+		workers = 3
+		perW    = 6
+	)
+	for trial := 0; trial < trials; trial++ {
+		m := factory(8)
+		rec := linearizable.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < perW; i++ {
+					k := rng.Uint64() % 3
+					val := rng.Uint64() % 4
+					switch rng.Intn(7) {
+					case 0:
+						rec.RecordOp(func() linearizable.Op {
+							v, ok := m.Load(k)
+							return linearizable.Op{Kind: linearizable.Load, Key: k, Val: v, Result: ok}
+						})
+					case 1:
+						rec.RecordOp(func() linearizable.Op {
+							ok := m.Store(k, val)
+							return linearizable.Op{Kind: linearizable.Store, Key: k, Val: val, Result: ok}
+						})
+					case 2:
+						rec.RecordOp(func() linearizable.Op {
+							v, loaded := m.LoadOrStore(k, val)
+							return linearizable.Op{Kind: linearizable.LoadOrStore, Key: k, Val: val, Val2: v, Result: loaded}
+						})
+					case 3:
+						old := rng.Uint64() % 4
+						rec.RecordOp(func() linearizable.Op {
+							ok := m.CompareAndSwap(k, old, val)
+							return linearizable.Op{Kind: linearizable.CompareAndSwap, Key: k, Val: old, Val2: val, Result: ok}
+						})
+					case 4:
+						old := rng.Uint64() % 4
+						rec.RecordOp(func() linearizable.Op {
+							ok := m.CompareAndDelete(k, old)
+							return linearizable.Op{Kind: linearizable.CompareAndDelete, Key: k, Val: old, Result: ok}
+						})
+					case 5:
+						rec.RecordOp(func() linearizable.Op {
+							ok := m.Delete(k)
+							return linearizable.Op{Kind: linearizable.Delete, Key: k, Result: ok}
+						})
+					case 6:
+						k2 := rng.Uint64() % 3
+						rec.RecordOp(func() linearizable.Op {
+							ok := m.ReplaceKey(k, k2)
+							return linearizable.Op{Kind: linearizable.Replace, Key: k, Key2: k2, Result: ok}
+						})
+					}
+				}
+			}(int64(trial*workers + w))
+		}
+		wg.Wait()
+		if !linearizable.Check(rec.History()) {
+			t.Fatalf("trial %d: non-linearizable map history:\n%v", trial, rec.History())
+		}
+	}
+}

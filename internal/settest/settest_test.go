@@ -114,3 +114,84 @@ func TestKitDetectsTornReplace(t *testing.T) {
 	}
 	t.Skip("torn replace not observed in this run (scheduling-dependent); kit vacuity not disproven")
 }
+
+// lockedMap is the trivially correct reference for the map battery.
+type lockedMap struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+func newLockedMap(uint64) Map { return &lockedMap{m: make(map[uint64]uint64)} }
+
+func (s *lockedMap) Load(k uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+func (s *lockedMap) Store(k, v uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = v
+	return true
+}
+
+func (s *lockedMap) LoadOrStore(k, v uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[k]; ok {
+		return old, true
+	}
+	s.m[k] = v
+	return v, false
+}
+
+func (s *lockedMap) Delete(k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *lockedMap) CompareAndSwap(k, old, new uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[k]; !ok || v != old {
+		return false
+	}
+	s.m[k] = new
+	return true
+}
+
+func (s *lockedMap) CompareAndDelete(k, old uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[k]; !ok || v != old {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *lockedMap) ReplaceKey(old, new uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[old]
+	if !ok {
+		return false
+	}
+	if _, clash := s.m[new]; clash || old == new {
+		return false
+	}
+	delete(s.m, old)
+	s.m[new] = v
+	return true
+}
+
+func TestMapKitAgainstLockedReference(t *testing.T) {
+	RunMap(t, newLockedMap)
+}

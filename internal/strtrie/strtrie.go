@@ -21,16 +21,24 @@ import (
 	"nbtrie/internal/keys"
 )
 
-// node mirrors internal/core's node with Bitstring labels.
+// node mirrors internal/core's node with Bitstring labels. val is the
+// immutable value payload of a leaf (nil for internal nodes and for
+// set-API leaves); value updates install fresh leaves through the child-
+// CAS path, exactly as in internal/core, so no-ABA is preserved.
 type node struct {
 	label keys.Bitstring
 	leaf  bool
+	val   any
 	info  atomic.Pointer[desc]
 	child [2]atomic.Pointer[node]
 }
 
 func newLeaf(label keys.Bitstring) *node {
-	n := &node{label: label, leaf: true}
+	return newLeafVal(label, nil)
+}
+
+func newLeafVal(label keys.Bitstring, val any) *node {
+	n := &node{label: label, leaf: true, val: val}
 	n.info.Store(newUnflag())
 	return n
 }
@@ -45,7 +53,7 @@ func newInternal(label keys.Bitstring, left, right *node) *node {
 
 func copyNode(n *node) *node {
 	if n.leaf {
-		return newLeaf(n.label)
+		return newLeafVal(n.label, n.val)
 	}
 	return newInternal(n.label, n.child[0].Load(), n.child[1].Load())
 }
@@ -249,34 +257,45 @@ func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
 
 // Insert adds k, returning false if already present.
 func (t *Trie) Insert(k []byte) bool {
+	return t.InsertValue(k, nil)
+}
+
+// InsertValue is Insert with a value payload bound to the fresh leaf.
+func (t *Trie) InsertValue(k []byte, val any) bool {
 	v := encode(k)
 	for {
 		r := t.search(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		n := r.node
-		nodeInfo := n.info.Load()
-		newNode := t.makeInternal(copyNode(n), newLeaf(v), nodeInfo)
-		if newNode == nil {
-			continue
-		}
-		var i *desc
-		if !n.leaf {
-			i = t.newDesc(
-				[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
-				[]*node{r.p},
-				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
-		} else {
-			i = t.newDesc(
-				[]*node{r.p}, []*desc{r.pInfo},
-				[]*node{r.p},
-				[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
-		}
-		if i != nil && t.help(i) {
+		if t.tryInsert(v, val, r) {
 			return true
 		}
 	}
+}
+
+// tryInsert attempts one round of the insert protocol; false means
+// re-search and retry.
+func (t *Trie) tryInsert(v keys.Bitstring, val any, r searchResult) bool {
+	n := r.node
+	nodeInfo := n.info.Load()
+	newNode := t.makeInternal(copyNode(n), newLeafVal(v, val), nodeInfo)
+	if newNode == nil {
+		return false
+	}
+	var i *desc
+	if !n.leaf {
+		i = t.newDesc(
+			[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
+			[]*node{r.p},
+			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+	} else {
+		i = t.newDesc(
+			[]*node{r.p}, []*desc{r.pInfo},
+			[]*node{r.p},
+			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+	}
+	return i != nil && t.help(i)
 }
 
 // Delete removes k, returning false if absent.
@@ -287,18 +306,115 @@ func (t *Trie) Delete(k []byte) bool {
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
-		if r.gp == nil {
-			continue // only dummies sit directly under the root
-		}
-		i := t.newDesc(
-			[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
-			[]*node{r.gp},
-			[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
-		if i != nil && t.help(i) {
+		if t.tryDelete(v, r) {
 			return true
 		}
 	}
+}
+
+// tryDelete attempts one round of the delete protocol; false means
+// re-search and retry.
+func (t *Trie) tryDelete(v keys.Bitstring, r searchResult) bool {
+	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
+	if r.gp == nil {
+		return false // only dummies sit directly under the root
+	}
+	i := t.newDesc(
+		[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
+		[]*node{r.gp},
+		[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+	return i != nil && t.help(i)
+}
+
+// Load returns the value stored under k; like Contains it only reads
+// shared memory and performs no CAS.
+func (t *Trie) Load(k []byte) (any, bool) {
+	v := encode(k)
+	r := t.search(v)
+	if !keyInTrie(r.node, v, r.rmvd) {
+		return nil, false
+	}
+	return r.node.val, true
+}
+
+// Store binds k to val, inserting or overwriting (lock-free upsert).
+func (t *Trie) Store(k []byte, val any) {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			if t.tryInsert(v, val, r) {
+				return
+			}
+			continue
+		}
+		if t.tryOverwrite(v, val, r) {
+			return
+		}
+	}
+}
+
+// LoadOrStore returns the existing value for k if present (loaded true);
+// otherwise it stores val and returns it (loaded false).
+func (t *Trie) LoadOrStore(k []byte, val any) (actual any, loaded bool) {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if keyInTrie(r.node, v, r.rmvd) {
+			return r.node.val, true
+		}
+		if t.tryInsert(v, val, r) {
+			return val, false
+		}
+	}
+}
+
+// CompareAndSwap swaps k's value from old to new when the stored value
+// equals old (interface equality; old must be comparable).
+func (t *Trie) CompareAndSwap(k []byte, old, new any) bool {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		if r.node.val != old {
+			return false
+		}
+		if t.tryOverwrite(v, new, r) {
+			return true
+		}
+	}
+}
+
+// CompareAndDelete deletes k when its stored value equals old (interface
+// equality; old must be comparable).
+func (t *Trie) CompareAndDelete(k []byte, old any) bool {
+	v := encode(k)
+	for {
+		r := t.search(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		if r.node.val != old {
+			return false
+		}
+		if t.tryDelete(v, r) {
+			return true
+		}
+	}
+}
+
+// tryOverwrite replaces the live leaf r.node with a fresh leaf carrying
+// val — the descriptor shape of Replace's special case 1: flag the
+// parent, one child CAS old leaf → new leaf.
+func (t *Trie) tryOverwrite(v keys.Bitstring, val any, r searchResult) bool {
+	i := t.newDesc(
+		[]*node{r.p}, []*desc{r.pInfo},
+		[]*node{r.p},
+		[]*node{r.p}, []*node{r.node},
+		[]*node{newLeafVal(v, val)}, nil)
+	return i != nil && t.help(i)
 }
 
 // Replace atomically removes old and inserts new; the same general and
@@ -323,7 +439,7 @@ func (t *Trie) Replace(old, new []byte) bool {
 			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
 			ri.p != rd.p:
 			// General case: two child CASes, insert side first.
-			newNodeI := t.makeInternal(copyNode(ri.node), newLeaf(vi), nodeInfoI)
+			newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, rd.node.val), nodeInfoI)
 			if newNodeI == nil {
 				break
 			}
@@ -351,10 +467,10 @@ func (t *Trie) Replace(old, new []byte) bool {
 				[]*node{rd.p}, []*desc{rd.pInfo},
 				[]*node{rd.p},
 				[]*node{rd.p}, []*node{ri.node},
-				[]*node{newLeaf(vi)}, nil)
+				[]*node{newLeafVal(vi, rd.node.val)}, nil)
 		case (ri.node == rd.p && ri.p == rd.gp) ||
 			(rd.gp != nil && ri.p == rd.p):
-			newNodeI := t.makeInternal(sibD, newLeaf(vi), sibD.info.Load())
+			newNodeI := t.makeInternal(sibD, newLeafVal(vi, rd.node.val), sibD.info.Load())
 			if newNodeI == nil {
 				break
 			}
@@ -369,7 +485,7 @@ func (t *Trie) Replace(old, new []byte) bool {
 			if newChildI == nil {
 				break
 			}
-			newNodeI := t.makeInternal(newChildI, newLeaf(vi), nil)
+			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, rd.node.val), nil)
 			if newNodeI == nil {
 				break
 			}
@@ -393,19 +509,28 @@ func (t *Trie) Replace(old, new []byte) bool {
 // (01, 10).
 func (t *Trie) Keys() [][]byte {
 	var out [][]byte
-	t.walk(t.root, &out)
+	t.AllKV(func(k []byte, _ any) bool {
+		out = append(out, k)
+		return true
+	})
 	return out
 }
 
-func (t *Trie) walk(n *node, out *[][]byte) {
+// AllKV calls fn on every (key, value) pair in encoded-key order until
+// fn returns false. Like Keys it is read-only: exact at quiescence,
+// best-effort under concurrent updates.
+func (t *Trie) AllKV(fn func(k []byte, val any) bool) {
+	t.walkKV(t.root, fn)
+}
+
+func (t *Trie) walkKV(n *node, fn func(k []byte, val any) bool) bool {
 	if n.leaf {
 		if k, ok := keys.DecodeString(n.label); ok && !logicallyRemoved(n.info.Load()) {
-			*out = append(*out, k)
+			return fn(k, n.val)
 		}
-		return
+		return true
 	}
-	t.walk(n.child[0].Load(), out)
-	t.walk(n.child[1].Load(), out)
+	return t.walkKV(n.child[0].Load(), fn) && t.walkKV(n.child[1].Load(), fn)
 }
 
 // Size counts keys; quiescent use only.

@@ -226,3 +226,97 @@ func TestLongKeysCrossWordBoundaries(t *testing.T) {
 		t.Fatal("prefix of long key misreported")
 	}
 }
+
+func TestMapOperations(t *testing.T) {
+	tr := New()
+	k := []byte("alpha")
+	if _, ok := tr.Load(k); ok {
+		t.Error("Load on empty trie must miss")
+	}
+	tr.Store(k, 1)
+	if v, ok := tr.Load(k); !ok || v != 1 {
+		t.Errorf("Load = %v,%v", v, ok)
+	}
+	tr.Store(k, 2) // overwrite
+	if v, _ := tr.Load(k); v != 2 {
+		t.Errorf("Load after overwrite = %v", v)
+	}
+	if v, loaded := tr.LoadOrStore(k, 9); !loaded || v != 2 {
+		t.Errorf("LoadOrStore(present) = %v,%v", v, loaded)
+	}
+	if v, loaded := tr.LoadOrStore([]byte("beta"), 9); loaded || v != 9 {
+		t.Errorf("LoadOrStore(absent) = %v,%v", v, loaded)
+	}
+	if tr.CompareAndSwap(k, 1, 3) || !tr.CompareAndSwap(k, 2, 3) {
+		t.Error("CompareAndSwap semantics wrong")
+	}
+	if tr.CompareAndDelete(k, 99) || !tr.CompareAndDelete(k, 3) {
+		t.Error("CompareAndDelete semantics wrong")
+	}
+	if tr.Contains(k) {
+		t.Error("key survived CompareAndDelete")
+	}
+	// Replace carries the value to the new key.
+	if !tr.Replace([]byte("beta"), []byte("gamma")) {
+		t.Error("Replace failed")
+	}
+	if v, ok := tr.Load([]byte("gamma")); !ok || v != 9 {
+		t.Errorf("Replace dropped the value: %v,%v", v, ok)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllKV(t *testing.T) {
+	tr := New()
+	tr.Store([]byte("a"), 1)
+	tr.Store([]byte("b"), 2)
+	got := map[string]any{}
+	tr.AllKV(func(k []byte, v any) bool {
+		got[string(k)] = v
+		return true
+	})
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Errorf("AllKV = %v", got)
+	}
+	n := 0
+	tr.AllKV(func([]byte, any) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("AllKV early stop visited %d", n)
+	}
+}
+
+func TestConcurrentMapOps(t *testing.T) {
+	tr := New()
+	keys := [][]byte{[]byte("x"), []byte("xy"), []byte("xyz"), []byte("y")}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					tr.Store(k, g)
+				case 1:
+					if v, ok := tr.Load(k); ok {
+						if n, isInt := v.(int); !isInt || n < 0 || n >= goroutines {
+							panic("torn value observed")
+						}
+					}
+				case 2:
+					if v, ok := tr.Load(k); ok {
+						tr.CompareAndDelete(k, v)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

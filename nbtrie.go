@@ -1,21 +1,37 @@
-// Package nbtrie provides a non-blocking Patricia trie implementing a
-// linearizable concurrent set of uint64 keys, reproducing Shafiei,
-// "Non-blocking Patricia Tries with Replace Operations" (ICDCS 2013),
-// together with the five concurrent-set baselines the paper evaluates
-// against: the Ellen-et-al. non-blocking BST, a non-blocking k-ary search
-// tree, a lock-free skip list, a Bronson-style lock-based AVL tree and a
-// Prokopec concurrent hash trie.
+// Package nbtrie provides non-blocking Patricia tries reproducing
+// Shafiei, "Non-blocking Patricia Tries with Replace Operations"
+// (ICDCS 2013), exposed at two levels:
 //
-// The headline structure is the Patricia trie (NewPatriciaTrie): it
-// offers a wait-free Contains, lock-free Insert and Delete, and a
-// lock-free Replace(old, new) that deletes one key and inserts another
-// atomically — a capability none of the baselines provide. All
-// implementations are safe for unrestricted concurrent use and rely on
+//   - a value-bearing, generics-friendly concurrent map — Map[V] for
+//     uint64 keys and StringMap[V] for byte-string keys — with the
+//     sync.Map operation set (Load, Store, LoadOrStore, Delete,
+//     CompareAndSwap, CompareAndDelete), the paper's atomic
+//     ReplaceKey(old, new), and Go iterators (All, Ascend) over the
+//     trie's sorted key space. Load is wait-free; every mutation is
+//     lock-free. Values live immutably on trie leaves, so a value
+//     update is a fresh-leaf child CAS and readers never see torn data.
+//
+//   - the paper's set layer: PatriciaTrie (wait-free Contains,
+//     lock-free Insert/Delete, and the lock-free atomic Replace none of
+//     the baselines provide), StringTrie (the Section VI unbounded-key
+//     extension), and the five concurrent-set baselines of the paper's
+//     evaluation — the Ellen-et-al. non-blocking BST, a non-blocking
+//     k-ary search tree, a lock-free skip list, a Bronson-style
+//     lock-based AVL tree and a Prokopec concurrent hash trie.
+//
+// The implementation registry (Implementations, NewSet,
+// LookupImplementation) enumerates the set implementations by name, so
+// benchmarks, tests and tools pick them up uniformly.
+//
+// All structures are safe for unrestricted concurrent use and rely on
 // the Go garbage collector for memory reclamation, mirroring the paper's
-// Java setting.
+// Java setting. Out-of-range keys are never errors: operations on a
+// fixed-width trie treat them as permanently absent.
 package nbtrie
 
 import (
+	"iter"
+
 	"nbtrie/internal/avl"
 	"nbtrie/internal/bst"
 	"nbtrie/internal/core"
@@ -47,8 +63,10 @@ type ReplaceSet interface {
 }
 
 // PatriciaTrie is the paper's non-blocking Patricia trie. Contains is
-// wait-free; Insert, Delete and Replace are lock-free. Keys must lie in
-// [0, 2^width) for the width given at construction.
+// wait-free; Insert, Delete and Replace are lock-free. The key space is
+// [0, 2^width) for the width given at construction; keys outside it are
+// treated as permanently absent (Contains and Delete report false,
+// Insert and Replace fail) rather than panicking.
 type PatriciaTrie struct {
 	t *core.Trie
 }
@@ -76,18 +94,21 @@ func NewPatriciaTrieNoReplace(width uint32) (*PatriciaTrie, error) {
 	return &PatriciaTrie{t: t}, nil
 }
 
-// Insert adds k; false iff k was present. Lock-free.
+// Insert adds k; false iff k was present or out of range. Lock-free.
 func (p *PatriciaTrie) Insert(k uint64) bool { return p.t.Insert(k) }
 
-// Delete removes k; false iff k was absent. Lock-free.
+// Delete removes k; false iff k was absent (out-of-range keys are always
+// absent). Lock-free.
 func (p *PatriciaTrie) Delete(k uint64) bool { return p.t.Delete(k) }
 
-// Contains reports membership. Wait-free: it completes in at most
-// width+1 child-pointer reads regardless of concurrent updates.
+// Contains reports membership; out-of-range keys are never members.
+// Wait-free: it completes in at most width+1 child-pointer reads
+// regardless of concurrent updates.
 func (p *PatriciaTrie) Contains(k uint64) bool { return p.t.Contains(k) }
 
 // Replace atomically moves membership from old to new; true iff old was
-// present and new absent. Lock-free.
+// present and new absent (an out-of-range key on either side makes it
+// fail). Lock-free.
 func (p *PatriciaTrie) Replace(old, new uint64) bool { return p.t.Replace(old, new) }
 
 // Size returns the number of keys; quiescent use only.
@@ -98,6 +119,19 @@ func (p *PatriciaTrie) Keys() []uint64 { return p.t.Keys() }
 
 // Range calls fn on each key in increasing order until fn returns false.
 func (p *PatriciaTrie) Range(fn func(k uint64) bool) { p.t.Range(fn) }
+
+// All iterates over the keys in increasing order. Entries present for
+// the whole iteration are always yielded; concurrent changes may or may
+// not be observed (the Range contract as a Go iterator).
+func (p *PatriciaTrie) All() iter.Seq[uint64] { return p.Ascend(0) }
+
+// Ascend iterates over the keys >= from in increasing order, pruning
+// subtrees below from.
+func (p *PatriciaTrie) Ascend(from uint64) iter.Seq[uint64] {
+	return func(yield func(uint64) bool) {
+		p.t.AscendKV(from, func(k uint64, _ any) bool { return yield(k) })
+	}
+}
 
 // Validate checks the trie's structural invariants (tests/diagnostics;
 // quiescent use only).
@@ -177,3 +211,11 @@ func (s *StringTrie) Size() int { return s.t.Size() }
 // Keys returns the keys in encoded order (lexicographic except that a
 // proper prefix follows its extensions); quiescent use only.
 func (s *StringTrie) Keys() [][]byte { return s.t.Keys() }
+
+// All iterates over the keys in encoded order, with the same concurrent-
+// read contract as PatriciaTrie.All.
+func (s *StringTrie) All() iter.Seq[[]byte] {
+	return func(yield func([]byte) bool) {
+		s.t.AllKV(func(k []byte, _ any) bool { return yield(k) })
+	}
+}

@@ -8,44 +8,85 @@ import (
 
 // Every implementation exposed by the public API runs the same
 // conformance battery (each internal package also runs it white-box).
+// The list comes from the registry: registering an implementation is
+// enough to put it under test.
 
-func patFactory(t *testing.T) settest.Factory {
-	t.Helper()
-	return func(keyRange uint64) settest.Set {
-		width := uint32(1)
-		for keyRange > 1<<width {
-			width++
-		}
-		p, err := NewPatriciaTrie(width + 1)
-		if err != nil {
-			t.Fatalf("NewPatriciaTrie: %v", err)
-		}
-		return p
+// widthForRange returns a trie width that covers [0, keyRange] with a
+// bit of slack for boundary probes.
+func widthForRange(keyRange uint64) uint32 {
+	width := uint32(1)
+	for keyRange > 1<<width {
+		width++
+	}
+	return width + 1
+}
+
+func TestConformanceAllImplementations(t *testing.T) {
+	for _, name := range Implementations() {
+		t.Run(name, func(t *testing.T) {
+			settest.Run(t, func(keyRange uint64) settest.Set {
+				s, err := NewSetWithWidth(name, widthForRange(keyRange))
+				if err != nil {
+					t.Fatalf("NewSetWithWidth(%q): %v", name, err)
+				}
+				return s
+			})
+		})
 	}
 }
 
-func TestPatriciaTrieConformance(t *testing.T) {
-	settest.Run(t, patFactory(t))
-}
+func TestRegistry(t *testing.T) {
+	names := Implementations()
+	if len(names) != 6 || names[0] != "patricia" {
+		t.Fatalf("Implementations() = %v; want the trie plus five baselines, trie first", names)
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate registry name %q", name)
+		}
+		seen[name] = true
+		im, ok := LookupImplementation(name)
+		if !ok || im.Name != name || im.Legend == "" || im.Description == "" {
+			t.Fatalf("LookupImplementation(%q) = %+v, %v", name, im, ok)
+		}
+		s, err := NewSet(name)
+		if err != nil || s == nil {
+			t.Fatalf("NewSet(%q): %v", name, err)
+		}
+		if !s.Insert(7) || !s.Contains(7) || !s.Delete(7) {
+			t.Fatalf("NewSet(%q) produced a broken set", name)
+		}
+		if _, isReplace := s.(ReplaceSet); im.HasReplace != isReplace {
+			t.Fatalf("%q: HasReplace=%v but ReplaceSet assertion=%v", name, im.HasReplace, isReplace)
+		}
+	}
+	// AllImplementations mirrors Implementations in order and content,
+	// and hands out copies (mutating one must not poison the registry).
+	impls := AllImplementations()
+	if len(impls) != len(names) {
+		t.Fatalf("AllImplementations() has %d entries, Implementations() %d", len(impls), len(names))
+	}
+	for i, im := range impls {
+		if im.Name != names[i] {
+			t.Errorf("AllImplementations()[%d] = %q, want %q", i, im.Name, names[i])
+		}
+	}
+	impls[0].Name = "clobbered"
+	if Implementations()[0] != "patricia" {
+		t.Error("AllImplementations must return a copy")
+	}
 
-func TestBSTConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return NewBST() })
-}
-
-func TestKSTConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return NewKST(4) })
-}
-
-func TestSkipListConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return NewSkipList() })
-}
-
-func TestAVLConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return NewAVL() })
-}
-
-func TestCtrieConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return NewCtrie() })
+	// Legend labels resolve too, case-insensitively.
+	if im, ok := LookupImplementation("pat"); !ok || im.Name != "patricia" {
+		t.Errorf(`LookupImplementation("pat") = %+v, %v`, im, ok)
+	}
+	if _, ok := LookupImplementation("nope"); ok {
+		t.Error("unknown name must not resolve")
+	}
+	if _, err := NewSet("nope"); err == nil {
+		t.Error("NewSet with unknown name must error")
+	}
 }
 
 func TestPatriciaTrieExtras(t *testing.T) {

@@ -1,0 +1,137 @@
+package nbtrie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Implementation describes one registered concurrent-set implementation:
+// the paper's Patricia trie and the five baselines of its evaluation.
+// Tools (cmd/benchtrie, cmd/triecli, the conformance tests and the
+// examples) enumerate this registry instead of hard-coding the list, so
+// a new implementation registers once and appears everywhere.
+type Implementation struct {
+	// Name is the stable registry key, e.g. "patricia".
+	Name string
+	// Legend is the label used in the paper's figures, e.g. "PAT".
+	Legend string
+	// Description is a one-line human-readable summary with the citation.
+	Description string
+	// HasReplace reports whether the implementation supports the paper's
+	// atomic Replace (only the Patricia tries do).
+	HasReplace bool
+	// New returns a fresh, empty set able to hold keys in [0, 2^width).
+	// Implementations without a bounded key space ignore width.
+	New func(width uint32) (Set, error)
+}
+
+// DefaultWidth is the key width NewSet uses for width-parameterized
+// implementations: the widest supported key space, [0, 2^63).
+const DefaultWidth = 63
+
+// registry lists the implementations in the paper's legend order
+// (Figures 8-11). Names and legends must be unique case-insensitively.
+var registry = []Implementation{
+	{
+		Name:        "patricia",
+		Legend:      "PAT",
+		Description: "non-blocking Patricia trie with Replace (Shafiei, ICDCS 2013); wait-free Contains",
+		HasReplace:  true,
+		New: func(width uint32) (Set, error) {
+			return NewPatriciaTrie(width)
+		},
+	},
+	{
+		Name:        "kst",
+		Legend:      "4-ST",
+		Description: "non-blocking k-ary (k=4) external search tree (Brown & Helga, OPODIS 2011)",
+		New: func(uint32) (Set, error) {
+			return NewKST(4), nil
+		},
+	},
+	{
+		Name:        "bst",
+		Legend:      "BST",
+		Description: "non-blocking external binary search tree (Ellen et al., PODC 2010)",
+		New: func(uint32) (Set, error) {
+			return NewBST(), nil
+		},
+	},
+	{
+		Name:        "avl",
+		Legend:      "AVL",
+		Description: "lock-based relaxed-balance AVL tree with optimistic reads (Bronson et al., PPoPP 2010)",
+		New: func(uint32) (Set, error) {
+			return NewAVL(), nil
+		},
+	},
+	{
+		Name:        "skiplist",
+		Legend:      "SL",
+		Description: "lock-free skip list (ConcurrentSkipListMap lineage)",
+		New: func(uint32) (Set, error) {
+			return NewSkipList(), nil
+		},
+	},
+	{
+		Name:        "ctrie",
+		Legend:      "Ctrie",
+		Description: "non-blocking 32-way concurrent hash trie, no snapshots (Prokopec et al., PPoPP 2012)",
+		New: func(uint32) (Set, error) {
+			return NewCtrie(), nil
+		},
+	},
+}
+
+// Implementations returns the registered implementation names in the
+// paper's legend order (PAT first, then the five baselines).
+func Implementations() []string {
+	names := make([]string, len(registry))
+	for i, im := range registry {
+		names[i] = im.Name
+	}
+	return names
+}
+
+// AllImplementations returns the full descriptors in the paper's legend
+// order, for callers that enumerate the registry (no name round-trip
+// through LookupImplementation needed). The returned slice is a copy.
+func AllImplementations() []Implementation {
+	out := make([]Implementation, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// LookupImplementation resolves a name — either the registry key or the
+// paper's legend label, case-insensitively — to its descriptor.
+func LookupImplementation(name string) (Implementation, bool) {
+	for _, im := range registry {
+		if strings.EqualFold(name, im.Name) || strings.EqualFold(name, im.Legend) {
+			return im, true
+		}
+	}
+	return Implementation{}, false
+}
+
+// NewSet builds a fresh set by implementation name (registry key or
+// legend label, case-insensitive), using DefaultWidth for
+// width-parameterized implementations. Unknown names list the valid
+// choices in the error.
+func NewSet(name string) (Set, error) {
+	return NewSetWithWidth(name, DefaultWidth)
+}
+
+// NewSetWithWidth is NewSet with an explicit key width for
+// width-parameterized implementations ([0, 2^width) key space); the
+// baselines without a width parameter ignore it.
+func NewSetWithWidth(name string, width uint32) (Set, error) {
+	im, ok := LookupImplementation(name)
+	if !ok {
+		names := Implementations()
+		sort.Strings(names)
+		return nil, fmt.Errorf("nbtrie: unknown implementation %q (want one of %s)",
+			name, strings.Join(names, ", "))
+	}
+	return im.New(width)
+}
