@@ -10,8 +10,17 @@
 //	benchtrie -fig all                      # every experiment
 //	benchtrie -fig 9b -duration 2s -trials 8
 //	benchtrie -fig 10 -threads 1,2,4,8
+//	benchtrie -fig 9b -json                 # write BENCH_9b.json
+//	benchtrie -json -quick -out artifacts   # fast smoke of every figure
 //
 // Figures: 8a 8b 9a 9b 10 11 medium all.
+//
+// -json switches the output to machine-readable benchmark artifacts:
+// one BENCH_<figure>.json per figure (schema internal/bench.Artifact),
+// holding mean±stddev ops/sec per series per thread count plus a
+// benchmem-style allocs/op profile of each implementation. -quick
+// shrinks durations, trials and the thread sweep to smoke-test levels so
+// CI can verify the emitter and the bench families end to end.
 package main
 
 import (
@@ -46,12 +55,35 @@ func run(args []string) error {
 		width    = fs.Uint("width", 21, "Patricia trie key width in bits (must cover the key range)")
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
 		csv      = fs.Bool("csv", false, "emit machine-readable CSV (figure,impl,threads,mean_ops_per_sec,stddev) instead of tables")
+		jsonOut  = fs.Bool("json", false, "write one BENCH_<figure>.json artifact per figure instead of tables")
+		outDir   = fs.String("out", ".", "directory for -json artifacts")
+		quick    = fs.Bool("quick", false, "smoke-test settings: tiny duration, 1 trial, threads 1,2 (unless -threads is given)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *csv && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	// -quick only lowers defaults; flags the user set explicitly win.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *quick {
+		if !explicit["duration"] {
+			*duration = 20 * time.Millisecond
+		}
+		if !explicit["warmup"] {
+			*warmup = 0
+		}
+		if !explicit["trials"] {
+			*trials = 1
+		}
+	}
 
 	ths := bench.DefaultThreads()
+	if *quick {
+		ths = []int{1, 2}
+	}
 	if *threads != "" {
 		var err error
 		if ths, err = parseThreads(*threads); err != nil {
@@ -64,9 +96,10 @@ func run(args []string) error {
 		return err
 	}
 
-	if *csv {
+	switch {
+	case *csv:
 		fmt.Println("figure,impl,threads,mean_ops_per_sec,stddev")
-	} else {
+	case !*jsonOut:
 		fmt.Printf("host: GOMAXPROCS=%d  threads=%v  duration=%v  trials=%d\n\n",
 			runtime.GOMAXPROCS(0), ths, *duration, *trials)
 	}
@@ -81,10 +114,40 @@ func run(args []string) error {
 			SeqLen:   e.seqLen,
 			Seed:     *seed,
 		}
+		if *jsonOut {
+			if err := runJSONExperiment(e, cfg, ths, uint32(*width), *outDir, *quick); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := runExperiment(e, cfg, ths, uint32(*width), *csv); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// runJSONExperiment runs one figure and writes its BENCH_<figure>.json
+// artifact: the throughput sweep of every series plus a single-threaded
+// allocs/op profile per implementation.
+func runJSONExperiment(e experiment, cfg bench.Config, ths []int, width uint32, outDir string, quick bool) error {
+	if uint64(1)<<width < cfg.KeyRange {
+		return fmt.Errorf("width %d cannot hold key range %d", width, cfg.KeyRange)
+	}
+	a := bench.NewArtifact(e.id, e.title, cfg, width, quick)
+	for _, f := range factories(e, width) {
+		series, err := bench.RunSeries(f.name, f.mk, cfg, ths)
+		if err != nil {
+			return err
+		}
+		allocs := bench.MeasureAllocs(f.mk, cfg.KeyRange)
+		a.AddSeries(series, &allocs)
+	}
+	path, err := bench.WriteArtifact(outDir, a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nbtrie"
+	"nbtrie/internal/bench"
 )
 
 func TestParseThreads(t *testing.T) {
@@ -64,6 +68,58 @@ func TestRunCSVMode(t *testing.T) {
 		"-trials", "1", "-threads", "1", "-width", "21", "-csv"})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunJSONQuickWritesArtifacts drives the artifact pipeline end to
+// end: -json -quick on a cheap figure must write a parseable
+// BENCH_<figure>.json with every registry series and an allocs/op
+// profile for each.
+func TestRunJSONQuickWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-fig", "9a", "-json", "-quick", "-out", dir,
+		"-duration", "10ms", "-width", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, bench.ArtifactFilename("9a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a bench.Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if a.Schema != bench.ArtifactSchema || a.Figure != "9a" || !a.Quick {
+		t.Errorf("artifact header wrong: %+v", a)
+	}
+	if len(a.Series) != len(nbtrie.Implementations()) {
+		t.Fatalf("artifact has %d series, want one per registry entry (%d)",
+			len(a.Series), len(nbtrie.Implementations()))
+	}
+	for _, s := range a.Series {
+		if len(s.Points) == 0 || s.Points[0].MeanOpsPerSec <= 0 {
+			t.Errorf("series %s has no usable points: %+v", s.Name, s.Points)
+		}
+		if s.AllocsPerOp == nil {
+			t.Errorf("series %s is missing its allocs/op profile", s.Name)
+		}
+	}
+	// The Patricia trie's wait-free read must profile allocation-free
+	// through the artifact pipeline too.
+	for _, s := range a.Series {
+		if s.Name == "PAT" && s.AllocsPerOp.Contains != 0 {
+			t.Errorf("PAT contains allocs/op = %v in artifact, want 0", s.AllocsPerOp.Contains)
+		}
+	}
+}
+
+func TestRunRejectsJSONPlusCSV(t *testing.T) {
+	if err := run([]string{"-fig", "9a", "-json", "-csv"}); err == nil {
+		t.Fatal("-json and -csv together must error")
 	}
 }
 

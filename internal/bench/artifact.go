@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"nbtrie/internal/workload"
+)
+
+// Benchmark artifacts: the machine-readable output of cmd/benchtrie's
+// -json mode. One artifact per figure, written as BENCH_<figure>.json,
+// captures everything a later session (or CI run) needs to compare
+// against: the workload configuration, throughput per series per thread
+// count, and a benchmem-style allocs/op profile of each implementation's
+// three basic operations. Artifacts checked into the repository form the
+// performance trajectory of the project; regenerate them with
+//
+//	go run ./cmd/benchtrie -json [-quick]
+
+// ArtifactSchema identifies the JSON layout; bump it when a field
+// changes meaning so downstream comparisons fail loudly.
+const ArtifactSchema = "nbtrie-bench/v1"
+
+// AllocsProfile is a benchmem-style allocs/op measurement of the three
+// basic set operations, taken single-threaded and uncontended on a
+// prefilled structure. Throughput tells you how fast an implementation
+// is on this machine today; allocs/op tells you how it will behave under
+// GC pressure anywhere.
+type AllocsProfile struct {
+	Contains float64 `json:"contains"`
+	Insert   float64 `json:"insert"`
+	Delete   float64 `json:"delete"`
+}
+
+// MeasureAllocs profiles allocs/op for a fresh, half-prefilled instance
+// from factory. Every operation is measured on its successful path:
+// Contains alternates a hit and a miss, Insert consumes a pool of absent
+// in-range keys, and Delete removes what Insert just added.
+func MeasureAllocs(factory func() Set, keyRange uint64) AllocsProfile {
+	s := factory()
+	Prefill(s, keyRange, 1)
+	// A key that is present and a pool of keys that are absent; all
+	// in-range, so width-bounded implementations take their real paths.
+	hit := uint64(0)
+	var absent []uint64
+	for k := uint64(0); k < keyRange && len(absent) < 257; k++ {
+		if s.Contains(k) {
+			hit = k
+		} else {
+			absent = append(absent, k)
+		}
+	}
+	if len(absent) < 2 {
+		// Degenerate key range (the stationary half-full distribution
+		// left nothing absent); report an empty profile rather than
+		// measuring failed operations.
+		return AllocsProfile{}
+	}
+	p := AllocsProfile{}
+	miss := absent[0]
+	p.Contains = testing.AllocsPerRun(200, func() {
+		s.Contains(hit)
+		s.Contains(miss)
+	}) / 2
+	// AllocsPerRun invokes f runs+1 times (one warmup); advancing an
+	// index each call keeps every insert/delete on its successful path.
+	i := 0
+	p.Insert = testing.AllocsPerRun(len(absent)-1, func() {
+		s.Insert(absent[i])
+		i++
+	})
+	j := 0
+	p.Delete = testing.AllocsPerRun(len(absent)-1, func() {
+		s.Delete(absent[j])
+		j++
+	})
+	return p
+}
+
+// ArtifactConfig records the experiment parameters that produced an
+// artifact, flattened to JSON-friendly fields.
+type ArtifactConfig struct {
+	Mix        workload.Mix `json:"mix"`
+	KeyRange   uint64       `json:"key_range"`
+	DurationMS float64      `json:"duration_ms"`
+	WarmupMS   float64      `json:"warmup_ms"`
+	Trials     int          `json:"trials"`
+	SeqLen     uint64       `json:"seq_len"`
+	Seed       uint64       `json:"seed"`
+	Width      uint32       `json:"width"`
+}
+
+// ArtifactPoint is one (threads, throughput) measurement.
+type ArtifactPoint struct {
+	Threads         int     `json:"threads"`
+	MeanOpsPerSec   float64 `json:"mean_ops_per_sec"`
+	StddevOpsPerSec float64 `json:"stddev_ops_per_sec"`
+}
+
+// ArtifactSeries is one line of a figure: an implementation's sweep plus
+// its allocation profile.
+type ArtifactSeries struct {
+	Name        string          `json:"name"`
+	Points      []ArtifactPoint `json:"points"`
+	AllocsPerOp *AllocsProfile  `json:"allocs_per_op,omitempty"`
+}
+
+// Artifact is the full BENCH_<figure>.json document.
+type Artifact struct {
+	Schema     string           `json:"schema"`
+	Figure     string           `json:"figure"`
+	Title      string           `json:"title"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	Config     ArtifactConfig   `json:"config"`
+	Series     []ArtifactSeries `json:"series"`
+}
+
+// NewArtifact assembles an artifact from completed series.
+func NewArtifact(figure, title string, cfg Config, width uint32, quick bool) Artifact {
+	return Artifact{
+		Schema:     ArtifactSchema,
+		Figure:     figure,
+		Title:      title,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Config: ArtifactConfig{
+			Mix:        cfg.Mix,
+			KeyRange:   cfg.KeyRange,
+			DurationMS: float64(cfg.Duration.Microseconds()) / 1e3,
+			WarmupMS:   float64(cfg.Warmup.Microseconds()) / 1e3,
+			Trials:     cfg.Trials,
+			SeqLen:     cfg.SeqLen,
+			Seed:       cfg.Seed,
+			Width:      width,
+		},
+	}
+}
+
+// AddSeries appends one implementation's results to the artifact.
+func (a *Artifact) AddSeries(s Series, allocs *AllocsProfile) {
+	as := ArtifactSeries{Name: s.Name, AllocsPerOp: allocs}
+	for _, p := range s.Points {
+		as.Points = append(as.Points, ArtifactPoint{
+			Threads:         p.Threads,
+			MeanOpsPerSec:   p.Summary.Mean,
+			StddevOpsPerSec: p.Summary.Stddev,
+		})
+	}
+	a.Series = append(a.Series, as)
+}
+
+// ArtifactFilename returns the canonical file name for a figure's
+// artifact, BENCH_<figure>.json.
+func ArtifactFilename(figure string) string {
+	return fmt.Sprintf("BENCH_%s.json", figure)
+}
+
+// WriteArtifact writes the artifact to dir under its canonical name and
+// returns the full path.
+func WriteArtifact(dir string, a Artifact) (string, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, ArtifactFilename(a.Figure))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

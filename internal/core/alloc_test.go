@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"nbtrie/internal/keys"
+)
+
+// Allocation regression pins for the allocation-lean update protocol.
+// The read path must be allocation-free outright; the update paths get a
+// fixed budget derived from the nodes an update must create (each a
+// distinct heap object by the no-ABA rule) plus the descriptor and the
+// fresh Unflag of the final unflag CAS. If one of these tests starts
+// failing, garbage crept back into a hot path — see DESIGN.md before
+// raising a budget.
+
+const (
+	// insertAllocBudget: fresh leaf + its unflag, copy of the displaced
+	// leaf + its unflag, joining internal node + its unflag, the Flag
+	// descriptor, and the fresh Unflag of the unflag CAS.
+	insertAllocBudget = 8
+	// overwriteAllocBudget: fresh leaf + its unflag, the Flag
+	// descriptor, and the unflag-CAS Unflag.
+	overwriteAllocBudget = 4
+	// deleteAllocBudget: the Flag descriptor and the unflag-CAS Unflag
+	// (the sibling is re-linked, not rebuilt).
+	deleteAllocBudget = 2
+)
+
+func TestContainsIsAllocationFree(t *testing.T) {
+	tr, err := New[struct{}](20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1024; k++ {
+		tr.Insert(k)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Contains(512) {
+			t.Fatal("Contains(512) missed")
+		}
+		if tr.Contains(4096) {
+			t.Fatal("Contains(4096) false positive")
+		}
+	}); n != 0 {
+		t.Errorf("Contains allocates %v objects per call, want 0", n)
+	}
+}
+
+// TestLoadIsAllocationFree pins the headline win of the generic value
+// layer: Trie[int] stores ints unboxed in the leaf, so Load involves no
+// interface conversion — zero allocations on hit and miss alike.
+func TestLoadIsAllocationFree(t *testing.T) {
+	tr, err := New[int](20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1024; k++ {
+		tr.Store(k, int(k)+100000)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if v, ok := tr.Load(512); !ok || v != 100512 {
+			t.Fatal("Load(512) wrong")
+		}
+		if _, ok := tr.Load(4096); ok {
+			t.Fatal("Load(4096) false positive")
+		}
+	}); n != 0 {
+		t.Errorf("Load allocates %v objects per call, want 0", n)
+	}
+}
+
+func TestUpdateAllocationBudgets(t *testing.T) {
+	tr, err := New[int](30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1024; k++ {
+		tr.Store(k, int(k))
+	}
+
+	k := uint64(1 << 20)
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Store(k, 100000+int(k)) {
+			t.Fatal("insert Store failed")
+		}
+		k++
+	}); n > insertAllocBudget {
+		t.Errorf("uncontended insert allocates %v objects, budget %d", n, insertAllocBudget)
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Store(512, 100000) {
+			t.Fatal("overwrite Store failed")
+		}
+	}); n > overwriteAllocBudget {
+		t.Errorf("uncontended overwrite allocates %v objects, budget %d", n, overwriteAllocBudget)
+	}
+
+	d := uint64(1 << 20)
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Delete(d) {
+			t.Fatal("Delete failed")
+		}
+		d++
+	}); n > deleteAllocBudget {
+		t.Errorf("uncontended delete allocates %v objects, budget %d", n, deleteAllocBudget)
+	}
+}
+
+// TestTryDeleteRootChildDefensive pins the defensive ordering in
+// tryDelete: the gp == nil branch must be taken before anything is read
+// through the search result. The situation cannot arise through Delete —
+// a leaf directly under the root is necessarily one of the two permanent
+// dummies (the 0-prefix and 1-prefix subtrees always contain them), and
+// dummy labels never equal an encoded user key, so keyInTrie rejects the
+// position first — but tryDelete must still fail closed when handed such
+// a result, leaving the trie untouched.
+func TestTryDeleteRootChildDefensive(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(7)
+
+	dummy := tr.root.child[0].Load()
+	for !dummy.leaf {
+		dummy = dummy.child[0].Load()
+	}
+	if dummy.bits != keys.DummyMin(tr.width) {
+		t.Fatal("setup: leftmost leaf should be the 0^ℓ dummy")
+	}
+	r := searchResult[any]{
+		p:     tr.root,
+		pInfo: tr.root.info.Load(),
+		node:  dummy,
+		// gp and gpInfo deliberately nil: the root has no parent.
+	}
+	if tr.tryDelete(dummy.bits, r) {
+		t.Error("tryDelete with nil gp must refuse")
+	}
+	if !tr.Contains(7) || tr.Size() != 1 {
+		t.Error("defensive tryDelete must not disturb the trie")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}

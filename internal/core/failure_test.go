@@ -16,14 +16,14 @@ import (
 // flagging (simulating a crash) and lets every later caller — the
 // helpers — pass through. It returns (stalled, release): stalled is
 // signalled once the victim is parked; closing release revives it.
-func stallFirst(t *testing.T) (stalled chan *desc, release chan struct{}) {
+func stallFirst(t *testing.T) (stalled chan *desc[any], release chan struct{}) {
 	t.Helper()
-	stalled = make(chan *desc, 1)
+	stalled = make(chan *desc[any], 1)
 	release = make(chan struct{})
 	var once atomic.Bool
-	testHookAfterFlagging = func(d *desc) {
+	testHookAfterFlagging = func(d any) {
 		if once.CompareAndSwap(false, true) {
-			stalled <- d
+			stalled <- d.(*desc[any])
 			<-release
 		}
 	}

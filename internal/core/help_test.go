@@ -25,8 +25,8 @@ func TestHelpBacktracksOnStaleFlag(t *testing.T) {
 	if a.leaf || b.leaf {
 		t.Fatal("test setup: expected internal children")
 	}
-	stale := newUnflag() // never the current info of b
-	d := &desc{kind: kindFlag, nFlag: 2, nUnflag: 2}
+	stale := newUnflag[any]() // never the current info of b
+	d := &desc[any]{kind: kindFlag, nFlag: 2, nUnflag: 2}
 	d.flag[0], d.flag[1] = a, b
 	d.oldInfo[0], d.oldInfo[1] = a.info.Load(), stale
 	d.unflag[0], d.unflag[1] = a, b
@@ -55,14 +55,15 @@ func TestHelpIsIdempotent(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.encode(9))
 	nodeInfo := r.node.info.Load()
-	newNode := tr.makeInternal(copyNode(r.node), newLeaf(tr.encode(9), tr.klen), nodeInfo)
+	newNode := tr.makeInternal(copyNode(r.node), newLeaf[any](tr.encode(9), tr.klen), nodeInfo)
 	if newNode == nil {
 		t.Fatal("setup: makeInternal failed")
 	}
 	d := tr.newDesc(
-		[]*node{r.p}, []*desc{r.pInfo},
-		[]*node{r.p},
-		[]*node{r.p}, []*node{r.node}, []*node{newNode}, nil)
+		[4]*node[any]{r.p}, [4]*desc[any]{r.pInfo}, 1,
+		[2]*node[any]{r.p}, 1,
+		[2]*node[any]{r.p}, [2]*node[any]{r.node}, [2]*node[any]{newNode}, 1,
+		nil)
 	if d == nil || !tr.help(d) {
 		t.Fatal("setup: first help must succeed")
 	}
@@ -87,9 +88,10 @@ func TestNewDescDuplicateHandling(t *testing.T) {
 
 	// Same node twice with the same oldInfo: deduplicated to one entry.
 	d := tr.newDesc(
-		[]*node{n, n}, []*desc{info, info},
-		[]*node{n, n},
-		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil)
+		[4]*node[any]{n, n}, [4]*desc[any]{info, info}, 2,
+		[2]*node[any]{n, n}, 2,
+		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		nil)
 	if d == nil {
 		t.Fatal("duplicates with equal oldInfo must be accepted")
 	}
@@ -99,18 +101,20 @@ func TestNewDescDuplicateHandling(t *testing.T) {
 
 	// Same node with different oldInfo: the node changed between reads.
 	if tr.newDesc(
-		[]*node{n, n}, []*desc{info, newUnflag()},
-		[]*node{n},
-		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil) != nil {
+		[4]*node[any]{n, n}, [4]*desc[any]{info, newUnflag[any]()}, 2,
+		[2]*node[any]{n}, 1,
+		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		nil) != nil {
 		t.Error("duplicates with different oldInfo must be rejected")
 	}
 
 	// A flagged oldInfo: the conflicting update gets helped, nil returned.
-	flagged := &desc{kind: kindFlag}
+	flagged := &desc[any]{kind: kindFlag}
 	if tr.newDesc(
-		[]*node{n}, []*desc{flagged},
-		[]*node{n},
-		[]*node{n}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil) != nil {
+		[4]*node[any]{n}, [4]*desc[any]{flagged}, 1,
+		[2]*node[any]{n}, 1,
+		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		nil) != nil {
 		t.Error("flagged oldInfo must be rejected")
 	}
 }
@@ -121,9 +125,9 @@ func TestNewDescSortsByLabel(t *testing.T) {
 		tr.Insert(k)
 	}
 	// Gather three internal nodes and pass them in reverse label order.
-	var internals []*node
-	var collect func(*node)
-	collect = func(n *node) {
+	var internals []*node[any]
+	var collect func(*node[any])
+	collect = func(n *node[any]) {
 		if n.leaf {
 			return
 		}
@@ -135,10 +139,12 @@ func TestNewDescSortsByLabel(t *testing.T) {
 	if len(internals) < 3 {
 		t.Fatalf("setup: want >=3 internal nodes, got %d", len(internals))
 	}
-	ns := []*node{internals[2], internals[0], internals[1]}
-	is := []*desc{ns[0].info.Load(), ns[1].info.Load(), ns[2].info.Load()}
-	d := tr.newDesc(ns, is, []*node{ns[0]},
-		[]*node{ns[0]}, []*node{nil}, []*node{newLeaf(tr.encode(1), tr.klen)}, nil)
+	ns := [4]*node[any]{internals[2], internals[0], internals[1]}
+	is := [4]*desc[any]{ns[0].info.Load(), ns[1].info.Load(), ns[2].info.Load()}
+	d := tr.newDesc(ns, is, 3,
+		[2]*node[any]{ns[0]}, 1,
+		[2]*node[any]{ns[0]}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		nil)
 	if d == nil {
 		t.Fatal("newDesc failed")
 	}
@@ -164,14 +170,14 @@ func TestLogicallyRemovedPredicate(t *testing.T) {
 	// Fabricate a replace-style flag whose pNode still points at
 	// oldChild: not yet removed.
 	p := tr.search(tr.encode(5)).p
-	d := &desc{kind: kindFlag, nPNode: 1}
+	d := &desc[any]{kind: kindFlag, nPNode: 1}
 	d.pNode[0] = p
 	d.oldChild[0] = leaf5
 	if logicallyRemoved(d) {
 		t.Error("leaf still linked under pNode[0] is not removed")
 	}
 	// Once oldChild is no longer a child of pNode[0], it is removed.
-	d.oldChild[0] = newLeaf(tr.encode(9), tr.klen)
+	d.oldChild[0] = newLeaf[any](tr.encode(9), tr.klen)
 	if !logicallyRemoved(d) {
 		t.Error("leaf unlinked from pNode[0] must report removed")
 	}
@@ -179,8 +185,8 @@ func TestLogicallyRemovedPredicate(t *testing.T) {
 
 func TestMakeInternalConflictHelps(t *testing.T) {
 	tr := mustNew(t, 8)
-	a := newLeaf(tr.encode(5), tr.klen)
-	b := newLeaf(tr.encode(5), tr.klen) // identical labels: prefix conflict
+	a := newLeaf[any](tr.encode(5), tr.klen)
+	b := newLeaf[any](tr.encode(5), tr.klen) // identical labels: prefix conflict
 
 	if tr.makeInternal(a, b, nil) != nil {
 		t.Error("equal labels must yield nil")
@@ -190,9 +196,12 @@ func TestMakeInternalConflictHelps(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.encode(9))
 	nodeInfo := r.node.info.Load()
-	nn := tr.makeInternal(copyNode(r.node), newLeaf(tr.encode(9), tr.klen), nodeInfo)
-	d := tr.newDesc([]*node{r.p}, []*desc{r.pInfo}, []*node{r.p},
-		[]*node{r.p}, []*node{r.node}, []*node{nn}, nil)
+	nn := tr.makeInternal(copyNode(r.node), newLeaf[any](tr.encode(9), tr.klen), nodeInfo)
+	d := tr.newDesc(
+		[4]*node[any]{r.p}, [4]*desc[any]{r.pInfo}, 1,
+		[2]*node[any]{r.p}, 1,
+		[2]*node[any]{r.p}, [2]*node[any]{r.node}, [2]*node[any]{nn}, 1,
+		nil)
 	tr.help(d)
 	if tr.makeInternal(a, b, d) != nil {
 		t.Error("conflict with flagged info must still yield nil")
@@ -212,7 +221,7 @@ func TestQuickOpSequences(t *testing.T) {
 		K2   uint16
 	}
 	f := func(ops []op) bool {
-		tr, err := New(16)
+		tr, err := New[any](16)
 		if err != nil {
 			return false
 		}

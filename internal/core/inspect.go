@@ -18,12 +18,12 @@ import (
 // skipped. Concurrent updates may or may not be observed; keys that are
 // present for the whole traversal are always reported. It is the
 // key-only view of AscendKV from the bottom of the key space.
-func (t *Trie) Range(fn func(k uint64) bool) {
-	t.AscendKV(0, func(k uint64, _ any) bool { return fn(k) })
+func (t *Trie[V]) Range(fn func(k uint64) bool) {
+	t.AscendKV(0, func(k uint64, _ V) bool { return fn(k) })
 }
 
 // Keys returns every user key in the set in increasing order.
-func (t *Trie) Keys() []uint64 {
+func (t *Trie[V]) Keys() []uint64 {
 	var out []uint64
 	t.Range(func(k uint64) bool {
 		out = append(out, k)
@@ -33,7 +33,7 @@ func (t *Trie) Keys() []uint64 {
 }
 
 // Size returns the number of user keys in the set.
-func (t *Trie) Size() int {
+func (t *Trie[V]) Size() int {
 	n := 0
 	t.Range(func(uint64) bool {
 		n++
@@ -54,7 +54,7 @@ func (t *Trie) Size() int {
 //   - Leaf labels appear in strictly increasing order.
 //   - No reachable node is flagged (Lemma 64: after every help call
 //     returns, no reachable node's info is a Flag).
-func (t *Trie) Validate() error {
+func (t *Trie[V]) Validate() error {
 	if t.root.plen != 0 || t.root.leaf {
 		return fmt.Errorf("root must be an internal node with empty label")
 	}
@@ -79,7 +79,7 @@ func (t *Trie) Validate() error {
 	return nil
 }
 
-func (t *Trie) validateNode(n *node, leaves *[]uint64) error {
+func (t *Trie[V]) validateNode(n *node[V], leaves *[]uint64) error {
 	if n.bits&^keys.Mask(n.plen) != 0 {
 		return fmt.Errorf("label %#x/%d is not canonical", n.bits, n.plen)
 	}
@@ -120,13 +120,13 @@ func (t *Trie) validateNode(n *node, leaves *[]uint64) error {
 
 // Dump renders the trie structure as an indented multi-line string, for
 // debugging and the triecli tool. Quiescent use only.
-func (t *Trie) Dump() string {
+func (t *Trie[V]) Dump() string {
 	var sb strings.Builder
 	t.dumpNode(&sb, t.root, 0)
 	return sb.String()
 }
 
-func (t *Trie) dumpNode(sb *strings.Builder, n *node, depth int) {
+func (t *Trie[V]) dumpNode(sb *strings.Builder, n *node[V], depth int) {
 	sb.WriteString(strings.Repeat("  ", depth))
 	label := labelString(n.bits, n.plen)
 	if n.leaf {

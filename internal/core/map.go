@@ -1,7 +1,7 @@
 package core
 
-// Map operations: the trie as a linearizable uint64 → value map. Every
-// leaf carries an immutable value payload, so a value update is a
+// Map operations: the trie as a linearizable uint64 → V map. Every leaf
+// carries an immutable, unboxed value payload, so a value update is a
 // structural update — the leaf is replaced wholesale by a fresh leaf via
 // the same flag/child-CAS protocol as the paper's Replace special case 1
 // (overwrite the leaf at the insertion point). That keeps all of the
@@ -11,7 +11,8 @@ package core
 // same pointer, and the overwrite is linearized at its single child CAS.
 //
 // Reads (Load) reuse the wait-free search and add only a field read of
-// the immutable leaf; they perform no CAS and write no shared memory.
+// the immutable leaf; they perform no CAS, write no shared memory and
+// allocate nothing — the value is stored unboxed in the leaf.
 //
 // CompareAndSwap and CompareAndDelete compare values with Go interface
 // equality, mirroring sync.Map: the old value must be comparable or the
@@ -24,7 +25,7 @@ package core
 // Store binds k to val, inserting the key if absent and overwriting the
 // value if present (lock-free upsert). It returns false only for
 // out-of-range keys, which cannot be stored.
-func (t *Trie) Store(k uint64, val any) bool {
+func (t *Trie[V]) Store(k uint64, val V) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -46,11 +47,12 @@ func (t *Trie) Store(k uint64, val any) bool {
 // LoadOrStore returns the value bound to k if present (loaded == true);
 // otherwise it stores val and returns it. The load path is wait-free.
 // ok is false only for out-of-range keys, which can neither be loaded
-// nor stored; loaded is false and actual is nil in that case.
-func (t *Trie) LoadOrStore(k uint64, val any) (actual any, loaded, ok bool) {
+// nor stored; loaded is false and actual is the zero value in that case.
+func (t *Trie[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
 	v, inRange := t.encodeOK(k)
 	if !inRange {
-		return nil, false, false
+		var zero V
+		return zero, false, false
 	}
 	for {
 		r := t.search(v)
@@ -63,10 +65,18 @@ func (t *Trie) LoadOrStore(k uint64, val any) (actual any, loaded, ok bool) {
 	}
 }
 
+// valuesEqual compares two values with Go interface equality (the
+// sync.Map contract): it panics when the values are not comparable. The
+// conversions to any may box, but only on the CompareAndSwap /
+// CompareAndDelete paths, which mutate and hence allocate anyway.
+func valuesEqual[V any](a, b V) bool {
+	return any(a) == any(b)
+}
+
 // CompareAndSwap swaps the value bound to k from old to new if the stored
 // value equals old (interface equality; old must be comparable). It
 // returns true iff the swap happened.
-func (t *Trie) CompareAndSwap(k uint64, old, new any) bool {
+func (t *Trie[V]) CompareAndSwap(k uint64, old, new V) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -76,7 +86,7 @@ func (t *Trie) CompareAndSwap(k uint64, old, new any) bool {
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		if r.node.val != old {
+		if !valuesEqual(r.node.val, old) {
 			return false
 		}
 		if t.tryOverwrite(v, new, r) {
@@ -88,7 +98,7 @@ func (t *Trie) CompareAndSwap(k uint64, old, new any) bool {
 // CompareAndDelete deletes k if its stored value equals old (interface
 // equality; old must be comparable). It returns true iff the key was
 // deleted.
-func (t *Trie) CompareAndDelete(k uint64, old any) bool {
+func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -98,7 +108,7 @@ func (t *Trie) CompareAndDelete(k uint64, old any) bool {
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		if r.node.val != old {
+		if !valuesEqual(r.node.val, old) {
 			return false
 		}
 		// The value check above is still valid when the delete commits:
@@ -114,12 +124,17 @@ func (t *Trie) CompareAndDelete(k uint64, old any) bool {
 // tryOverwrite attempts to replace the live leaf r.node (holding internal
 // key v) with a fresh leaf carrying val — the descriptor shape of the
 // paper's Replace special case 1: flag the parent, one child CAS from the
-// old leaf to the new. False means re-search and retry.
-func (t *Trie) tryOverwrite(v uint64, val any, r searchResult) bool {
+// old leaf to the new. False means re-search and retry. The fresh leaf is
+// only built once the captured parent info is known not to be a Flag.
+func (t *Trie[V]) tryOverwrite(v uint64, val V, r searchResult[V]) bool {
+	if t.helpConflict(r.pInfo, nil, nil, nil) {
+		return false
+	}
 	i := t.newDesc(
-		[]*node{r.p}, []*desc{r.pInfo},
-		[]*node{r.p},
-		[]*node{r.p}, []*node{r.node},
-		[]*node{newLeafVal(v, t.klen, val)}, nil)
+		[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
+		[2]*node[V]{r.p}, 1,
+		[2]*node[V]{r.p}, [2]*node[V]{r.node},
+		[2]*node[V]{newLeafVal(v, t.klen, val)}, 1,
+		nil)
 	return i != nil && t.help(i)
 }

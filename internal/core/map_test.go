@@ -199,10 +199,10 @@ func TestLoadPerformsNoCAS(t *testing.T) {
 	tr.Store(10, "ten")
 	tr.Store(20, "twenty")
 
-	entered := make(chan *desc, 1)
+	entered := make(chan *desc[any], 1)
 	release := make(chan struct{})
-	testHookAfterFlagging = func(d *desc) {
-		entered <- d
+	testHookAfterFlagging = func(d any) {
+		entered <- d.(*desc[any])
 		<-release
 	}
 	defer func() { testHookAfterFlagging = nil }()

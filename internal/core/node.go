@@ -1,10 +1,11 @@
 // Package core implements the non-blocking binary Patricia trie of
 // Shafiei, "Non-blocking Patricia Tries with Replace Operations"
 // (ICDCS 2013). The trie implements a linearizable set of fixed-width
-// integer keys with
+// integer keys — and, through the value payload V carried on leaves, a
+// linearizable uint64 → V map — with
 //
-//   - a wait-free Contains (the paper's find), which only reads shared
-//     memory and never performs CAS,
+//   - a wait-free Contains/Load (the paper's find), which only reads
+//     shared memory and never performs CAS,
 //   - lock-free Insert and Delete, and
 //   - a lock-free Replace(old, new) that removes one key and inserts
 //     another atomically, even though the two changes touch two different
@@ -20,6 +21,15 @@
 // freshly allocated nodes, so neither info nor child fields can suffer ABA.
 // Memory reclamation is the garbage collector's job, exactly as in the
 // paper's Java setting.
+//
+// The hot paths are deliberately allocation-lean (see DESIGN.md): values
+// are stored unboxed in the leaf (the set view instantiates V = struct{}),
+// descriptors are built from fixed-size arrays that live on the caller's
+// stack, and speculative node construction is deferred until the captured
+// info values are known not to belong to a conflicting update. The one
+// allocation that must never be optimized away is the fresh Unflag written
+// by every unflag CAS: reusing Unflag objects would let a node's info
+// field repeat a value, re-opening the ABA window the paper closes.
 package core
 
 import (
@@ -33,48 +43,50 @@ import (
 // pointers are never set. The label (bits, plen) is immutable after
 // construction; bits is left-aligned and canonical (zero beyond plen).
 // Leaf labels always have plen == ℓ (the trie's key length).
-type node struct {
+type node[V any] struct {
 	bits uint64
 	plen uint32
 	leaf bool
 
-	// val is the value payload of a leaf (nil for internal nodes and for
-	// leaves created through the set API). Like the label it is immutable
-	// after construction: a value update installs a fresh leaf through the
-	// same child-CAS path as every other update, so the no-ABA argument —
-	// child pointers are only ever swung to freshly allocated nodes — is
-	// untouched, and readers never observe a half-written value.
-	val any
+	// val is the value payload of a leaf, stored unboxed (zero for
+	// internal nodes; the set view uses V = struct{}, which occupies no
+	// space at all). Like the label it is immutable after construction: a
+	// value update installs a fresh leaf through the same child-CAS path
+	// as every other update, so the no-ABA argument — child pointers are
+	// only ever swung to freshly allocated nodes — is untouched, and
+	// readers never observe a half-written value.
+	val V
 
 	// info stores a pointer to the descriptor of the update operating on
 	// this node (a Flag object), or a fresh unflag descriptor when no
 	// update is in progress. It is never nil: the paper uses allocated
 	// Unflag objects rather than null precisely so that info values never
 	// repeat and flag CASes cannot suffer ABA.
-	info atomic.Pointer[desc]
+	info atomic.Pointer[desc[V]]
 
 	// child holds the left (0) and right (1) children of an internal node.
-	child [2]atomic.Pointer[node]
+	child [2]atomic.Pointer[node[V]]
 }
 
-// newLeaf returns a leaf node with the given full-length label, no value
-// payload and a fresh unflag descriptor.
-func newLeaf(bits uint64, klen uint32) *node {
-	return newLeafVal(bits, klen, nil)
+// newLeaf returns a leaf node with the given full-length label, a zero
+// value payload and a fresh unflag descriptor.
+func newLeaf[V any](bits uint64, klen uint32) *node[V] {
+	var zero V
+	return newLeafVal(bits, klen, zero)
 }
 
 // newLeafVal returns a leaf node carrying a value payload.
-func newLeafVal(bits uint64, klen uint32, val any) *node {
-	n := &node{bits: bits, plen: klen, leaf: true, val: val}
-	n.info.Store(newUnflag())
+func newLeafVal[V any](bits uint64, klen uint32, val V) *node[V] {
+	n := &node[V]{bits: bits, plen: klen, leaf: true, val: val}
+	n.info.Store(newUnflag[V]())
 	return n
 }
 
 // newInternal returns an internal node with the given label and children.
 // The children must already be ordered: left's bit at position plen is 0.
-func newInternal(bits uint64, plen uint32, left, right *node) *node {
-	n := &node{bits: bits, plen: plen}
-	n.info.Store(newUnflag())
+func newInternal[V any](bits uint64, plen uint32, left, right *node[V]) *node[V] {
+	n := &node[V]{bits: bits, plen: plen}
+	n.info.Store(newUnflag[V]())
 	n.child[0].Store(left)
 	n.child[1].Store(right)
 	return n
@@ -85,7 +97,7 @@ func newInternal(bits uint64, plen uint32, left, right *node) *node {
 // caller must have read n's info field beforehand, which — per Lemma 31 —
 // guarantees the children cannot change between this copy and the child
 // CAS that installs it, so the copy is faithful when it becomes reachable.
-func copyNode(n *node) *node {
+func copyNode[V any](n *node[V]) *node[V] {
 	if n.leaf {
 		return newLeafVal(n.bits, n.plen, n.val)
 	}
@@ -93,7 +105,7 @@ func copyNode(n *node) *node {
 }
 
 // labelIsPrefixOf reports whether a's label is a prefix of b's label.
-func labelIsPrefixOf(a, b *node) bool {
+func labelIsPrefixOf[V any](a, b *node[V]) bool {
 	return a.plen <= b.plen && keys.IsPrefix(a.bits, a.plen, b.bits)
 }
 
@@ -102,7 +114,7 @@ func labelIsPrefixOf(a, b *node) bool {
 // (the "blaming" argument of the paper's progress proof). Reachable nodes
 // have distinct labels (Lemma 9), and comparing (bits, plen)
 // lexicographically orders distinct labels totally.
-func labelLess(a, b *node) bool {
+func labelLess[V any](a, b *node[V]) bool {
 	if a.bits != b.bits {
 		return a.bits < b.bits
 	}
@@ -125,8 +137,10 @@ const (
 //
 // Fixed-size arrays with explicit lengths keep each descriptor to a single
 // allocation; an update flags at most four internal nodes and changes at
-// most two child pointers (the replace general case).
-type desc struct {
+// most two child pointers (the replace general case). newDesc receives
+// the same fixed-size arrays as stack values, so a failed attempt
+// allocates nothing at all.
+type desc[V any] struct {
 	kind descKind
 
 	nFlag   uint8 // entries used in flag/oldInfo
@@ -135,25 +149,25 @@ type desc struct {
 
 	// flag lists the internal nodes to flag, sorted by label; oldInfo[i]
 	// is the expected prior value of flag[i].info for the flag CAS.
-	flag    [4]*node
-	oldInfo [4]*desc
+	flag    [4]*node[V]
+	oldInfo [4]*desc[V]
 
 	// unflag lists the flagged nodes that remain in the trie and must be
 	// unflagged once the child CASes are done. Nodes in flag but not in
 	// unflag are removed by the update and stay flagged ("marked").
-	unflag [2]*node
+	unflag [2]*node[V]
 
 	// For each i, the update CASes the appropriate child pointer of
 	// pNode[i] from oldChild[i] to newChild[i].
-	pNode    [2]*node
-	oldChild [2]*node
-	newChild [2]*node
+	pNode    [2]*node[V]
+	oldChild [2]*node[V]
+	newChild [2]*node[V]
 
 	// rmvLeaf, when non-nil, is the leaf holding the replaced key of a
 	// general-case replace. It is flagged (plain store) after all flag
 	// CASes succeed and before the first child CAS; searches reaching it
 	// afterwards use logicallyRemoved to decide whether the key is gone.
-	rmvLeaf *node
+	rmvLeaf *node[V]
 
 	// flagDone is set once every node in flag was flagged successfully;
 	// helpers use it to distinguish "the update already happened and the
@@ -161,8 +175,12 @@ type desc struct {
 	flagDone atomic.Bool
 }
 
-// newUnflag allocates a fresh Unflag descriptor.
-func newUnflag() *desc { return &desc{kind: kindUnflag} }
+// newUnflag allocates a fresh Unflag descriptor. The allocation is
+// load-bearing: each unflag CAS must install a pointer the node's info
+// field has never held before, or a delayed flag CAS comparing against a
+// recycled Unflag could succeed long after its update was decided (ABA).
+// Do not pool or intern these.
+func newUnflag[V any]() *desc[V] { return &desc[V]{kind: kindUnflag} }
 
 // flagged reports whether d is a Flag descriptor.
-func (d *desc) flagged() bool { return d.kind == kindFlag }
+func (d *desc[V]) flagged() bool { return d.kind == kindFlag }

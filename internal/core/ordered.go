@@ -9,10 +9,10 @@ import "nbtrie/internal/keys"
 // current at the moment it was read).
 
 // Min returns the smallest key in the set.
-func (t *Trie) Min() (uint64, bool) { return t.Ceiling(0) }
+func (t *Trie[V]) Min() (uint64, bool) { return t.Ceiling(0) }
 
 // Max returns the largest key in the set.
-func (t *Trie) Max() (uint64, bool) {
+func (t *Trie[V]) Max() (uint64, bool) {
 	if t.width == 64 {
 		return t.Floor(^uint64(0))
 	}
@@ -21,7 +21,7 @@ func (t *Trie) Max() (uint64, bool) {
 
 // Ceiling returns the smallest key >= k, if any. A k beyond the trie's
 // key range has no ceiling.
-func (t *Trie) Ceiling(k uint64) (uint64, bool) {
+func (t *Trie[V]) Ceiling(k uint64) (uint64, bool) {
 	v, inRange := t.encodeOK(k)
 	if !inRange {
 		return 0, false
@@ -34,7 +34,7 @@ func (t *Trie) Ceiling(k uint64) (uint64, bool) {
 
 // Floor returns the largest key <= k, if any. A k beyond the trie's key
 // range bounds every member, so its floor is the maximum.
-func (t *Trie) Floor(k uint64) (uint64, bool) {
+func (t *Trie[V]) Floor(k uint64) (uint64, bool) {
 	v, inRange := t.encodeOK(k)
 	if !inRange {
 		return t.Max()
@@ -46,19 +46,19 @@ func (t *Trie) Floor(k uint64) (uint64, bool) {
 }
 
 // subtreeMax returns the largest label a key under n can have.
-func subtreeMax(n *node) uint64 {
+func subtreeMax[V any](n *node[V]) uint64 {
 	return n.bits | ^keys.Mask(n.plen)
 }
 
 // usableLeaf reports whether a leaf holds a live user key.
-func (t *Trie) usableLeaf(n *node) bool {
+func (t *Trie[V]) usableLeaf(n *node[V]) bool {
 	if n.bits == keys.DummyMin(t.width) || n.bits == keys.DummyMax(t.width) {
 		return false
 	}
 	return !logicallyRemoved(n.info.Load())
 }
 
-func (t *Trie) ceilNode(n *node, v uint64) (uint64, bool) {
+func (t *Trie[V]) ceilNode(n *node[V], v uint64) (uint64, bool) {
 	if n.leaf {
 		if n.bits >= v && t.usableLeaf(n) {
 			return n.bits, true
@@ -80,7 +80,7 @@ func (t *Trie) ceilNode(n *node, v uint64) (uint64, bool) {
 // updates. Subtrees whose label range lies entirely below from are
 // pruned, so resuming an iteration from a midpoint costs one descent,
 // not a full walk.
-func (t *Trie) AscendKV(from uint64, fn func(k uint64, val any) bool) {
+func (t *Trie[V]) AscendKV(from uint64, fn func(k uint64, val V) bool) {
 	v, inRange := t.encodeOK(from)
 	if !inRange {
 		return // nothing at or above a key beyond the range
@@ -88,7 +88,7 @@ func (t *Trie) AscendKV(from uint64, fn func(k uint64, val any) bool) {
 	t.ascendNode(t.root, v, fn)
 }
 
-func (t *Trie) ascendNode(n *node, v uint64, fn func(k uint64, val any) bool) bool {
+func (t *Trie[V]) ascendNode(n *node[V], v uint64, fn func(k uint64, val V) bool) bool {
 	if n.leaf {
 		if n.bits >= v && t.usableLeaf(n) {
 			return fn(keys.Decode(n.bits, t.width), n.val)
@@ -107,7 +107,7 @@ func (t *Trie) ascendNode(n *node, v uint64, fn func(k uint64, val any) bool) bo
 	return true
 }
 
-func (t *Trie) floorNode(n *node, v uint64) (uint64, bool) {
+func (t *Trie[V]) floorNode(n *node[V], v uint64) (uint64, bool) {
 	if n.leaf {
 		if n.bits <= v && t.usableLeaf(n) {
 			return n.bits, true

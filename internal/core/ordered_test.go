@@ -108,9 +108,9 @@ func TestOrderedSkipsLogicallyRemoved(t *testing.T) {
 	tr := mustNew(t, 8)
 	tr.Insert(50)
 	leaf := tr.search(tr.encode(50)).node
-	d := &desc{kind: kindFlag, nPNode: 1}
+	d := &desc[any]{kind: kindFlag, nPNode: 1}
 	d.pNode[0] = tr.root
-	d.oldChild[0] = newLeaf(tr.encode(1), tr.klen) // not a child: "removed"
+	d.oldChild[0] = newLeaf[any](tr.encode(1), tr.klen) // not a child: "removed"
 	leaf.info.Store(d)
 	if _, ok := tr.Ceiling(0); ok {
 		t.Error("logically removed leaf surfaced from Ceiling")

@@ -17,8 +17,12 @@ import "nbtrie/internal/keys"
 // Out-of-range keys make the operation fail (an out-of-range old is
 // never present; an out-of-range new cannot be inserted).
 //
+// Each case helps any conflicting update found among the captured info
+// values before building its replacement subtree, so a doomed attempt
+// costs no node allocations.
+//
 // Replace panics if the trie was built with WithoutReplace.
-func (t *Trie) Replace(old, new uint64) bool {
+func (t *Trie[V]) Replace(old, new uint64) bool {
 	if t.skipRmvdCheck {
 		panic("patricia trie: Replace called on a trie built with WithoutReplace")
 	}
@@ -39,7 +43,7 @@ func (t *Trie) Replace(old, new uint64) bool {
 		nodeInfoI := ri.node.info.Load()                       // line 49
 		sibD := rd.p.child[1-keys.BitAt(vd, rd.p.plen)].Load() // line 50
 
-		var i *desc
+		var i *desc[V]
 		switch {
 		case rd.gp != nil &&
 			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
@@ -49,11 +53,15 @@ func (t *Trie) Replace(old, new uint64) bool {
 		case ri.node == rd.node:
 			// Special case 1 (lines 58-59): the insertion point is the
 			// very leaf being removed; overwrite it with a fresh leaf.
+			if t.helpConflict(rd.pInfo, nil, nil, nil) {
+				break
+			}
 			i = t.newDesc(
-				[]*node{rd.p}, []*desc{rd.pInfo},
-				[]*node{rd.p},
-				[]*node{rd.p}, []*node{ri.node},
-				[]*node{newLeafVal(vi, t.klen, rd.node.val)}, nil)
+				[4]*node[V]{rd.p}, [4]*desc[V]{rd.pInfo}, 1,
+				[2]*node[V]{rd.p}, 1,
+				[2]*node[V]{rd.p}, [2]*node[V]{ri.node},
+				[2]*node[V]{newLeafVal(vi, t.klen, rd.node.val)}, 1,
+				nil)
 
 		case (ri.node == rd.p && ri.p == rd.gp) ||
 			(rd.gp != nil && ri.p == rd.p):
@@ -61,20 +69,27 @@ func (t *Trie) Replace(old, new uint64) bool {
 			// the node the insertion would replace (or they share a
 			// parent). Replace the old leaf's parent with a new internal
 			// node joining the old leaf's sibling and the new key.
+			if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
+				break
+			}
 			newNodeI := t.makeInternal(sibD, newLeafVal(vi, t.klen, rd.node.val), sibD.info.Load())
 			if newNodeI == nil {
 				break
 			}
 			i = t.newDesc(
-				[]*node{rd.gp, rd.p}, []*desc{rd.gpInfo, rd.pInfo},
-				[]*node{rd.gp},
-				[]*node{rd.gp}, []*node{rd.p},
-				[]*node{newNodeI}, nil)
+				[4]*node[V]{rd.gp, rd.p}, [4]*desc[V]{rd.gpInfo, rd.pInfo}, 2,
+				[2]*node[V]{rd.gp}, 1,
+				[2]*node[V]{rd.gp}, [2]*node[V]{rd.p},
+				[2]*node[V]{newNodeI}, 1,
+				nil)
 
 		case ri.node == rd.gp:
 			// Special case 4 (lines 65-70): the insertion would replace
 			// the old key's grandparent. Rebuild that subtree without the
 			// old leaf or its parent, then join it with the new key.
+			if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
+				break
+			}
 			pSibD := rd.gp.child[1-keys.BitAt(vd, rd.gp.plen)].Load()
 			newChildI := t.makeInternal(sibD, pSibD, nil)
 			if newChildI == nil {
@@ -85,11 +100,12 @@ func (t *Trie) Replace(old, new uint64) bool {
 				break
 			}
 			i = t.newDesc(
-				[]*node{ri.p, rd.gp, rd.p},
-				[]*desc{ri.pInfo, rd.gpInfo, rd.pInfo},
-				[]*node{ri.p},
-				[]*node{ri.p}, []*node{ri.node},
-				[]*node{newNodeI}, nil)
+				[4]*node[V]{ri.p, rd.gp, rd.p},
+				[4]*desc[V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
+				[2]*node[V]{ri.p}, 1,
+				[2]*node[V]{ri.p}, [2]*node[V]{ri.node},
+				[2]*node[V]{newNodeI}, 1,
+				nil)
 		}
 
 		if i != nil && t.help(i) {
@@ -104,7 +120,13 @@ func (t *Trie) Replace(old, new uint64) bool {
 // would flag, marks the old leaf, and performs two child CASes — insert
 // first, then delete. rmvLeaf is the old key's leaf; once the first child
 // CAS lands, searches reaching that leaf see it as logically removed.
-func (t *Trie) replaceGeneral(vi uint64, rd, ri searchResult, nodeInfoI *desc, sibD *node) *desc {
+func (t *Trie[V]) replaceGeneral(vi uint64, rd, ri searchResult[V], nodeInfoI *desc[V], sibD *node[V]) *desc[V] {
+	// Help-before-build: every info value this case will hand to newDesc
+	// is checked up front, so no subtree is constructed for an attempt
+	// that is already doomed by a conflicting update.
+	if t.helpConflict(rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI) {
+		return nil
+	}
 	// The fresh leaf for the new key inherits the removed leaf's value:
 	// rd.node is immutable, so reading its payload here is consistent
 	// with the leaf the descriptor marks as rmvLeaf.
@@ -116,21 +138,21 @@ func (t *Trie) replaceGeneral(vi uint64, rd, ri searchResult, nodeInfoI *desc, s
 		// Line 55: the displaced insertion point is internal, so it too
 		// must be flagged (permanently — it leaves the trie).
 		return t.newDesc(
-			[]*node{rd.gp, rd.p, ri.p, ri.node},
-			[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI},
-			[]*node{rd.gp, ri.p},
-			[]*node{ri.p, rd.gp},
-			[]*node{ri.node, rd.p},
-			[]*node{newNodeI, sibD},
+			[4]*node[V]{rd.gp, rd.p, ri.p, ri.node},
+			[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
+			[2]*node[V]{rd.gp, ri.p}, 2,
+			[2]*node[V]{ri.p, rd.gp},
+			[2]*node[V]{ri.node, rd.p},
+			[2]*node[V]{newNodeI, sibD}, 2,
 			rd.node)
 	}
 	// Line 57: leaf insertion point.
 	return t.newDesc(
-		[]*node{rd.gp, rd.p, ri.p},
-		[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo},
-		[]*node{rd.gp, ri.p},
-		[]*node{ri.p, rd.gp},
-		[]*node{ri.node, rd.p},
-		[]*node{newNodeI, sibD},
+		[4]*node[V]{rd.gp, rd.p, ri.p},
+		[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
+		[2]*node[V]{rd.gp, ri.p}, 2,
+		[2]*node[V]{ri.p, rd.gp},
+		[2]*node[V]{ri.node, rd.p},
+		[2]*node[V]{newNodeI, sibD}, 2,
 		rd.node)
 }

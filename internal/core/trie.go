@@ -7,19 +7,15 @@ import (
 )
 
 // Trie is a non-blocking Patricia trie implementing a linearizable set of
-// uint64 keys in [0, 2^width). All methods are safe for concurrent use by
-// any number of goroutines without external synchronization.
-//
-// Internally keys are width+1 bits long (the paper's ℓ), shifted by one so
-// that the two permanent dummy leaves 0^ℓ and 1^ℓ can never collide with a
-// user key. The root is a permanent internal node labelled ε whose subtree
-// always contains both dummies, so the trie always has at least two leaves
-// and the root never needs replacing, exactly as in the paper's
-// initialization (Figure 2, line 19).
-type Trie struct {
+// uint64 keys in [0, 2^width) — and a linearizable uint64 → V map through
+// the value payload carried unboxed on every leaf. All methods are safe
+// for concurrent use by any number of goroutines without external
+// synchronization. The pure set view instantiates V = struct{}, which
+// occupies no space in the leaf.
+type Trie[V any] struct {
 	width uint32
 	klen  uint32
-	root  *node
+	root  *node[V]
 
 	// skipRmvdCheck applies the paper's Section V optimization for
 	// workloads without replace operations: the search does not inspect
@@ -29,27 +25,27 @@ type Trie struct {
 }
 
 // Option configures a Trie.
-type Option func(*Trie)
+type Option[V any] func(*Trie[V])
 
 // WithoutReplace applies the paper's Section V optimization ("we
 // eliminated the rmvd variable in search operations"): searches skip the
 // logical-removal check that only replace operations can trigger. Calling
 // Replace on a trie built with this option panics.
-func WithoutReplace() Option {
-	return func(t *Trie) { t.skipRmvdCheck = true }
+func WithoutReplace[V any]() Option[V] {
+	return func(t *Trie[V]) { t.skipRmvdCheck = true }
 }
 
 // New returns an empty trie over keys in [0, 2^width). Width must be in
 // [1, keys.MaxWidth].
-func New(width uint32, opts ...Option) (*Trie, error) {
+func New[V any](width uint32, opts ...Option[V]) (*Trie[V], error) {
 	if width < 1 || width > keys.MaxWidth {
 		return nil, fmt.Errorf("patricia trie: width %d out of range [1, %d]", width, keys.MaxWidth)
 	}
 	klen := keys.KeyLen(width)
-	t := &Trie{width: width, klen: klen}
+	t := &Trie[V]{width: width, klen: klen}
 	t.root = newInternal(0, 0,
-		newLeaf(keys.DummyMin(width), klen),
-		newLeaf(keys.DummyMax(width), klen))
+		newLeaf[V](keys.DummyMin(width), klen),
+		newLeaf[V](keys.DummyMax(width), klen))
 	for _, o := range opts {
 		o(t)
 	}
@@ -57,13 +53,13 @@ func New(width uint32, opts ...Option) (*Trie, error) {
 }
 
 // Width returns the user-key width in bits.
-func (t *Trie) Width() uint32 { return t.width }
+func (t *Trie[V]) Width() uint32 { return t.width }
 
 // encode maps a user key into the internal left-aligned key space,
 // panicking on out-of-range keys. The exported operations never call it
 // with an out-of-range key (they go through encodeOK); it is retained for
 // white-box tests that construct internal keys directly.
-func (t *Trie) encode(k uint64) uint64 {
+func (t *Trie[V]) encode(k uint64) uint64 {
 	if !keys.InRange(k, t.width) {
 		panic(fmt.Sprintf("patricia trie: key %d out of range for width %d", k, t.width))
 	}
@@ -74,7 +70,7 @@ func (t *Trie) encode(k uint64) uint64 {
 // for keys outside [0, 2^width). Out-of-range keys are never members of
 // the set, so every operation treats them as simply absent instead of
 // panicking.
-func (t *Trie) encodeOK(k uint64) (uint64, bool) {
+func (t *Trie[V]) encodeOK(k uint64) (uint64, bool) {
 	if !keys.InRange(k, t.width) {
 		return 0, false
 	}
@@ -83,9 +79,9 @@ func (t *Trie) encodeOK(k uint64) (uint64, bool) {
 
 // searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
 // rmvd⟩ returned by search.
-type searchResult struct {
-	gp, p, node   *node
-	gpInfo, pInfo *desc
+type searchResult[V any] struct {
+	gp, p, node   *node[V]
+	gpInfo, pInfo *desc[V]
 	rmvd          bool
 }
 
@@ -93,10 +89,10 @@ type searchResult struct {
 // root and descends by the bit of v at each node's label length, stopping
 // at a leaf or at an internal node whose label is no longer a prefix of v.
 // It is wait-free: labels strictly lengthen along any path (Invariant 7),
-// so the loop runs at most ℓ times. It performs no CAS and never writes
-// shared memory.
-func (t *Trie) search(v uint64) searchResult {
-	var r searchResult
+// so the loop runs at most ℓ times. It performs no CAS, never writes
+// shared memory, and never allocates.
+func (t *Trie[V]) search(v uint64) searchResult[V] {
+	var r searchResult[V]
 	n := t.root
 	for !n.leaf && keys.IsPrefix(n.bits, n.plen, v) {
 		r.gp, r.gpInfo = r.p, r.pInfo
@@ -114,7 +110,7 @@ func (t *Trie) search(v uint64) searchResult {
 // the Flag of a general-case replace is logically removed once that
 // replace's first child CAS has happened, which is detectable by the old
 // child no longer being a child of pNode[0] (Lemma 41).
-func logicallyRemoved(i *desc) bool {
+func logicallyRemoved[V any](i *desc[V]) bool {
 	if !i.flagged() {
 		return false
 	}
@@ -123,14 +119,14 @@ func logicallyRemoved(i *desc) bool {
 }
 
 // keyInTrie implements lines 125-126.
-func keyInTrie(n *node, v uint64, rmvd bool) bool {
+func keyInTrie[V any](n *node[V], v uint64, rmvd bool) bool {
 	return n.leaf && n.bits == v && !rmvd
 }
 
-// Contains reports whether k is in the set. It is wait-free and never
-// modifies the trie (the paper's find, lines 72-75). Out-of-range keys
-// are reported absent.
-func (t *Trie) Contains(k uint64) bool {
+// Contains reports whether k is in the set. It is wait-free, never
+// modifies the trie and never allocates (the paper's find, lines 72-75).
+// Out-of-range keys are reported absent.
+func (t *Trie[V]) Contains(k uint64) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -139,18 +135,21 @@ func (t *Trie) Contains(k uint64) bool {
 	return keyInTrie(r.node, v, r.rmvd)
 }
 
-// Load returns the value stored under k, or (nil, false) when k is not in
-// the set. Like Contains it is wait-free: one descent, only reads, no CAS.
-// Leaf values are immutable (updates install fresh leaves), so the value
-// returned is exactly the one bound to k at the linearization point.
-func (t *Trie) Load(k uint64) (any, bool) {
+// Load returns the value stored under k, or (zero, false) when k is not
+// in the set. Like Contains it is wait-free and allocation-free: one
+// descent, only reads, no CAS, and the value comes back unboxed straight
+// from the leaf. Leaf values are immutable (updates install fresh
+// leaves), so the value returned is exactly the one bound to k at the
+// linearization point.
+func (t *Trie[V]) Load(k uint64) (V, bool) {
+	var zero V
 	v, ok := t.encodeOK(k)
 	if !ok {
-		return nil, false
+		return zero, false
 	}
 	r := t.search(v)
 	if !keyInTrie(r.node, v, r.rmvd) {
-		return nil, false
+		return zero, false
 	}
 	return r.node.val, true
 }

@@ -6,7 +6,11 @@ import (
 	"testing"
 )
 
-func mustNew(t *testing.T, width uint32, opts ...Option) *Trie {
+// mustNew builds a Trie[any] — the loosest instantiation, letting the
+// white-box tests exercise the set view and arbitrary value payloads on
+// the same trie. Allocation pins use concrete instantiations instead
+// (see alloc_test.go).
+func mustNew(t *testing.T, width uint32, opts ...Option[any]) *Trie[any] {
 	t.Helper()
 	tr, err := New(width, opts...)
 	if err != nil {
@@ -17,12 +21,12 @@ func mustNew(t *testing.T, width uint32, opts ...Option) *Trie {
 
 func TestNewWidthValidation(t *testing.T) {
 	for _, w := range []uint32{0, 64, 100} {
-		if _, err := New(w); err == nil {
+		if _, err := New[any](w); err == nil {
 			t.Errorf("New(%d) should fail", w)
 		}
 	}
 	for _, w := range []uint32{1, 32, 63} {
-		if _, err := New(w); err != nil {
+		if _, err := New[any](w); err != nil {
 			t.Errorf("New(%d): %v", w, err)
 		}
 	}
@@ -257,7 +261,7 @@ func TestSequentialOracle(t *testing.T) {
 }
 
 func TestWithoutReplaceOption(t *testing.T) {
-	tr := mustNew(t, 8, WithoutReplace())
+	tr := mustNew(t, 8, WithoutReplace[any]())
 	tr.Insert(1)
 	if !tr.Contains(1) || tr.Contains(2) {
 		t.Error("basic ops must still work with WithoutReplace")
@@ -355,7 +359,7 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 
 	// A reachable flagged node at quiescence is a violation.
-	d := &desc{kind: kindFlag}
+	d := &desc[any]{kind: kindFlag}
 	old := c0.info.Load()
 	c0.info.Store(d)
 	if tr.Validate() == nil {

@@ -5,10 +5,12 @@ import (
 )
 
 // testHookAfterFlagging, when non-nil, runs inside help after all flag
-// CASes succeeded and before the child CASes. It exists only for
-// failure-injection tests (stalling an operation at its most delicate
-// point); it is nil in production and must only be set at quiescence.
-var testHookAfterFlagging func(*desc)
+// CASes succeeded and before the child CASes. It receives the *desc[V] of
+// the stalled update as an any (a package-level hook cannot be generic).
+// It exists only for failure-injection tests (stalling an operation at its
+// most delicate point); it is nil in production and must only be set at
+// quiescence.
+var testHookAfterFlagging func(any)
 
 // help carries out the real work of the update described by the Flag
 // descriptor I (lines 86-106). It may be called by the update's own
@@ -21,7 +23,7 @@ var testHookAfterFlagging func(*desc)
 // replace only), and perform the child CASes; finally unflag survivors
 // (success) or backtrack the flags (failure). The update is linearized at
 // its first successful child CAS.
-func (t *Trie) help(i *desc) bool {
+func (t *Trie[V]) help(i *desc[V]) bool {
 	doChildCAS := true
 	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
 		n := i.flag[j]
@@ -53,12 +55,14 @@ func (t *Trie) help(i *desc) bool {
 
 	if i.flagDone.Load() {
 		for j := int(i.nUnflag) - 1; j >= 0; j-- {
-			i.unflag[j].info.CompareAndSwap(i, newUnflag()) // unflag CAS (line 101)
+			// The fresh Unflag per CAS is required for no-ABA; see
+			// newUnflag.
+			i.unflag[j].info.CompareAndSwap(i, newUnflag[V]()) // unflag CAS (line 101)
 		}
 		return true
 	}
 	for j := int(i.nFlag) - 1; j >= 0; j-- {
-		i.flag[j].info.CompareAndSwap(i, newUnflag()) // backtrack CAS (line 105)
+		i.flag[j].info.CompareAndSwap(i, newUnflag[V]()) // backtrack CAS (line 105)
 	}
 	return false
 }
@@ -68,82 +72,106 @@ func (t *Trie) help(i *desc) bool {
 // if any — when some node to be flagged is already owned by another
 // operation, or when the same node was captured twice with different info
 // values (its children may have changed between the two reads). Otherwise
-// it deduplicates, sorts the flag set by label, and packs the descriptor.
-func (t *Trie) newDesc(
-	flag []*node, oldInfo []*desc, unflag []*node,
-	pNode, oldChild, newChild []*node, rmvLeaf *node,
-) *desc {
+// it deduplicates and sorts the flag set by label in place and packs the
+// descriptor.
+//
+// The parameters are fixed-size arrays with explicit occupancy counts,
+// passed by value: they live on the caller's stack, are mutated locally
+// (dedup and sort happen in place on the parameter copies), and the only
+// heap allocation on any path is the descriptor itself on success. The
+// earlier slice-based signature allocated up to nine slices per attempt —
+// including every retry of a contended update.
+func (t *Trie[V]) newDesc(
+	flag [4]*node[V], oldInfo [4]*desc[V], nFlag int,
+	unflag [2]*node[V], nUnflag int,
+	pNode, oldChild, newChild [2]*node[V], nPNode int,
+	rmvLeaf *node[V],
+) *desc[V] {
 	// Lines 108-111: if any captured info value is a Flag, that update is
 	// incomplete; help it and make the caller retry from scratch.
-	for _, oi := range oldInfo {
-		if oi.flagged() {
-			t.help(oi)
+	for j := 0; j < nFlag; j++ {
+		if oldInfo[j].flagged() {
+			t.help(oldInfo[j])
 			return nil
 		}
 	}
 
-	// Lines 112-114: duplicates with disagreeing old values mean the node
-	// changed between our two reads of it; retry. Otherwise keep the
-	// first occurrence only.
-	for a := 0; a < len(flag); a++ {
-		for b := a + 1; b < len(flag); b++ {
-			if flag[a] == flag[b] && oldInfo[a] != oldInfo[b] {
-				return nil
-			}
-		}
-	}
-	df := make([]*node, 0, len(flag))
-	di := make([]*desc, 0, len(flag))
-	for a, n := range flag {
+	// Lines 112-114: deduplicate in place, keeping first occurrences.
+	// Duplicates with disagreeing old values mean the node changed
+	// between our two reads of it; retry.
+	m := 0
+	for a := 0; a < nFlag; a++ {
 		dup := false
-		for b := 0; b < a; b++ {
-			if flag[b] == n {
+		for b := 0; b < m; b++ {
+			if flag[b] == flag[a] {
+				if oldInfo[b] != oldInfo[a] {
+					return nil
+				}
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			df = append(df, n)
-			di = append(di, oldInfo[a])
+			flag[m], oldInfo[m] = flag[a], oldInfo[a]
+			m++
 		}
 	}
-	du := make([]*node, 0, len(unflag))
-	for a, n := range unflag {
+	nFlag = m
+
+	m = 0
+	for a := 0; a < nUnflag; a++ {
 		dup := false
-		for b := 0; b < a; b++ {
-			if unflag[b] == n {
+		for b := 0; b < m; b++ {
+			if unflag[b] == unflag[a] {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			du = append(du, n)
+			unflag[m] = unflag[a]
+			m++
 		}
 	}
+	nUnflag = m
 
 	// Line 115: sort the flag set (and its old values) by label so every
 	// operation flags nodes in the same global order.
-	for a := 1; a < len(df); a++ {
-		for b := a; b > 0 && labelLess(df[b], df[b-1]); b-- {
-			df[b], df[b-1] = df[b-1], df[b]
-			di[b], di[b-1] = di[b-1], di[b]
+	for a := 1; a < nFlag; a++ {
+		for b := a; b > 0 && labelLess(flag[b], flag[b-1]); b-- {
+			flag[b], flag[b-1] = flag[b-1], flag[b]
+			oldInfo[b], oldInfo[b-1] = oldInfo[b-1], oldInfo[b]
 		}
 	}
 
-	d := &desc{
-		kind:    kindFlag,
-		nFlag:   uint8(len(df)),
-		nUnflag: uint8(len(du)),
-		nPNode:  uint8(len(pNode)),
-		rmvLeaf: rmvLeaf,
+	return &desc[V]{
+		kind:     kindFlag,
+		nFlag:    uint8(nFlag),
+		nUnflag:  uint8(nUnflag),
+		nPNode:   uint8(nPNode),
+		flag:     flag,
+		oldInfo:  oldInfo,
+		unflag:   unflag,
+		pNode:    pNode,
+		oldChild: oldChild,
+		newChild: newChild,
+		rmvLeaf:  rmvLeaf,
 	}
-	copy(d.flag[:], df)
-	copy(d.oldInfo[:], di)
-	copy(d.unflag[:], du)
-	copy(d.pNode[:], pNode)
-	copy(d.oldChild[:], oldChild)
-	copy(d.newChild[:], newChild)
-	return d
+}
+
+// helpConflict helps the first flagged descriptor among the captured info
+// values, reporting whether one was found. Update attempts call it before
+// building any speculative nodes: a flagged capture dooms the attempt
+// (newDesc would reject it), so helping-then-retrying here avoids
+// constructing leaves and copies that would be thrown away. nil entries
+// are skipped.
+func (t *Trie[V]) helpConflict(i1, i2, i3, i4 *desc[V]) bool {
+	for _, d := range [...]*desc[V]{i1, i2, i3, i4} {
+		if d != nil && d.flagged() {
+			t.help(d)
+			return true
+		}
+	}
+	return false
 }
 
 // makeInternal is the paper's createNode (lines 117-121): it returns a new
@@ -153,7 +181,7 @@ func (t *Trie) newDesc(
 // info value is helped if it is a Flag (the usual cause: n1 is a stale
 // copy of a node another update is replacing) and nil is returned so the
 // caller retries.
-func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
+func (t *Trie[V]) makeInternal(n1, n2 *node[V], info *desc[V]) *node[V] {
 	if labelIsPrefixOf(n1, n2) || labelIsPrefixOf(n2, n1) {
 		if info != nil && info.flagged() {
 			t.help(info)
@@ -175,12 +203,13 @@ func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
 // displaced node; copying avoids ABA on child pointers. When the
 // displaced node is internal it is flagged permanently, since it leaves
 // the trie.
-func (t *Trie) Insert(k uint64) bool {
-	return t.InsertValue(k, nil)
+func (t *Trie[V]) Insert(k uint64) bool {
+	var zero V
+	return t.InsertValue(k, zero)
 }
 
 // InsertValue is Insert with a value payload bound to the fresh leaf.
-func (t *Trie) InsertValue(k uint64, val any) bool {
+func (t *Trie[V]) InsertValue(k uint64, val V) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -199,24 +228,33 @@ func (t *Trie) InsertValue(k uint64, val any) bool {
 // tryInsert attempts one round of the insert protocol for the internal
 // key v at the position located by r; it returns false when the caller
 // must re-search and retry (conflicting update helped, or CAS lost).
-func (t *Trie) tryInsert(v uint64, val any, r searchResult) bool {
+func (t *Trie[V]) tryInsert(v uint64, val V, r searchResult[V]) bool {
 	n := r.node
 	nodeInfo := n.info.Load() // line 25: info before children
+	// Deferred speculative construction: a flagged capture means newDesc
+	// would reject this attempt anyway, so help the conflicting update
+	// and retry before building the fresh leaf, the copy of n and the
+	// joining internal node only to discard them.
+	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
+		return false
+	}
 	newNode := t.makeInternal(copyNode(n), newLeafVal(v, t.klen, val), nodeInfo)
 	if newNode == nil {
 		return false
 	}
-	var i *desc
+	var i *desc[V]
 	if !n.leaf {
 		i = t.newDesc(
-			[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
-			[]*node{r.p},
-			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+			[4]*node[V]{r.p, n}, [4]*desc[V]{r.pInfo, nodeInfo}, 2,
+			[2]*node[V]{r.p}, 1,
+			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			nil)
 	} else {
 		i = t.newDesc(
-			[]*node{r.p}, []*desc{r.pInfo},
-			[]*node{r.p},
-			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+			[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
+			[2]*node[V]{r.p}, 1,
+			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			nil)
 	}
 	return i != nil && t.help(i)
 }
@@ -226,7 +264,7 @@ func (t *Trie) tryInsert(v uint64, val any, r searchResult) bool {
 // k's leaf is replaced by the leaf's sibling; both the grandparent and
 // the parent are flagged, and the parent — which leaves the trie — stays
 // flagged forever.
-func (t *Trie) Delete(k uint64) bool {
+func (t *Trie[V]) Delete(k uint64) bool {
 	v, ok := t.encodeOK(k)
 	if !ok {
 		return false
@@ -244,18 +282,23 @@ func (t *Trie) Delete(k uint64) bool {
 
 // tryDelete attempts one round of the delete protocol for the internal
 // key v located by r; false means re-search and retry.
-func (t *Trie) tryDelete(v uint64, r searchResult) bool {
-	sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
+func (t *Trie[V]) tryDelete(v uint64, r searchResult[V]) bool {
 	if r.gp == nil {
 		// A leaf that is a direct child of the root necessarily holds
 		// a dummy key (the 0-prefix and 1-prefix subtrees always
 		// contain their dummies), and dummies never match a user key,
-		// so this branch is unreachable; retry defensively.
+		// so this branch is unreachable from Delete; retry defensively.
+		// The check comes before any read through r.p so a malformed
+		// searchResult (white-box callers, future refactors) fails
+		// closed instead of dereferencing a position the search never
+		// certified.
 		return false
 	}
+	sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
 	i := t.newDesc(
-		[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
-		[]*node{r.gp},
-		[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+		[4]*node[V]{r.gp, r.p}, [4]*desc[V]{r.gpInfo, r.pInfo}, 2,
+		[2]*node[V]{r.gp}, 1,
+		[2]*node[V]{r.gp}, [2]*node[V]{r.p}, [2]*node[V]{sib}, 1,
+		nil)
 	return i != nil && t.help(i)
 }

@@ -8,6 +8,15 @@
 // because key length is unbounded, searches are non-blocking but no
 // longer wait-free.
 //
+// Like internal/core, the trie is generic over the leaf value payload V
+// and its update protocol is allocation-lean: values live unboxed on
+// leaves, descriptors are built from fixed-size stack arrays (an update
+// flags at most four nodes and swings at most two child pointers, the
+// same bounds as the fixed-width trie), and speculative node construction
+// is deferred until the captured info values are known not to belong to a
+// conflicting update. The fresh Unflag allocated per unflag CAS is
+// load-bearing for no-ABA and must not be pooled; see DESIGN.md.
+//
 // Empty keys are rejected: the paper's encoding maps the empty string to
 // "11", which is a prefix of the 111 dummy and therefore cannot coexist
 // with it in a Patricia trie.
@@ -22,36 +31,37 @@ import (
 )
 
 // node mirrors internal/core's node with Bitstring labels. val is the
-// immutable value payload of a leaf (nil for internal nodes and for
-// set-API leaves); value updates install fresh leaves through the child-
-// CAS path, exactly as in internal/core, so no-ABA is preserved.
-type node struct {
+// immutable, unboxed value payload of a leaf (zero for internal nodes and
+// for set-API leaves); value updates install fresh leaves through the
+// child-CAS path, exactly as in internal/core, so no-ABA is preserved.
+type node[V any] struct {
 	label keys.Bitstring
 	leaf  bool
-	val   any
-	info  atomic.Pointer[desc]
-	child [2]atomic.Pointer[node]
+	val   V
+	info  atomic.Pointer[desc[V]]
+	child [2]atomic.Pointer[node[V]]
 }
 
-func newLeaf(label keys.Bitstring) *node {
-	return newLeafVal(label, nil)
+func newLeaf[V any](label keys.Bitstring) *node[V] {
+	var zero V
+	return newLeafVal(label, zero)
 }
 
-func newLeafVal(label keys.Bitstring, val any) *node {
-	n := &node{label: label, leaf: true, val: val}
-	n.info.Store(newUnflag())
+func newLeafVal[V any](label keys.Bitstring, val V) *node[V] {
+	n := &node[V]{label: label, leaf: true, val: val}
+	n.info.Store(newUnflag[V]())
 	return n
 }
 
-func newInternal(label keys.Bitstring, left, right *node) *node {
-	n := &node{label: label}
-	n.info.Store(newUnflag())
+func newInternal[V any](label keys.Bitstring, left, right *node[V]) *node[V] {
+	n := &node[V]{label: label}
+	n.info.Store(newUnflag[V]())
 	n.child[0].Store(left)
 	n.child[1].Store(right)
 	return n
 }
 
-func copyNode(n *node) *node {
+func copyNode[V any](n *node[V]) *node[V] {
 	if n.leaf {
 		return newLeafVal(n.label, n.val)
 	}
@@ -65,36 +75,48 @@ const (
 	kindFlag
 )
 
-// desc is the Flag/Unflag Info object, identical in role to core's.
-type desc struct {
+// desc is the Flag/Unflag Info object, identical in role to core's. The
+// same worst case applies — a general-case replace with an internal
+// insertion point flags four nodes, unflags two and performs two child
+// CASes — so the same fixed-size arrays bound it, and a descriptor is a
+// single allocation.
+type desc[V any] struct {
 	kind descKind
 
-	flag     []*node
-	oldInfo  []*desc
-	unflag   []*node
-	pNode    []*node
-	oldChild []*node
-	newChild []*node
+	nFlag   uint8
+	nUnflag uint8
+	nPNode  uint8
 
-	rmvLeaf  *node
+	flag    [4]*node[V]
+	oldInfo [4]*desc[V]
+	unflag  [2]*node[V]
+
+	pNode    [2]*node[V]
+	oldChild [2]*node[V]
+	newChild [2]*node[V]
+
+	rmvLeaf  *node[V]
 	flagDone atomic.Bool
 }
 
-func newUnflag() *desc { return &desc{kind: kindUnflag} }
+// newUnflag allocates a fresh Unflag descriptor; the allocation is
+// load-bearing for no-ABA on info fields (see core.newUnflag).
+func newUnflag[V any]() *desc[V] { return &desc[V]{kind: kindUnflag} }
 
-func (d *desc) flagged() bool { return d.kind == kindFlag }
+func (d *desc[V]) flagged() bool { return d.kind == kindFlag }
 
 // Trie is the variable-length-key Patricia trie. Keys are arbitrary
-// non-empty byte strings.
-type Trie struct {
-	root *node
+// non-empty byte strings; each leaf carries an unboxed value of type V
+// (the set view instantiates V = struct{}).
+type Trie[V any] struct {
+	root *node[V]
 }
 
 // New returns an empty trie.
-func New() *Trie {
-	return &Trie{root: newInternal(keys.Bitstring{},
-		newLeaf(keys.StrDummyMin()),
-		newLeaf(keys.StrDummyMax()))}
+func New[V any]() *Trie[V] {
+	return &Trie[V]{root: newInternal(keys.Bitstring{},
+		newLeaf[V](keys.StrDummyMin()),
+		newLeaf[V](keys.StrDummyMax()))}
 }
 
 func encode(k []byte) keys.Bitstring {
@@ -105,17 +127,17 @@ func encode(k []byte) keys.Bitstring {
 	return keys.EncodeString(k)
 }
 
-type searchResult struct {
-	gp, p, node   *node
-	gpInfo, pInfo *desc
+type searchResult[V any] struct {
+	gp, p, node   *node[V]
+	gpInfo, pInfo *desc[V]
 	rmvd          bool
 }
 
 // search descends to v's location. The loop is bounded by v's encoded
 // length plus churn from concurrent restructuring: lock-free, not
 // wait-free (Section VI).
-func (t *Trie) search(v keys.Bitstring) searchResult {
-	var r searchResult
+func (t *Trie[V]) search(v keys.Bitstring) searchResult[V] {
+	var r searchResult[V]
 	n := t.root
 	for !n.leaf && n.label.IsPrefixOf(v) && n.label.Len() < v.Len() {
 		r.gp, r.gpInfo = r.p, r.pInfo
@@ -129,7 +151,7 @@ func (t *Trie) search(v keys.Bitstring) searchResult {
 	return r
 }
 
-func logicallyRemoved(i *desc) bool {
+func logicallyRemoved[V any](i *desc[V]) bool {
 	if !i.flagged() {
 		return false
 	}
@@ -137,12 +159,12 @@ func logicallyRemoved(i *desc) bool {
 	return p.child[0].Load() != old && p.child[1].Load() != old
 }
 
-func keyInTrie(n *node, v keys.Bitstring, rmvd bool) bool {
+func keyInTrie[V any](n *node[V], v keys.Bitstring, rmvd bool) bool {
 	return n.leaf && n.label.Equal(v) && !rmvd
 }
 
 // Contains reports whether k is in the set (read-only, lock-free).
-func (t *Trie) Contains(k []byte) bool {
+func (t *Trie[V]) Contains(k []byte) bool {
 	v := encode(k)
 	r := t.search(v)
 	return keyInTrie(r.node, v, r.rmvd)
@@ -150,9 +172,9 @@ func (t *Trie) Contains(k []byte) bool {
 
 // help is the core help routine over Bitstring nodes; see
 // internal/core/update.go for the step-by-step commentary.
-func (t *Trie) help(i *desc) bool {
+func (t *Trie[V]) help(i *desc[V]) bool {
 	doChildCAS := true
-	for j := 0; j < len(i.flag) && doChildCAS; j++ {
+	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
 		n := i.flag[j]
 		n.info.CompareAndSwap(i.oldInfo[j], i)
 		doChildCAS = n.info.Load() == i
@@ -162,86 +184,113 @@ func (t *Trie) help(i *desc) bool {
 		if i.rmvLeaf != nil {
 			i.rmvLeaf.info.Store(i)
 		}
-		for j := 0; j < len(i.pNode); j++ {
+		for j := 0; j < int(i.nPNode); j++ {
 			p, nc := i.pNode[j], i.newChild[j]
 			k := nc.label.Bit(p.label.Len())
 			p.child[k].CompareAndSwap(i.oldChild[j], nc)
 		}
 	}
 	if i.flagDone.Load() {
-		for j := len(i.unflag) - 1; j >= 0; j-- {
-			i.unflag[j].info.CompareAndSwap(i, newUnflag())
+		for j := int(i.nUnflag) - 1; j >= 0; j-- {
+			i.unflag[j].info.CompareAndSwap(i, newUnflag[V]())
 		}
 		return true
 	}
-	for j := len(i.flag) - 1; j >= 0; j-- {
-		i.flag[j].info.CompareAndSwap(i, newUnflag())
+	for j := int(i.nFlag) - 1; j >= 0; j-- {
+		i.flag[j].info.CompareAndSwap(i, newUnflag[V]())
 	}
 	return false
 }
 
-// newDesc validates, deduplicates and orders the flag set (newFlag).
-func (t *Trie) newDesc(
-	flag []*node, oldInfo []*desc, unflag []*node,
-	pNode, oldChild, newChild []*node, rmvLeaf *node,
-) *desc {
-	for _, oi := range oldInfo {
-		if oi.flagged() {
-			t.help(oi)
+// newDesc validates, deduplicates and orders the flag set (newFlag). As
+// in internal/core the parameters are fixed-size arrays with occupancy
+// counts, passed by value and mutated in place; the descriptor on the
+// success path is the only heap allocation.
+func (t *Trie[V]) newDesc(
+	flag [4]*node[V], oldInfo [4]*desc[V], nFlag int,
+	unflag [2]*node[V], nUnflag int,
+	pNode, oldChild, newChild [2]*node[V], nPNode int,
+	rmvLeaf *node[V],
+) *desc[V] {
+	for j := 0; j < nFlag; j++ {
+		if oldInfo[j].flagged() {
+			t.help(oldInfo[j])
 			return nil
 		}
 	}
-	for a := 0; a < len(flag); a++ {
-		for b := a + 1; b < len(flag); b++ {
-			if flag[a] == flag[b] && oldInfo[a] != oldInfo[b] {
-				return nil
-			}
-		}
-	}
-	df := make([]*node, 0, len(flag))
-	di := make([]*desc, 0, len(flag))
-	for a, n := range flag {
+	m := 0
+	for a := 0; a < nFlag; a++ {
 		dup := false
-		for b := 0; b < a; b++ {
-			if flag[b] == n {
+		for b := 0; b < m; b++ {
+			if flag[b] == flag[a] {
+				if oldInfo[b] != oldInfo[a] {
+					return nil
+				}
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			df = append(df, n)
-			di = append(di, oldInfo[a])
+			flag[m], oldInfo[m] = flag[a], oldInfo[a]
+			m++
 		}
 	}
-	du := make([]*node, 0, len(unflag))
-	for a, n := range unflag {
+	nFlag = m
+
+	m = 0
+	for a := 0; a < nUnflag; a++ {
 		dup := false
-		for b := 0; b < a; b++ {
-			if unflag[b] == n {
+		for b := 0; b < m; b++ {
+			if unflag[b] == unflag[a] {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			du = append(du, n)
+			unflag[m] = unflag[a]
+			m++
 		}
 	}
+	nUnflag = m
+
 	// Sort the flag set by label, permuting oldInfo alongside.
-	for a := 1; a < len(df); a++ {
-		for b := a; b > 0 && df[b].label.Compare(df[b-1].label) < 0; b-- {
-			df[b], df[b-1] = df[b-1], df[b]
-			di[b], di[b-1] = di[b-1], di[b]
+	for a := 1; a < nFlag; a++ {
+		for b := a; b > 0 && flag[b].label.Compare(flag[b-1].label) < 0; b-- {
+			flag[b], flag[b-1] = flag[b-1], flag[b]
+			oldInfo[b], oldInfo[b-1] = oldInfo[b-1], oldInfo[b]
 		}
 	}
-	return &desc{
-		kind: kindFlag, flag: df, oldInfo: di, unflag: du,
-		pNode: pNode, oldChild: oldChild, newChild: newChild, rmvLeaf: rmvLeaf,
+
+	return &desc[V]{
+		kind:     kindFlag,
+		nFlag:    uint8(nFlag),
+		nUnflag:  uint8(nUnflag),
+		nPNode:   uint8(nPNode),
+		flag:     flag,
+		oldInfo:  oldInfo,
+		unflag:   unflag,
+		pNode:    pNode,
+		oldChild: oldChild,
+		newChild: newChild,
+		rmvLeaf:  rmvLeaf,
 	}
+}
+
+// helpConflict helps the first flagged descriptor among the captured
+// info values, reporting whether one was found; see core.helpConflict.
+func (t *Trie[V]) helpConflict(i1, i2, i3, i4 *desc[V]) bool {
+	for _, d := range [...]*desc[V]{i1, i2, i3, i4} {
+		if d != nil && d.flagged() {
+			t.help(d)
+			return true
+		}
+	}
+	return false
 }
 
 // makeInternal is createNode: nil on prefix conflict (helping the given
 // info first when it is a Flag).
-func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
+func (t *Trie[V]) makeInternal(n1, n2 *node[V], info *desc[V]) *node[V] {
 	if n1.label.IsPrefixOf(n2.label) || n2.label.IsPrefixOf(n1.label) {
 		if info != nil && info.flagged() {
 			t.help(info)
@@ -256,12 +305,13 @@ func (t *Trie) makeInternal(n1, n2 *node, info *desc) *node {
 }
 
 // Insert adds k, returning false if already present.
-func (t *Trie) Insert(k []byte) bool {
-	return t.InsertValue(k, nil)
+func (t *Trie[V]) Insert(k []byte) bool {
+	var zero V
+	return t.InsertValue(k, zero)
 }
 
 // InsertValue is Insert with a value payload bound to the fresh leaf.
-func (t *Trie) InsertValue(k []byte, val any) bool {
+func (t *Trie[V]) InsertValue(k []byte, val V) bool {
 	v := encode(k)
 	for {
 		r := t.search(v)
@@ -275,31 +325,37 @@ func (t *Trie) InsertValue(k []byte, val any) bool {
 }
 
 // tryInsert attempts one round of the insert protocol; false means
-// re-search and retry.
-func (t *Trie) tryInsert(v keys.Bitstring, val any, r searchResult) bool {
+// re-search and retry. Construction is deferred past the conflicting-
+// update check, as in core.tryInsert.
+func (t *Trie[V]) tryInsert(v keys.Bitstring, val V, r searchResult[V]) bool {
 	n := r.node
 	nodeInfo := n.info.Load()
+	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
+		return false
+	}
 	newNode := t.makeInternal(copyNode(n), newLeafVal(v, val), nodeInfo)
 	if newNode == nil {
 		return false
 	}
-	var i *desc
+	var i *desc[V]
 	if !n.leaf {
 		i = t.newDesc(
-			[]*node{r.p, n}, []*desc{r.pInfo, nodeInfo},
-			[]*node{r.p},
-			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+			[4]*node[V]{r.p, n}, [4]*desc[V]{r.pInfo, nodeInfo}, 2,
+			[2]*node[V]{r.p}, 1,
+			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			nil)
 	} else {
 		i = t.newDesc(
-			[]*node{r.p}, []*desc{r.pInfo},
-			[]*node{r.p},
-			[]*node{r.p}, []*node{n}, []*node{newNode}, nil)
+			[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
+			[2]*node[V]{r.p}, 1,
+			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			nil)
 	}
 	return i != nil && t.help(i)
 }
 
 // Delete removes k, returning false if absent.
-func (t *Trie) Delete(k []byte) bool {
+func (t *Trie[V]) Delete(k []byte) bool {
 	v := encode(k)
 	for {
 		r := t.search(v)
@@ -313,32 +369,37 @@ func (t *Trie) Delete(k []byte) bool {
 }
 
 // tryDelete attempts one round of the delete protocol; false means
-// re-search and retry.
-func (t *Trie) tryDelete(v keys.Bitstring, r searchResult) bool {
-	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
+// re-search and retry. As in core.tryDelete the defensive nil-gp branch
+// comes before any read through r.p (only dummies sit directly under the
+// root, so the branch is unreachable from Delete).
+func (t *Trie[V]) tryDelete(v keys.Bitstring, r searchResult[V]) bool {
 	if r.gp == nil {
-		return false // only dummies sit directly under the root
+		return false
 	}
+	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
 	i := t.newDesc(
-		[]*node{r.gp, r.p}, []*desc{r.gpInfo, r.pInfo},
-		[]*node{r.gp},
-		[]*node{r.gp}, []*node{r.p}, []*node{sib}, nil)
+		[4]*node[V]{r.gp, r.p}, [4]*desc[V]{r.gpInfo, r.pInfo}, 2,
+		[2]*node[V]{r.gp}, 1,
+		[2]*node[V]{r.gp}, [2]*node[V]{r.p}, [2]*node[V]{sib}, 1,
+		nil)
 	return i != nil && t.help(i)
 }
 
 // Load returns the value stored under k; like Contains it only reads
-// shared memory and performs no CAS.
-func (t *Trie) Load(k []byte) (any, bool) {
+// shared memory and performs no CAS. The value comes back unboxed; the
+// only allocation on the Load path is the key encoding itself.
+func (t *Trie[V]) Load(k []byte) (V, bool) {
 	v := encode(k)
 	r := t.search(v)
 	if !keyInTrie(r.node, v, r.rmvd) {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	return r.node.val, true
 }
 
 // Store binds k to val, inserting or overwriting (lock-free upsert).
-func (t *Trie) Store(k []byte, val any) {
+func (t *Trie[V]) Store(k []byte, val V) {
 	v := encode(k)
 	for {
 		r := t.search(v)
@@ -356,7 +417,7 @@ func (t *Trie) Store(k []byte, val any) {
 
 // LoadOrStore returns the existing value for k if present (loaded true);
 // otherwise it stores val and returns it (loaded false).
-func (t *Trie) LoadOrStore(k []byte, val any) (actual any, loaded bool) {
+func (t *Trie[V]) LoadOrStore(k []byte, val V) (actual V, loaded bool) {
 	v := encode(k)
 	for {
 		r := t.search(v)
@@ -369,16 +430,22 @@ func (t *Trie) LoadOrStore(k []byte, val any) (actual any, loaded bool) {
 	}
 }
 
+// valuesEqual compares with interface equality (sync.Map contract); it
+// panics when the values are not comparable.
+func valuesEqual[V any](a, b V) bool {
+	return any(a) == any(b)
+}
+
 // CompareAndSwap swaps k's value from old to new when the stored value
 // equals old (interface equality; old must be comparable).
-func (t *Trie) CompareAndSwap(k []byte, old, new any) bool {
+func (t *Trie[V]) CompareAndSwap(k []byte, old, new V) bool {
 	v := encode(k)
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		if r.node.val != old {
+		if !valuesEqual(r.node.val, old) {
 			return false
 		}
 		if t.tryOverwrite(v, new, r) {
@@ -389,14 +456,14 @@ func (t *Trie) CompareAndSwap(k []byte, old, new any) bool {
 
 // CompareAndDelete deletes k when its stored value equals old (interface
 // equality; old must be comparable).
-func (t *Trie) CompareAndDelete(k []byte, old any) bool {
+func (t *Trie[V]) CompareAndDelete(k []byte, old V) bool {
 	v := encode(k)
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
-		if r.node.val != old {
+		if !valuesEqual(r.node.val, old) {
 			return false
 		}
 		if t.tryDelete(v, r) {
@@ -407,19 +474,25 @@ func (t *Trie) CompareAndDelete(k []byte, old any) bool {
 
 // tryOverwrite replaces the live leaf r.node with a fresh leaf carrying
 // val — the descriptor shape of Replace's special case 1: flag the
-// parent, one child CAS old leaf → new leaf.
-func (t *Trie) tryOverwrite(v keys.Bitstring, val any, r searchResult) bool {
+// parent, one child CAS old leaf → new leaf. The leaf is built only after
+// the captured parent info is known not to be a Flag.
+func (t *Trie[V]) tryOverwrite(v keys.Bitstring, val V, r searchResult[V]) bool {
+	if t.helpConflict(r.pInfo, nil, nil, nil) {
+		return false
+	}
 	i := t.newDesc(
-		[]*node{r.p}, []*desc{r.pInfo},
-		[]*node{r.p},
-		[]*node{r.p}, []*node{r.node},
-		[]*node{newLeafVal(v, val)}, nil)
+		[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
+		[2]*node[V]{r.p}, 1,
+		[2]*node[V]{r.p}, [2]*node[V]{r.node},
+		[2]*node[V]{newLeafVal(v, val)}, 1,
+		nil)
 	return i != nil && t.help(i)
 }
 
 // Replace atomically removes old and inserts new; the same general and
-// special cases as internal/core's Replace (paper lines 42-71).
-func (t *Trie) Replace(old, new []byte) bool {
+// special cases as internal/core's Replace (paper lines 42-71), with the
+// same help-before-build discipline.
+func (t *Trie[V]) Replace(old, new []byte) bool {
 	vd, vi := encode(old), encode(new)
 	for {
 		rd := t.search(vd)
@@ -433,53 +506,67 @@ func (t *Trie) Replace(old, new []byte) bool {
 		nodeInfoI := ri.node.info.Load()
 		sibD := rd.p.child[1-vd.Bit(rd.p.label.Len())].Load()
 
-		var i *desc
+		var i *desc[V]
 		switch {
 		case rd.gp != nil &&
 			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
 			ri.p != rd.p:
 			// General case: two child CASes, insert side first.
+			if t.helpConflict(rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI) {
+				break
+			}
 			newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, rd.node.val), nodeInfoI)
 			if newNodeI == nil {
 				break
 			}
 			if !ri.node.leaf {
 				i = t.newDesc(
-					[]*node{rd.gp, rd.p, ri.p, ri.node},
-					[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI},
-					[]*node{rd.gp, ri.p},
-					[]*node{ri.p, rd.gp},
-					[]*node{ri.node, rd.p},
-					[]*node{newNodeI, sibD},
+					[4]*node[V]{rd.gp, rd.p, ri.p, ri.node},
+					[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
+					[2]*node[V]{rd.gp, ri.p}, 2,
+					[2]*node[V]{ri.p, rd.gp},
+					[2]*node[V]{ri.node, rd.p},
+					[2]*node[V]{newNodeI, sibD}, 2,
 					rd.node)
 			} else {
 				i = t.newDesc(
-					[]*node{rd.gp, rd.p, ri.p},
-					[]*desc{rd.gpInfo, rd.pInfo, ri.pInfo},
-					[]*node{rd.gp, ri.p},
-					[]*node{ri.p, rd.gp},
-					[]*node{ri.node, rd.p},
-					[]*node{newNodeI, sibD},
+					[4]*node[V]{rd.gp, rd.p, ri.p},
+					[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
+					[2]*node[V]{rd.gp, ri.p}, 2,
+					[2]*node[V]{ri.p, rd.gp},
+					[2]*node[V]{ri.node, rd.p},
+					[2]*node[V]{newNodeI, sibD}, 2,
 					rd.node)
 			}
 		case ri.node == rd.node:
+			if t.helpConflict(rd.pInfo, nil, nil, nil) {
+				break
+			}
 			i = t.newDesc(
-				[]*node{rd.p}, []*desc{rd.pInfo},
-				[]*node{rd.p},
-				[]*node{rd.p}, []*node{ri.node},
-				[]*node{newLeafVal(vi, rd.node.val)}, nil)
+				[4]*node[V]{rd.p}, [4]*desc[V]{rd.pInfo}, 1,
+				[2]*node[V]{rd.p}, 1,
+				[2]*node[V]{rd.p}, [2]*node[V]{ri.node},
+				[2]*node[V]{newLeafVal(vi, rd.node.val)}, 1,
+				nil)
 		case (ri.node == rd.p && ri.p == rd.gp) ||
 			(rd.gp != nil && ri.p == rd.p):
+			if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
+				break
+			}
 			newNodeI := t.makeInternal(sibD, newLeafVal(vi, rd.node.val), sibD.info.Load())
 			if newNodeI == nil {
 				break
 			}
 			i = t.newDesc(
-				[]*node{rd.gp, rd.p}, []*desc{rd.gpInfo, rd.pInfo},
-				[]*node{rd.gp},
-				[]*node{rd.gp}, []*node{rd.p},
-				[]*node{newNodeI}, nil)
+				[4]*node[V]{rd.gp, rd.p}, [4]*desc[V]{rd.gpInfo, rd.pInfo}, 2,
+				[2]*node[V]{rd.gp}, 1,
+				[2]*node[V]{rd.gp}, [2]*node[V]{rd.p},
+				[2]*node[V]{newNodeI}, 1,
+				nil)
 		case ri.node == rd.gp:
+			if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
+				break
+			}
 			pSibD := rd.gp.child[1-vd.Bit(rd.gp.label.Len())].Load()
 			newChildI := t.makeInternal(sibD, pSibD, nil)
 			if newChildI == nil {
@@ -490,11 +577,12 @@ func (t *Trie) Replace(old, new []byte) bool {
 				break
 			}
 			i = t.newDesc(
-				[]*node{ri.p, rd.gp, rd.p},
-				[]*desc{ri.pInfo, rd.gpInfo, rd.pInfo},
-				[]*node{ri.p},
-				[]*node{ri.p}, []*node{ri.node},
-				[]*node{newNodeI}, nil)
+				[4]*node[V]{ri.p, rd.gp, rd.p},
+				[4]*desc[V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
+				[2]*node[V]{ri.p}, 1,
+				[2]*node[V]{ri.p}, [2]*node[V]{ri.node},
+				[2]*node[V]{newNodeI}, 1,
+				nil)
 		}
 		if i != nil && t.help(i) {
 			return true
@@ -507,9 +595,9 @@ func (t *Trie) Replace(old, new []byte) bool {
 // one another; a proper prefix sorts after its extensions, because the
 // Section VI terminator (11) is greater than either continuation pair
 // (01, 10).
-func (t *Trie) Keys() [][]byte {
+func (t *Trie[V]) Keys() [][]byte {
 	var out [][]byte
-	t.AllKV(func(k []byte, _ any) bool {
+	t.AllKV(func(k []byte, _ V) bool {
 		out = append(out, k)
 		return true
 	})
@@ -519,11 +607,11 @@ func (t *Trie) Keys() [][]byte {
 // AllKV calls fn on every (key, value) pair in encoded-key order until
 // fn returns false. Like Keys it is read-only: exact at quiescence,
 // best-effort under concurrent updates.
-func (t *Trie) AllKV(fn func(k []byte, val any) bool) {
+func (t *Trie[V]) AllKV(fn func(k []byte, val V) bool) {
 	t.walkKV(t.root, fn)
 }
 
-func (t *Trie) walkKV(n *node, fn func(k []byte, val any) bool) bool {
+func (t *Trie[V]) walkKV(n *node[V], fn func(k []byte, val V) bool) bool {
 	if n.leaf {
 		if k, ok := keys.DecodeString(n.label); ok && !logicallyRemoved(n.info.Load()) {
 			return fn(k, n.val)
@@ -534,14 +622,14 @@ func (t *Trie) walkKV(n *node, fn func(k []byte, val any) bool) bool {
 }
 
 // Size counts keys; quiescent use only.
-func (t *Trie) Size() int { return len(t.Keys()) }
+func (t *Trie[V]) Size() int { return len(t.Keys()) }
 
 // Validate checks the structural invariants at quiescence, mirroring
 // internal/core's checker over variable-length labels: labels strictly
 // lengthen along paths with the correct branch bits, leaves hold the
 // dummies at the extremes, leaf labels are strictly increasing in
 // encoded order, and no reachable node is still flagged.
-func (t *Trie) Validate() error {
+func (t *Trie[V]) Validate() error {
 	if t.root.leaf || t.root.label.Len() != 0 {
 		return fmt.Errorf("root must be internal with empty label")
 	}
@@ -566,7 +654,7 @@ func (t *Trie) Validate() error {
 	return nil
 }
 
-func (t *Trie) validateNode(n *node, leaves *[]keys.Bitstring) error {
+func (t *Trie[V]) validateNode(n *node[V], leaves *[]keys.Bitstring) error {
 	if n.info.Load().flagged() {
 		return fmt.Errorf("reachable node %q flagged at quiescence", n.label)
 	}

@@ -16,7 +16,7 @@ import (
 // stringAdapter drives the byte-string trie through the uint64-based
 // conformance kit by printing keys in decimal (order differs from
 // numeric, which the kit never relies on).
-type stringAdapter struct{ t *Trie }
+type stringAdapter struct{ t *Trie[any] }
 
 func key(k uint64) []byte { return []byte(fmt.Sprintf("%020d", k)) }
 
@@ -28,11 +28,11 @@ func (a stringAdapter) Replace(old, new uint64) bool {
 }
 
 func TestConformance(t *testing.T) {
-	settest.Run(t, func(uint64) settest.Set { return stringAdapter{t: New()} })
+	settest.Run(t, func(uint64) settest.Set { return stringAdapter{t: New[any]()} })
 }
 
 func TestVariableLengthKeys(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	ks := [][]byte{
 		[]byte("a"), []byte("ab"), []byte("abc"), []byte("b"),
 		[]byte("zebra"), []byte("z"), {0}, {0, 0}, {0xff, 0xff, 0xff, 0xff},
@@ -69,7 +69,7 @@ func TestVariableLengthKeys(t *testing.T) {
 
 func TestKeysEncodedOrder(t *testing.T) {
 	// Prefix-free word sets come out in plain lexicographic order.
-	tr := New()
+	tr := New[any]()
 	words := []string{"pear", "apple", "banana", "cherry", "zebra"}
 	for _, w := range words {
 		tr.Insert([]byte(w))
@@ -89,7 +89,7 @@ func TestKeysEncodedOrder(t *testing.T) {
 
 	// The Section VI terminator sorts a proper prefix after its
 	// extensions (11 > 01/10); pin that documented quirk.
-	tr2 := New()
+	tr2 := New[any]()
 	tr2.Insert([]byte("app"))
 	tr2.Insert([]byte("applesauce"))
 	got2 := tr2.Keys()
@@ -99,7 +99,7 @@ func TestKeysEncodedOrder(t *testing.T) {
 }
 
 func TestReplaceAcrossLengths(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	tr.Insert([]byte("short"))
 	if !tr.Replace([]byte("short"), []byte("a much longer key than before")) {
 		t.Fatal("replace to longer key failed")
@@ -110,7 +110,7 @@ func TestReplaceAcrossLengths(t *testing.T) {
 }
 
 func TestEmptyKeyPanics(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	defer func() {
 		if recover() == nil {
 			t.Error("empty key must panic (encoding collides with the 111 dummy)")
@@ -120,7 +120,7 @@ func TestEmptyKeyPanics(t *testing.T) {
 }
 
 func TestQuickRandomByteKeys(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	oracle := make(map[string]bool)
 	f := func(k []byte, insert bool) bool {
 		if len(k) == 0 {
@@ -148,7 +148,7 @@ func TestQuickRandomByteKeys(t *testing.T) {
 
 func TestConcurrentReplaceConservation(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
-	tr := New()
+	tr := New[any]()
 	const initial = 100
 	for i := 0; i < initial; i++ {
 		tr.Insert([]byte(fmt.Sprintf("task-%03d", i*7)))
@@ -173,7 +173,7 @@ func TestConcurrentReplaceConservation(t *testing.T) {
 }
 
 func TestValidateAfterChurn(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("fresh trie: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestValidateAfterChurn(t *testing.T) {
 }
 
 func TestValidateDetectsCorruption(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	tr.Insert([]byte("x"))
 	c0 := tr.root.child[0].Load()
 	c1 := tr.root.child[1].Load()
@@ -215,7 +215,7 @@ func TestValidateDetectsCorruption(t *testing.T) {
 }
 
 func TestLongKeysCrossWordBoundaries(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	long := bytes.Repeat([]byte("x"), 100) // 1602 encoded bits
 	tr.Insert(long)
 	if !tr.Contains(long) {
@@ -228,7 +228,7 @@ func TestLongKeysCrossWordBoundaries(t *testing.T) {
 }
 
 func TestMapOperations(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	k := []byte("alpha")
 	if _, ok := tr.Load(k); ok {
 		t.Error("Load on empty trie must miss")
@@ -269,7 +269,7 @@ func TestMapOperations(t *testing.T) {
 }
 
 func TestAllKV(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	tr.Store([]byte("a"), 1)
 	tr.Store([]byte("b"), 2)
 	got := map[string]any{}
@@ -288,7 +288,7 @@ func TestAllKV(t *testing.T) {
 }
 
 func TestConcurrentMapOps(t *testing.T) {
-	tr := New()
+	tr := New[any]()
 	keys := [][]byte{[]byte("x"), []byte("xy"), []byte("xyz"), []byte("y")}
 	const goroutines = 8
 	var wg sync.WaitGroup

@@ -13,40 +13,37 @@ import (
 // operation is lock-free. All methods are safe for unrestricted
 // concurrent use.
 //
-// Values are attached to trie leaves immutably: a value update installs
-// a freshly allocated leaf through the same flagged child-CAS protocol
-// as the paper's structural updates, so the no-ABA invariant — child
-// pointers only ever swing to new nodes — carries over unchanged, and a
-// reader can never observe a torn value.
+// Values are attached to trie leaves immutably and unboxed — the trie is
+// generic all the way down, so storing an int never allocates an
+// interface box and Load returns the value straight from the leaf. A
+// value update installs a freshly allocated leaf through the same
+// flagged child-CAS protocol as the paper's structural updates, so the
+// no-ABA invariant — child pointers only ever swing to new nodes —
+// carries over unchanged, and a reader can never observe a torn value.
 //
 // CompareAndSwap and CompareAndDelete compare values with Go's ==, like
 // sync.Map: they panic if V (or the dynamic value stored) is not
 // comparable.
 type Map[V any] struct {
-	t *core.Trie
+	t *core.Trie[V]
 }
 
 // NewMap returns an empty map over keys in [0, 2^width); width must be
 // in [1, 63]. Keys outside the range are treated as permanently absent:
 // lookups miss and stores report failure, but nothing panics.
 func NewMap[V any](width uint32) (*Map[V], error) {
-	t, err := core.New(width)
+	t, err := core.New[V](width)
 	if err != nil {
 		return nil, err
 	}
 	return &Map[V]{t: t}, nil
 }
 
-// Load returns the value bound to k. It is wait-free: at most width+1
-// child-pointer reads, no CAS, regardless of concurrent updates.
+// Load returns the value bound to k. It is wait-free — at most width+1
+// child-pointer reads, no CAS, regardless of concurrent updates — and
+// performs no allocation.
 func (m *Map[V]) Load(k uint64) (V, bool) {
-	v, ok := m.t.Load(k)
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	vv, _ := v.(V)
-	return vv, true
+	return m.t.Load(k)
 }
 
 // Store binds k to val, inserting or overwriting (lock-free upsert). It
@@ -61,9 +58,7 @@ func (m *Map[V]) Store(k uint64, val V) bool {
 // is the zero value — so a rejected write is always distinguishable
 // from a successful store.
 func (m *Map[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
-	v, loaded, ok := m.t.LoadOrStore(k, val)
-	vv, _ := v.(V)
-	return vv, loaded, ok
+	return m.t.LoadOrStore(k, val)
 }
 
 // Delete removes k; false iff k was absent.
@@ -93,7 +88,8 @@ func (m *Map[V]) ReplaceKey(old, new uint64) bool {
 	return m.t.Replace(old, new)
 }
 
-// Contains reports whether k has a binding, wait-free.
+// Contains reports whether k has a binding, wait-free and without
+// allocating.
 func (m *Map[V]) Contains(k uint64) bool {
 	return m.t.Contains(k)
 }
@@ -121,40 +117,33 @@ func (m *Map[V]) All() iter.Seq2[uint64, V] {
 // costs one descent rather than a full scan.
 func (m *Map[V]) Ascend(from uint64) iter.Seq2[uint64, V] {
 	return func(yield func(uint64, V) bool) {
-		m.t.AscendKV(from, func(k uint64, val any) bool {
-			vv, _ := val.(V)
-			return yield(k, vv)
-		})
+		m.t.AscendKV(from, yield)
 	}
 }
 
 // StringMap is the Section VI extension as a map: a linearizable
 // concurrent map from arbitrary-length byte-string keys to values of
-// type V. Loads are lock-free (no longer wait-free: key length is
-// unbounded); all mutations are lock-free. Keys must be non-empty (the
-// empty string's encoding collides with a dummy leaf) and are captured
-// logically by their bit encoding, so callers may reuse key slices.
+// type V, stored unboxed on the trie leaves. Loads are lock-free (no
+// longer wait-free: key length is unbounded); all mutations are
+// lock-free. Keys must be non-empty (the empty string's encoding
+// collides with a dummy leaf) and are captured logically by their bit
+// encoding, so callers may reuse key slices.
 //
 // CompareAndSwap and CompareAndDelete compare values with Go's ==, like
 // sync.Map: they panic if the values are not comparable.
 type StringMap[V any] struct {
-	t *strtrie.Trie
+	t *strtrie.Trie[V]
 }
 
 // NewStringMap returns an empty variable-length-key map.
 func NewStringMap[V any]() *StringMap[V] {
-	return &StringMap[V]{t: strtrie.New()}
+	return &StringMap[V]{t: strtrie.New[V]()}
 }
 
-// Load returns the value bound to k (read-only, lock-free).
+// Load returns the value bound to k (read-only, lock-free). The only
+// allocation on this path is the key's bit encoding.
 func (m *StringMap[V]) Load(k []byte) (V, bool) {
-	v, ok := m.t.Load(k)
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	vv, _ := v.(V)
-	return vv, true
+	return m.t.Load(k)
 }
 
 // Store binds k to val, inserting or overwriting (lock-free upsert).
@@ -165,9 +154,7 @@ func (m *StringMap[V]) Store(k []byte, val V) {
 // LoadOrStore returns the existing value for k if present (loaded true);
 // otherwise it stores val and returns it (loaded false).
 func (m *StringMap[V]) LoadOrStore(k []byte, val V) (actual V, loaded bool) {
-	v, loaded := m.t.LoadOrStore(k, val)
-	vv, _ := v.(V)
-	return vv, loaded
+	return m.t.LoadOrStore(k, val)
 }
 
 // Delete removes k; false iff k was absent.
@@ -209,9 +196,6 @@ func (m *StringMap[V]) Len() int {
 // contract as Map.All.
 func (m *StringMap[V]) All() iter.Seq2[[]byte, V] {
 	return func(yield func([]byte, V) bool) {
-		m.t.AllKV(func(k []byte, val any) bool {
-			vv, _ := val.(V)
-			return yield(k, vv)
-		})
+		m.t.AllKV(yield)
 	}
 }

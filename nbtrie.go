@@ -8,8 +8,9 @@
 //     CompareAndSwap, CompareAndDelete), the paper's atomic
 //     ReplaceKey(old, new), and Go iterators (All, Ascend) over the
 //     trie's sorted key space. Load is wait-free; every mutation is
-//     lock-free. Values live immutably on trie leaves, so a value
-//     update is a fresh-leaf child CAS and readers never see torn data.
+//     lock-free. Values live immutably and unboxed on trie leaves, so a
+//     value update is a fresh-leaf child CAS, readers never see torn
+//     data, and Load allocates nothing.
 //
 //   - the paper's set layer: PatriciaTrie (wait-free Contains,
 //     lock-free Insert/Delete, and the lock-free atomic Replace none of
@@ -68,7 +69,7 @@ type ReplaceSet interface {
 // treated as permanently absent (Contains and Delete report false,
 // Insert and Replace fail) rather than panicking.
 type PatriciaTrie struct {
-	t *core.Trie
+	t *core.Trie[struct{}]
 }
 
 var _ ReplaceSet = (*PatriciaTrie)(nil)
@@ -76,7 +77,7 @@ var _ ReplaceSet = (*PatriciaTrie)(nil)
 // NewPatriciaTrie returns an empty trie over keys in [0, 2^width);
 // width must be in [1, 63].
 func NewPatriciaTrie(width uint32) (*PatriciaTrie, error) {
-	t, err := core.New(width)
+	t, err := core.New[struct{}](width)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func NewPatriciaTrie(width uint32) (*PatriciaTrie, error) {
 // fast-path optimization for workloads that never call Replace: searches
 // skip the logical-removal check. Calling Replace on it panics.
 func NewPatriciaTrieNoReplace(width uint32) (*PatriciaTrie, error) {
-	t, err := core.New(width, core.WithoutReplace())
+	t, err := core.New(width, core.WithoutReplace[struct{}]())
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +130,7 @@ func (p *PatriciaTrie) All() iter.Seq[uint64] { return p.Ascend(0) }
 // subtrees below from.
 func (p *PatriciaTrie) Ascend(from uint64) iter.Seq[uint64] {
 	return func(yield func(uint64) bool) {
-		p.t.AscendKV(from, func(k uint64, _ any) bool { return yield(k) })
+		p.t.AscendKV(from, func(k uint64, _ struct{}) bool { return yield(k) })
 	}
 }
 
@@ -185,11 +186,11 @@ func NewCtrie() Set { return ctrie.New() }
 // is unbounded); Insert, Delete and Replace are lock-free. Keys must be
 // non-empty — the empty string's encoding collides with a dummy leaf.
 type StringTrie struct {
-	t *strtrie.Trie
+	t *strtrie.Trie[struct{}]
 }
 
 // NewStringTrie returns an empty variable-length-key trie.
-func NewStringTrie() *StringTrie { return &StringTrie{t: strtrie.New()} }
+func NewStringTrie() *StringTrie { return &StringTrie{t: strtrie.New[struct{}]()} }
 
 // Insert adds k; false iff k was present. k is copied logically via its
 // encoding, so the caller may reuse the slice.
@@ -216,6 +217,6 @@ func (s *StringTrie) Keys() [][]byte { return s.t.Keys() }
 // read contract as PatriciaTrie.All.
 func (s *StringTrie) All() iter.Seq[[]byte] {
 	return func(yield func([]byte) bool) {
-		s.t.AllKV(func(k []byte, _ any) bool { return yield(k) })
+		s.t.AllKV(func(k []byte, _ struct{}) bool { return yield(k) })
 	}
 }

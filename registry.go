@@ -21,6 +21,13 @@ type Implementation struct {
 	// HasReplace reports whether the implementation supports the paper's
 	// atomic Replace (only the Patricia tries do).
 	HasReplace bool
+	// WaitFreeRead reports whether the implementation's Contains is
+	// wait-free — a pure read that performs no CAS, helps no other
+	// operation and allocates nothing. Implementations claiming this are
+	// held to it by an AllocsPerRun regression test at the public layer
+	// (alloc_test.go), so a boxing or helping regression on the read
+	// path fails CI rather than silently costing throughput.
+	WaitFreeRead bool
 	// New returns a fresh, empty set able to hold keys in [0, 2^width).
 	// Implementations without a bounded key space ignore width.
 	New func(width uint32) (Set, error)
@@ -34,10 +41,11 @@ const DefaultWidth = 63
 // (Figures 8-11). Names and legends must be unique case-insensitively.
 var registry = []Implementation{
 	{
-		Name:        "patricia",
-		Legend:      "PAT",
-		Description: "non-blocking Patricia trie with Replace (Shafiei, ICDCS 2013); wait-free Contains",
-		HasReplace:  true,
+		Name:         "patricia",
+		Legend:       "PAT",
+		Description:  "non-blocking Patricia trie with Replace (Shafiei, ICDCS 2013); wait-free Contains",
+		HasReplace:   true,
+		WaitFreeRead: true,
 		New: func(width uint32) (Set, error) {
 			return NewPatriciaTrie(width)
 		},
