@@ -133,4 +133,5 @@ func ExampleNewSet() {
 	// avl true
 	// skiplist true
 	// ctrie true
+	// spatial true
 }

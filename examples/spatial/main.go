@@ -1,63 +1,36 @@
-// Spatial index: the paper's GIS motivation for Replace. Points in the
-// plane are stored as Morton (bit-interleaved) keys, which makes the
-// Patricia trie a quadtree-like spatial index; moving an object is a
-// single atomic Replace, so concurrent readers never observe a vehicle in
-// two places or in none.
+// Spatial index: the paper's GIS motivation for Replace, on the public
+// SpatialMap API. Points in the plane are stored under Morton
+// (bit-interleaved) keys, which makes the Patricia trie a quadtree-like
+// spatial index; moving an object is a single atomic Move (the paper's
+// Replace), so concurrent readers never observe a vehicle in two places
+// or in none, and axis-aligned rectangle queries are pruned Z-order
+// range scans (InRect).
 package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"nbtrie"
-	"nbtrie/internal/keys"
 )
 
-// fleet tracks vehicles on a 2^15 x 2^15 grid; one Morton key per
-// vehicle position (positions are kept unique by construction here).
-type fleet struct {
-	set *nbtrie.PatriciaTrie
-}
-
-func newFleet() (*fleet, error) {
-	// 15+15 interleaved bits -> 30-bit Morton keys.
-	set, err := nbtrie.NewPatriciaTrie(30)
-	if err != nil {
-		return nil, err
-	}
-	return &fleet{set: set}, nil
-}
-
-func key(x, y uint32) uint64 { return keys.Interleave2(x&0x7fff, y&0x7fff) }
-
-func (f *fleet) park(x, y uint32) bool { return f.set.Insert(key(x, y)) }
-func (f *fleet) at(x, y uint32) bool   { return f.set.Contains(key(x, y)) }
-
-// move relocates a vehicle atomically; it fails (harmlessly) if the
-// source is empty or the destination occupied.
-func (f *fleet) move(fromX, fromY, toX, toY uint32) bool {
-	return f.set.Replace(key(fromX, fromY), key(toX, toY))
-}
-
 func main() {
-	f, err := newFleet()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Park a grid of vehicles at even coordinates.
+	// One entry per vehicle position, carrying the vehicle's ID. The
+	// map covers the full uint32 x uint32 plane; this demo parks a
+	// fleet on a small grid at even coordinates.
+	fleet := nbtrie.NewSpatialMap[string]()
 	const n = 32
 	for i := uint32(0); i < n; i++ {
 		for j := uint32(0); j < n; j++ {
-			f.park(2*i, 2*j)
+			fleet.Store(2*i, 2*j, fmt.Sprintf("car-%d-%d", i, j))
 		}
 	}
-	fmt.Println("vehicles parked:", f.set.Size())
+	fmt.Println("vehicles parked:", fleet.Len())
 
-	// Drivers jitter their vehicles concurrently; every move is atomic.
+	// Drivers jitter their vehicles concurrently; every move is atomic
+	// and the vehicle's ID travels with it.
 	var wg sync.WaitGroup
 	var moves atomic.Int64
 	for w := 0; w < 8; w++ {
@@ -70,27 +43,27 @@ func main() {
 				y := 2 * uint32(rng.Intn(n))
 				// Nudge to an odd cell and back: destinations at odd
 				// coordinates cannot collide with parked vehicles.
-				if f.move(x, y, x+1, y+1) {
+				if fleet.Move(nbtrie.Point{X: x, Y: y}, nbtrie.Point{X: x + 1, Y: y + 1}) {
 					moves.Add(1)
-					f.move(x+1, y+1, x, y)
+					fleet.Move(nbtrie.Point{X: x + 1, Y: y + 1}, nbtrie.Point{X: x, Y: y})
 				}
 			}
 		}(int64(w))
 	}
-
-	// A reader verifies conservation while everything is in motion: the
-	// fleet size never changes because Replace is atomic.
-	for i := 0; i < 20; i++ {
-		if size := f.set.Size(); size != n*n {
-			// Size() is a racy traversal, but with atomic moves a vehicle
-			// is always somewhere; tolerate traversal skew silently and
-			// rely on the final check below for the hard guarantee.
-			_ = size
-		}
-	}
 	wg.Wait()
 
 	fmt.Println("successful atomic moves:", moves.Load())
-	fmt.Println("fleet size after churn:", f.set.Size(), "(must equal", n*n, ")")
-	fmt.Println("vehicle at (0,0):", f.at(0, 0))
+	fmt.Println("fleet size after churn:", fleet.Len(), "(must equal", n*n, ")")
+
+	// Rectangle query: who is parked in the 8x8 corner block? The scan
+	// walks one Morton-code interval with subtree pruning.
+	corner := 0
+	for range fleet.InRect(nbtrie.Point{X: 0, Y: 0}, nbtrie.Point{X: 7, Y: 7}) {
+		corner++
+	}
+	fmt.Println("vehicles in [0,7]x[0,7]:", corner, "(must equal 16)")
+
+	if id, ok := fleet.Load(0, 0); ok {
+		fmt.Println("vehicle at (0,0):", id)
+	}
 }

@@ -10,7 +10,9 @@ import (
 // TestCrossImplementationAgreement replays one deterministic workload
 // stream sequentially through every implementation; since they all claim
 // the same sequential set specification, every per-operation result and
-// the final contents must agree pairwise across all six.
+// the final contents must agree pairwise across every registered
+// implementation (the trie, the five baselines and the Morton-keyed
+// spatial instantiation).
 func TestCrossImplementationAgreement(t *testing.T) {
 	const keyRange = 2048
 	names := Implementations()

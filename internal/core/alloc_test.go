@@ -2,8 +2,6 @@ package core
 
 import (
 	"testing"
-
-	"nbtrie/internal/keys"
 )
 
 // Allocation regression pins for the allocation-lean update protocol.
@@ -108,38 +106,5 @@ func TestUpdateAllocationBudgets(t *testing.T) {
 	}
 }
 
-// TestTryDeleteRootChildDefensive pins the defensive ordering in
-// tryDelete: the gp == nil branch must be taken before anything is read
-// through the search result. The situation cannot arise through Delete —
-// a leaf directly under the root is necessarily one of the two permanent
-// dummies (the 0-prefix and 1-prefix subtrees always contain them), and
-// dummy labels never equal an encoded user key, so keyInTrie rejects the
-// position first — but tryDelete must still fail closed when handed such
-// a result, leaving the trie untouched.
-func TestTryDeleteRootChildDefensive(t *testing.T) {
-	tr := mustNew(t, 8)
-	tr.Insert(7)
-
-	dummy := tr.root.child[0].Load()
-	for !dummy.leaf {
-		dummy = dummy.child[0].Load()
-	}
-	if dummy.bits != keys.DummyMin(tr.width) {
-		t.Fatal("setup: leftmost leaf should be the 0^ℓ dummy")
-	}
-	r := searchResult[any]{
-		p:     tr.root,
-		pInfo: tr.root.info.Load(),
-		node:  dummy,
-		// gp and gpInfo deliberately nil: the root has no parent.
-	}
-	if tr.tryDelete(dummy.bits, r) {
-		t.Error("tryDelete with nil gp must refuse")
-	}
-	if !tr.Contains(7) || tr.Size() != 1 {
-		t.Error("defensive tryDelete must not disturb the trie")
-	}
-	if err := tr.Validate(); err != nil {
-		t.Error(err)
-	}
-}
+// (TestTryDeleteRootChildDefensive, a white-box test of the engine's
+// tryDelete, lives in internal/engine.)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"nbtrie/internal/keys"
 )
@@ -33,125 +32,45 @@ func (t *Trie[V]) Keys() []uint64 {
 }
 
 // Size returns the number of user keys in the set.
-func (t *Trie[V]) Size() int {
-	n := 0
-	t.Range(func(uint64) bool {
-		n++
-		return true
-	})
-	return n
-}
+func (t *Trie[V]) Size() int { return t.e.Size() }
 
 // Validate checks the structural invariants of the trie and returns the
-// first violation found, or nil. It must be called at quiescence (no
-// concurrent updates). Checked invariants, from the paper's proof:
-//
-//   - Invariant 7: if x.child[i] = y then x.label · i is a prefix of
-//     y.label; hence labels strictly lengthen along every path.
-//   - Every internal node has exactly two non-nil children (Lemma 4).
-//   - Labels are canonical and leaf labels have full length ℓ.
-//   - The two dummy leaves are the extreme leaves of the trie.
-//   - Leaf labels appear in strictly increasing order.
-//   - No reachable node is flagged (Lemma 64: after every help call
-//     returns, no reachable node's info is a Flag).
+// first violation found, or nil. It must be called at quiescence. The
+// engine checks the key-agnostic invariants (Invariant 7 label
+// lengthening, two children, dummy extremes, sorted leaves, no reachable
+// flags); this instantiation adds the fixed-width label shape: canonical
+// bits and exact label lengths (full ℓ for leaves, < ℓ for internal
+// nodes).
 func (t *Trie[V]) Validate() error {
-	if t.root.plen != 0 || t.root.leaf {
-		return fmt.Errorf("root must be an internal node with empty label")
-	}
-	var leaves []uint64
-	if err := t.validateNode(t.root, &leaves); err != nil {
-		return err
-	}
-	if len(leaves) < 2 {
-		return fmt.Errorf("trie must always hold the two dummy leaves, found %d leaves", len(leaves))
-	}
-	for i := 1; i < len(leaves); i++ {
-		if leaves[i-1] >= leaves[i] {
-			return fmt.Errorf("leaf labels out of order: %#x before %#x", leaves[i-1], leaves[i])
+	return t.e.Validate(func(label keys.Uint64Key, leaf bool) error {
+		if label.Bits()&^keys.Mask(label.Len()) != 0 {
+			return fmt.Errorf("label %#x/%d is not canonical", label.Bits(), label.Len())
 		}
-	}
-	if leaves[0] != keys.DummyMin(t.width) {
-		return fmt.Errorf("leftmost leaf %#x is not the 0^ℓ dummy", leaves[0])
-	}
-	if leaves[len(leaves)-1] != keys.DummyMax(t.width) {
-		return fmt.Errorf("rightmost leaf %#x is not the 1^ℓ dummy", leaves[len(leaves)-1])
-	}
-	return nil
-}
-
-func (t *Trie[V]) validateNode(n *node[V], leaves *[]uint64) error {
-	if n.bits&^keys.Mask(n.plen) != 0 {
-		return fmt.Errorf("label %#x/%d is not canonical", n.bits, n.plen)
-	}
-	if n.info.Load().flagged() {
-		return fmt.Errorf("reachable node %#x/%d is flagged at quiescence", n.bits, n.plen)
-	}
-	if n.leaf {
-		if n.plen != t.klen {
-			return fmt.Errorf("leaf label length %d != key length %d", n.plen, t.klen)
+		if leaf {
+			if label.Len() != t.klen {
+				return fmt.Errorf("leaf label length %d != key length %d", label.Len(), t.klen)
+			}
+		} else if label.Len() >= t.klen {
+			return fmt.Errorf("internal label length %d must be < key length %d", label.Len(), t.klen)
 		}
-		*leaves = append(*leaves, n.bits)
 		return nil
-	}
-	if n.plen >= t.klen {
-		return fmt.Errorf("internal label length %d must be < key length %d", n.plen, t.klen)
-	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if c == nil {
-			return fmt.Errorf("internal node %#x/%d has nil child %d", n.bits, n.plen, idx)
-		}
-		if c.plen <= n.plen {
-			return fmt.Errorf("child label length %d not longer than parent's %d", c.plen, n.plen)
-		}
-		if !keys.IsPrefix(n.bits, n.plen, c.bits) {
-			return fmt.Errorf("parent label %#x/%d is not a prefix of child label %#x/%d",
-				n.bits, n.plen, c.bits, c.plen)
-		}
-		if keys.BitAt(c.bits, n.plen) != idx {
-			return fmt.Errorf("child %d of %#x/%d has wrong branch bit", idx, n.bits, n.plen)
-		}
-		if err := t.validateNode(c, leaves); err != nil {
-			return err
-		}
-	}
-	return nil
+	})
 }
 
 // Dump renders the trie structure as an indented multi-line string, for
 // debugging and the triecli tool. Quiescent use only.
 func (t *Trie[V]) Dump() string {
-	var sb strings.Builder
-	t.dumpNode(&sb, t.root, 0)
-	return sb.String()
-}
-
-func (t *Trie[V]) dumpNode(sb *strings.Builder, n *node[V], depth int) {
-	sb.WriteString(strings.Repeat("  ", depth))
-	label := labelString(n.bits, n.plen)
-	if n.leaf {
-		switch n.bits {
-		case keys.DummyMin(t.width):
-			fmt.Fprintf(sb, "leaf %s (dummy 0^ℓ)\n", label)
-		case keys.DummyMax(t.width):
-			fmt.Fprintf(sb, "leaf %s (dummy 1^ℓ)\n", label)
-		default:
-			fmt.Fprintf(sb, "leaf %s = %d\n", label, keys.Decode(n.bits, t.width))
+	return t.e.Dump(func(label keys.Uint64Key, leaf bool) string {
+		if !leaf {
+			return fmt.Sprintf("node %q", label.String())
 		}
-		return
-	}
-	fmt.Fprintf(sb, "node %q\n", label)
-	t.dumpNode(sb, n.child[0].Load(), depth+1)
-	t.dumpNode(sb, n.child[1].Load(), depth+1)
-}
-
-func labelString(bits uint64, plen uint32) string {
-	if plen == 0 {
-		return "ε"
-	}
-	var sb strings.Builder
-	for i := uint32(0); i < plen; i++ {
-		sb.WriteByte(byte('0' + keys.BitAt(bits, i)))
-	}
-	return sb.String()
+		switch {
+		case label.Equal(keys.Uint64DummyMin(t.width)):
+			return fmt.Sprintf("leaf %s (dummy 0^ℓ)", label)
+		case label.Equal(keys.Uint64DummyMax(t.width)):
+			return fmt.Sprintf("leaf %s (dummy 1^ℓ)", label)
+		default:
+			return fmt.Sprintf("leaf %s = %d", label, keys.DecodeUint64(label, t.width))
+		}
+	})
 }

@@ -2,20 +2,17 @@ package core
 
 import "nbtrie/internal/keys"
 
-// Ordered queries. The trie's leaves are sorted by label, so
-// predecessor/successor queries are direct structural walks. Like Range,
-// these read without synchronization: results are exact at quiescence
-// and best-effort under concurrent updates (each visited link was
-// current at the moment it was read).
+// Ordered queries, delegated to the engine's Compare-driven walks and
+// decoded back to user keys. Like Range, these read without
+// synchronization: results are exact at quiescence and best-effort under
+// concurrent updates (each visited link was current at the moment it was
+// read).
 
 // Min returns the smallest key in the set.
 func (t *Trie[V]) Min() (uint64, bool) { return t.Ceiling(0) }
 
 // Max returns the largest key in the set.
 func (t *Trie[V]) Max() (uint64, bool) {
-	if t.width == 64 {
-		return t.Floor(^uint64(0))
-	}
 	return t.Floor(uint64(1)<<t.width - 1)
 }
 
@@ -26,8 +23,8 @@ func (t *Trie[V]) Ceiling(k uint64) (uint64, bool) {
 	if !inRange {
 		return 0, false
 	}
-	if bits, ok := t.ceilNode(t.root, v); ok {
-		return keys.Decode(bits, t.width), true
+	if label, ok := t.e.Ceiling(v); ok {
+		return keys.DecodeUint64(label, t.width), true
 	}
 	return 0, false
 }
@@ -39,39 +36,10 @@ func (t *Trie[V]) Floor(k uint64) (uint64, bool) {
 	if !inRange {
 		return t.Max()
 	}
-	if bits, ok := t.floorNode(t.root, v); ok {
-		return keys.Decode(bits, t.width), true
+	if label, ok := t.e.Floor(v); ok {
+		return keys.DecodeUint64(label, t.width), true
 	}
 	return 0, false
-}
-
-// subtreeMax returns the largest label a key under n can have.
-func subtreeMax[V any](n *node[V]) uint64 {
-	return n.bits | ^keys.Mask(n.plen)
-}
-
-// usableLeaf reports whether a leaf holds a live user key.
-func (t *Trie[V]) usableLeaf(n *node[V]) bool {
-	if n.bits == keys.DummyMin(t.width) || n.bits == keys.DummyMax(t.width) {
-		return false
-	}
-	return !logicallyRemoved(n.info.Load())
-}
-
-func (t *Trie[V]) ceilNode(n *node[V], v uint64) (uint64, bool) {
-	if n.leaf {
-		if n.bits >= v && t.usableLeaf(n) {
-			return n.bits, true
-		}
-		return 0, false
-	}
-	left := n.child[0].Load()
-	if subtreeMax(left) >= v {
-		if bits, ok := t.ceilNode(left, v); ok {
-			return bits, ok
-		}
-	}
-	return t.ceilNode(n.child[1].Load(), v)
 }
 
 // AscendKV calls fn on every key >= from, in increasing order with the
@@ -85,40 +53,7 @@ func (t *Trie[V]) AscendKV(from uint64, fn func(k uint64, val V) bool) {
 	if !inRange {
 		return // nothing at or above a key beyond the range
 	}
-	t.ascendNode(t.root, v, fn)
-}
-
-func (t *Trie[V]) ascendNode(n *node[V], v uint64, fn func(k uint64, val V) bool) bool {
-	if n.leaf {
-		if n.bits >= v && t.usableLeaf(n) {
-			return fn(keys.Decode(n.bits, t.width), n.val)
-		}
-		return true
-	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if subtreeMax(c) < v {
-			continue // every leaf below c sorts before v
-		}
-		if !t.ascendNode(c, v, fn) {
-			return false
-		}
-	}
-	return true
-}
-
-func (t *Trie[V]) floorNode(n *node[V], v uint64) (uint64, bool) {
-	if n.leaf {
-		if n.bits <= v && t.usableLeaf(n) {
-			return n.bits, true
-		}
-		return 0, false
-	}
-	right := n.child[1].Load()
-	if right.bits <= v {
-		if bits, ok := t.floorNode(right, v); ok {
-			return bits, ok
-		}
-	}
-	return t.floorNode(n.child[0].Load(), v)
+	t.e.AscendKV(v, func(label keys.Uint64Key, val V) bool {
+		return fn(keys.DecodeUint64(label, t.width), val)
+	})
 }

@@ -101,21 +101,6 @@ func TestOrderedQueriesOracle(t *testing.T) {
 	}
 }
 
-func TestOrderedSkipsLogicallyRemoved(t *testing.T) {
-	// A leaf parked as rmvLeaf of a completed replace (flag stays
-	// forever) must never surface from ordered queries even when it is
-	// artificially kept reachable — fabricate the state directly.
-	tr := mustNew(t, 8)
-	tr.Insert(50)
-	leaf := tr.search(tr.encode(50)).node
-	d := &desc[any]{kind: kindFlag, nPNode: 1}
-	d.pNode[0] = tr.root
-	d.oldChild[0] = newLeaf[any](tr.encode(1), tr.klen) // not a child: "removed"
-	leaf.info.Store(d)
-	if _, ok := tr.Ceiling(0); ok {
-		t.Error("logically removed leaf surfaced from Ceiling")
-	}
-	if _, ok := tr.Floor(255); ok {
-		t.Error("logically removed leaf surfaced from Floor")
-	}
-}
+// (TestOrderedSkipsLogicallyRemoved, which fabricates a replace
+// descriptor by hand, lives in internal/engine with the rest of the
+// white-box protocol tests.)

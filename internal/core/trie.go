@@ -1,38 +1,57 @@
+// Package core is the fixed-width instantiation of the shared
+// non-blocking update engine (internal/engine): the Patricia trie of
+// Shafiei, "Non-blocking Patricia Tries with Replace Operations"
+// (ICDCS 2013) over uint64 keys in [0, 2^width), with the value payload
+// V carried on leaves making it a linearizable uint64 → V map.
+//
+// All protocol code — descriptors, flagging, helping, the child CASes,
+// replace's case analysis — lives in internal/engine; this package
+// contributes only the key layer: user keys are shifted into the
+// (width+1)-bit internal space (keys.EncodeUint64, the paper's k -> k+1
+// mapping that frees the dummy strings) and validated for range, with
+// out-of-range keys treated as permanently absent rather than errors.
+//
+// Because keys.Uint64Key has bounded length and pure value arithmetic,
+// this instantiation keeps the paper's strongest read guarantee:
+// Contains/Load are wait-free — at most width+1 child-pointer reads, no
+// CAS, no allocation — which is what Implementation.WaitFreeRead
+// advertises at the registry layer. (The byte-string instantiation,
+// internal/strtrie, is the contrast: unbounded keys make its search
+// lock-free only.)
 package core
 
 import (
 	"fmt"
 
+	"nbtrie/internal/engine"
 	"nbtrie/internal/keys"
 )
 
-// Trie is a non-blocking Patricia trie implementing a linearizable set of
-// uint64 keys in [0, 2^width) — and a linearizable uint64 → V map through
-// the value payload carried unboxed on every leaf. All methods are safe
-// for concurrent use by any number of goroutines without external
-// synchronization. The pure set view instantiates V = struct{}, which
-// occupies no space in the leaf.
+// Trie is a non-blocking Patricia trie implementing a linearizable set
+// of uint64 keys in [0, 2^width) — and a linearizable uint64 → V map
+// through the value payload carried unboxed on every leaf. All methods
+// are safe for concurrent use by any number of goroutines without
+// external synchronization. The pure set view instantiates
+// V = struct{}, which occupies no space in the leaf.
 type Trie[V any] struct {
 	width uint32
 	klen  uint32
-	root  *node[V]
-
-	// skipRmvdCheck applies the paper's Section V optimization for
-	// workloads without replace operations: the search does not inspect
-	// leaf info fields for logical removal. Replace must not be used on
-	// such a trie.
-	skipRmvdCheck bool
+	e     *engine.Trie[keys.Uint64Key, V]
 }
 
 // Option configures a Trie.
-type Option[V any] func(*Trie[V])
+type Option[V any] func(*options)
+
+type options struct {
+	withoutReplace bool
+}
 
 // WithoutReplace applies the paper's Section V optimization ("we
 // eliminated the rmvd variable in search operations"): searches skip the
 // logical-removal check that only replace operations can trigger. Calling
 // Replace on a trie built with this option panics.
 func WithoutReplace[V any]() Option[V] {
-	return func(t *Trie[V]) { t.skipRmvdCheck = true }
+	return func(o *options) { o.withoutReplace = true }
 }
 
 // New returns an empty trie over keys in [0, 2^width). Width must be in
@@ -41,86 +60,33 @@ func New[V any](width uint32, opts ...Option[V]) (*Trie[V], error) {
 	if width < 1 || width > keys.MaxWidth {
 		return nil, fmt.Errorf("patricia trie: width %d out of range [1, %d]", width, keys.MaxWidth)
 	}
-	klen := keys.KeyLen(width)
-	t := &Trie[V]{width: width, klen: klen}
-	t.root = newInternal(0, 0,
-		newLeaf[V](keys.DummyMin(width), klen),
-		newLeaf[V](keys.DummyMax(width), klen))
-	for _, o := range opts {
-		o(t)
+	var o options
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return t, nil
+	var eopts []engine.Option[keys.Uint64Key, V]
+	if o.withoutReplace {
+		eopts = append(eopts, engine.WithoutReplace[keys.Uint64Key, V]())
+	}
+	return &Trie[V]{
+		width: width,
+		klen:  keys.KeyLen(width),
+		e:     engine.New[keys.Uint64Key, V](keys.Uint64DummyMin(width), keys.Uint64DummyMax(width), eopts...),
+	}, nil
 }
 
 // Width returns the user-key width in bits.
 func (t *Trie[V]) Width() uint32 { return t.width }
 
-// encode maps a user key into the internal left-aligned key space,
-// panicking on out-of-range keys. The exported operations never call it
-// with an out-of-range key (they go through encodeOK); it is retained for
-// white-box tests that construct internal keys directly.
-func (t *Trie[V]) encode(k uint64) uint64 {
-	if !keys.InRange(k, t.width) {
-		panic(fmt.Sprintf("patricia trie: key %d out of range for width %d", k, t.width))
-	}
-	return keys.Encode(k, t.width)
-}
-
 // encodeOK maps a user key into the internal key space, reporting false
 // for keys outside [0, 2^width). Out-of-range keys are never members of
 // the set, so every operation treats them as simply absent instead of
 // panicking.
-func (t *Trie[V]) encodeOK(k uint64) (uint64, bool) {
+func (t *Trie[V]) encodeOK(k uint64) (keys.Uint64Key, bool) {
 	if !keys.InRange(k, t.width) {
-		return 0, false
+		return keys.Uint64Key{}, false
 	}
-	return keys.Encode(k, t.width), true
-}
-
-// searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
-// rmvd⟩ returned by search.
-type searchResult[V any] struct {
-	gp, p, node   *node[V]
-	gpInfo, pInfo *desc[V]
-	rmvd          bool
-}
-
-// search locates the internal key v, per lines 76-85. It starts at the
-// root and descends by the bit of v at each node's label length, stopping
-// at a leaf or at an internal node whose label is no longer a prefix of v.
-// It is wait-free: labels strictly lengthen along any path (Invariant 7),
-// so the loop runs at most ℓ times. It performs no CAS, never writes
-// shared memory, and never allocates.
-func (t *Trie[V]) search(v uint64) searchResult[V] {
-	var r searchResult[V]
-	n := t.root
-	for !n.leaf && keys.IsPrefix(n.bits, n.plen, v) {
-		r.gp, r.gpInfo = r.p, r.pInfo
-		r.p, r.pInfo = n, n.info.Load()
-		n = r.p.child[keys.BitAt(v, r.p.plen)].Load()
-	}
-	r.node = n
-	if n.leaf && !t.skipRmvdCheck {
-		r.rmvd = logicallyRemoved(n.info.Load())
-	}
-	return r
-}
-
-// logicallyRemoved implements lines 122-124: a leaf whose info field holds
-// the Flag of a general-case replace is logically removed once that
-// replace's first child CAS has happened, which is detectable by the old
-// child no longer being a child of pNode[0] (Lemma 41).
-func logicallyRemoved[V any](i *desc[V]) bool {
-	if !i.flagged() {
-		return false
-	}
-	p, old := i.pNode[0], i.oldChild[0]
-	return p.child[0].Load() != old && p.child[1].Load() != old
-}
-
-// keyInTrie implements lines 125-126.
-func keyInTrie[V any](n *node[V], v uint64, rmvd bool) bool {
-	return n.leaf && n.bits == v && !rmvd
+	return keys.EncodeUint64(k, t.width), true
 }
 
 // Contains reports whether k is in the set. It is wait-free, never
@@ -128,28 +94,94 @@ func keyInTrie[V any](n *node[V], v uint64, rmvd bool) bool {
 // Out-of-range keys are reported absent.
 func (t *Trie[V]) Contains(k uint64) bool {
 	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
-	r := t.search(v)
-	return keyInTrie(r.node, v, r.rmvd)
+	return ok && t.e.Contains(v)
 }
 
 // Load returns the value stored under k, or (zero, false) when k is not
 // in the set. Like Contains it is wait-free and allocation-free: one
 // descent, only reads, no CAS, and the value comes back unboxed straight
-// from the leaf. Leaf values are immutable (updates install fresh
-// leaves), so the value returned is exactly the one bound to k at the
-// linearization point.
+// from the leaf.
 func (t *Trie[V]) Load(k uint64) (V, bool) {
-	var zero V
 	v, ok := t.encodeOK(k)
 	if !ok {
+		var zero V
 		return zero, false
 	}
-	r := t.search(v)
-	if !keyInTrie(r.node, v, r.rmvd) {
-		return zero, false
+	return t.e.Load(v)
+}
+
+// Insert adds k to the set, returning false if it was already present.
+// Out-of-range keys are rejected (false). Lock-free.
+func (t *Trie[V]) Insert(k uint64) bool {
+	var zero V
+	return t.InsertValue(k, zero)
+}
+
+// InsertValue is Insert with a value payload bound to the fresh leaf.
+func (t *Trie[V]) InsertValue(k uint64, val V) bool {
+	v, ok := t.encodeOK(k)
+	return ok && t.e.InsertValue(v, val)
+}
+
+// Delete removes k from the set, returning false if it was absent.
+// Out-of-range keys are reported absent. Lock-free.
+func (t *Trie[V]) Delete(k uint64) bool {
+	v, ok := t.encodeOK(k)
+	return ok && t.e.Delete(v)
+}
+
+// Replace atomically removes old and inserts new, returning true exactly
+// when old was present and new absent; the value payload travels with
+// the key. Out-of-range keys make the operation fail (an out-of-range
+// old is never present; an out-of-range new cannot be inserted).
+// Replace panics if the trie was built with WithoutReplace.
+func (t *Trie[V]) Replace(old, new uint64) bool {
+	vd, okD := t.encodeOK(old)
+	vi, okI := t.encodeOK(new)
+	if !okD || !okI {
+		return false
 	}
-	return r.node.val, true
+	return t.e.Replace(vd, vi)
+}
+
+// Store binds k to val, inserting the key if absent and overwriting the
+// value if present (lock-free upsert). It returns false only for
+// out-of-range keys, which cannot be stored.
+func (t *Trie[V]) Store(k uint64, val V) bool {
+	v, ok := t.encodeOK(k)
+	if !ok {
+		return false
+	}
+	t.e.Store(v, val)
+	return true
+}
+
+// LoadOrStore returns the value bound to k if present (loaded == true);
+// otherwise it stores val and returns it. The load path is wait-free.
+// ok is false only for out-of-range keys, which can neither be loaded
+// nor stored; loaded is false and actual is the zero value in that case.
+func (t *Trie[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
+	v, inRange := t.encodeOK(k)
+	if !inRange {
+		var zero V
+		return zero, false, false
+	}
+	actual, loaded = t.e.LoadOrStore(v, val)
+	return actual, loaded, true
+}
+
+// CompareAndSwap swaps the value bound to k from old to new if the stored
+// value equals old (interface equality; old must be comparable). It
+// returns true iff the swap happened.
+func (t *Trie[V]) CompareAndSwap(k uint64, old, new V) bool {
+	v, ok := t.encodeOK(k)
+	return ok && t.e.CompareAndSwap(v, old, new)
+}
+
+// CompareAndDelete deletes k if its stored value equals old (interface
+// equality; old must be comparable). It returns true iff the key was
+// deleted.
+func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
+	v, ok := t.encodeOK(k)
+	return ok && t.e.CompareAndDelete(v, old)
 }

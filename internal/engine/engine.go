@@ -1,0 +1,292 @@
+// Package engine implements the non-blocking update protocol of
+// Shafiei, "Non-blocking Patricia Tries with Replace Operations"
+// (ICDCS 2013), exactly once, generic over the key type. A Trie[K, V]
+// is a linearizable set of (already encoded) keys K — and, through the
+// value payload V carried unboxed on leaves, a linearizable K → V map
+// — with
+//
+//   - a read-only Contains/Load (the paper's find) that performs no CAS
+//     and never writes shared memory; it is wait-free whenever K has
+//     bounded length (Uint64Key, MortonKey) and lock-free for unbounded
+//     keys (Bitstring, the paper's Section VI),
+//   - lock-free Insert, Delete and value updates, and
+//   - a lock-free Replace(old, new) that removes one key and inserts
+//     another atomically at a single linearization point.
+//
+// Coordination follows the flag/help scheme of Ellen et al. (PODC
+// 2010), extended per the paper: every update publishes a descriptor
+// (the paper's Flag object) carrying everything helpers need, flags the
+// internal nodes whose child pointers it will change (in label order,
+// to avoid livelock), performs the child CASes, and unflags the
+// survivors. Nodes removed from the trie stay flagged forever, and
+// child pointers are only ever swung to freshly allocated nodes, so
+// neither info nor child fields can suffer ABA. Memory reclamation is
+// the garbage collector's job, exactly as in the paper's Java setting.
+//
+// The engine is deliberately key-agnostic: everything it needs from K
+// is the small keys.Key interface (bit access, length, prefix tests,
+// longest common prefix, a total label order) plus the two dummy keys
+// bounding the encoded key space, handed to New. The fixed-width trie
+// (internal/core), the byte-string trie (internal/strtrie) and the
+// Morton-keyed spatial trie (internal/spatial) are thin instantiations;
+// a new key space is an encoding plus two dummies, never a fourth copy
+// of this protocol.
+//
+// The hot paths are allocation-lean (see DESIGN.md): values are stored
+// unboxed in the leaf, descriptors are built from fixed-size arrays
+// that live on the caller's stack, and speculative node construction is
+// deferred until the captured info values are known not to belong to a
+// conflicting update. The one allocation that must never be optimized
+// away is the fresh Unflag written by every unflag CAS: reusing Unflag
+// objects would let a node's info field repeat a value, re-opening the
+// ABA window the paper closes.
+package engine
+
+import (
+	"sync/atomic"
+
+	"nbtrie/internal/keys"
+)
+
+// node is the paper's Node type. Leaves and internal nodes share one
+// struct: a node is a leaf iff leaf is true, in which case its child
+// pointers are never set. The label is immutable after construction;
+// leaf labels are full-length encoded keys, internal labels proper
+// prefixes of them.
+type node[K keys.Key[K], V any] struct {
+	label K
+	leaf  bool
+
+	// val is the value payload of a leaf, stored unboxed (zero for
+	// internal nodes; set views instantiate V = struct{}, which occupies
+	// no space at all). Like the label it is immutable after
+	// construction: a value update installs a fresh leaf through the
+	// same child-CAS path as every other update, so the no-ABA argument
+	// — child pointers are only ever swung to freshly allocated nodes —
+	// is untouched, and readers never observe a half-written value.
+	val V
+
+	// info stores a pointer to the descriptor of the update operating on
+	// this node (a Flag object), or a fresh unflag descriptor when no
+	// update is in progress. It is never nil: the paper uses allocated
+	// Unflag objects rather than null precisely so that info values never
+	// repeat and flag CASes cannot suffer ABA.
+	info atomic.Pointer[desc[K, V]]
+
+	// child holds the left (0) and right (1) children of an internal node.
+	child [2]atomic.Pointer[node[K, V]]
+}
+
+// newLeaf returns a leaf node with the given full-length label, a zero
+// value payload and a fresh unflag descriptor.
+func newLeaf[K keys.Key[K], V any](label K) *node[K, V] {
+	var zero V
+	return newLeafVal(label, zero)
+}
+
+// newLeafVal returns a leaf node carrying a value payload.
+func newLeafVal[K keys.Key[K], V any](label K, val V) *node[K, V] {
+	n := &node[K, V]{label: label, leaf: true, val: val}
+	n.info.Store(newUnflag[K, V]())
+	return n
+}
+
+// newInternal returns an internal node with the given label and children.
+// The children must already be ordered: left's bit at the label length is 0.
+func newInternal[K keys.Key[K], V any](label K, left, right *node[K, V]) *node[K, V] {
+	n := &node[K, V]{label: label}
+	n.info.Store(newUnflag[K, V]())
+	n.child[0].Store(left)
+	n.child[1].Store(right)
+	return n
+}
+
+// copyNode returns a fresh copy of n (the paper's "new copy of node",
+// lines 26 and 52). For an internal node the children are read now; the
+// caller must have read n's info field beforehand, which — per Lemma 31 —
+// guarantees the children cannot change between this copy and the child
+// CAS that installs it, so the copy is faithful when it becomes reachable.
+func copyNode[K keys.Key[K], V any](n *node[K, V]) *node[K, V] {
+	if n.leaf {
+		return newLeafVal(n.label, n.val)
+	}
+	return newInternal(n.label, n.child[0].Load(), n.child[1].Load())
+}
+
+// descKind discriminates the two Info subtypes of the paper.
+type descKind uint8
+
+const (
+	kindUnflag descKind = iota + 1 // no update in progress at the node
+	kindFlag                       // an update owns the node
+)
+
+// desc is the paper's Info object. A desc with kind == kindUnflag uses no
+// other field; a fresh unflag is allocated for every unflagging so that a
+// node's info field never repeats a value. A desc with kind == kindFlag
+// describes one update operation completely, so that any process reading
+// it can finish the update (help).
+//
+// Fixed-size arrays with explicit lengths keep each descriptor to a single
+// allocation; an update flags at most four internal nodes and changes at
+// most two child pointers (the replace general case). newDesc receives
+// the same fixed-size arrays as stack values, so a failed attempt
+// allocates nothing at all.
+type desc[K keys.Key[K], V any] struct {
+	kind descKind
+
+	nFlag   uint8 // entries used in flag/oldInfo
+	nUnflag uint8 // entries used in unflag
+	nPNode  uint8 // entries used in pNode/oldChild/newChild
+
+	// flag lists the internal nodes to flag, sorted by label; oldInfo[i]
+	// is the expected prior value of flag[i].info for the flag CAS.
+	flag    [4]*node[K, V]
+	oldInfo [4]*desc[K, V]
+
+	// unflag lists the flagged nodes that remain in the trie and must be
+	// unflagged once the child CASes are done. Nodes in flag but not in
+	// unflag are removed by the update and stay flagged ("marked").
+	unflag [2]*node[K, V]
+
+	// For each i, the update CASes the appropriate child pointer of
+	// pNode[i] from oldChild[i] to newChild[i].
+	pNode    [2]*node[K, V]
+	oldChild [2]*node[K, V]
+	newChild [2]*node[K, V]
+
+	// rmvLeaf, when non-nil, is the leaf holding the replaced key of a
+	// general-case replace. It is flagged (plain store) after all flag
+	// CASes succeed and before the first child CAS; searches reaching it
+	// afterwards use logicallyRemoved to decide whether the key is gone.
+	rmvLeaf *node[K, V]
+
+	// flagDone is set once every node in flag was flagged successfully;
+	// helpers use it to distinguish "the update already happened and the
+	// node was unflagged" from "flagging failed, back off" (lines 93-106).
+	flagDone atomic.Bool
+}
+
+// newUnflag allocates a fresh Unflag descriptor. The allocation is
+// load-bearing: each unflag CAS must install a pointer the node's info
+// field has never held before, or a delayed flag CAS comparing against a
+// recycled Unflag could succeed long after its update was decided (ABA).
+// Do not pool or intern these.
+func newUnflag[K keys.Key[K], V any]() *desc[K, V] { return &desc[K, V]{kind: kindUnflag} }
+
+// flagged reports whether d is a Flag descriptor.
+func (d *desc[K, V]) flagged() bool { return d.kind == kindFlag }
+
+// Trie is the shared non-blocking Patricia trie over encoded keys K with
+// unboxed value payloads V. All methods are safe for concurrent use by
+// any number of goroutines without external synchronization. Key
+// encoding and range validation live in the instantiating package; the
+// engine only ever sees full-length encoded keys strictly between the
+// two dummies.
+type Trie[K keys.Key[K], V any] struct {
+	root *node[K, V]
+
+	dummyMin, dummyMax K
+
+	// skipRmvdCheck applies the paper's Section V optimization for
+	// workloads without replace operations: the search does not inspect
+	// leaf info fields for logical removal. Replace must not be used on
+	// such a trie.
+	skipRmvdCheck bool
+}
+
+// Option configures a Trie.
+type Option[K keys.Key[K], V any] func(*Trie[K, V])
+
+// WithoutReplace applies the paper's Section V optimization ("we
+// eliminated the rmvd variable in search operations"): searches skip the
+// logical-removal check that only replace operations can trigger. Calling
+// Replace on a trie built with this option panics.
+func WithoutReplace[K keys.Key[K], V any]() Option[K, V] {
+	return func(t *Trie[K, V]) { t.skipRmvdCheck = true }
+}
+
+// New returns an empty trie anchored by the two dummy leaves, which must
+// bound every encoded key the instantiation will ever pass in. The zero
+// value of K must be the empty string; it labels the root.
+func New[K keys.Key[K], V any](dummyMin, dummyMax K, opts ...Option[K, V]) *Trie[K, V] {
+	var empty K
+	t := &Trie[K, V]{dummyMin: dummyMin, dummyMax: dummyMax}
+	t.root = newInternal(empty,
+		newLeaf[K, V](dummyMin),
+		newLeaf[K, V](dummyMax))
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
+// rmvd⟩ returned by search.
+type searchResult[K keys.Key[K], V any] struct {
+	gp, p, node   *node[K, V]
+	gpInfo, pInfo *desc[K, V]
+	rmvd          bool
+}
+
+// search locates the encoded key v, per lines 76-85. It starts at the
+// root and descends by the bit of v at each node's label length, stopping
+// at a leaf or at an internal node whose label is no longer a proper
+// prefix of v. Labels strictly lengthen along any path (Invariant 7), so
+// the loop runs at most |v| times: wait-free for bounded key types,
+// lock-free (bounded by the key's own length plus concurrent
+// restructuring) for unbounded ones. It performs no CAS, never writes
+// shared memory, and never allocates beyond what K's own methods do.
+func (t *Trie[K, V]) search(v K) searchResult[K, V] {
+	var r searchResult[K, V]
+	n := t.root
+	for !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
+		r.gp, r.gpInfo = r.p, r.pInfo
+		r.p, r.pInfo = n, n.info.Load()
+		n = r.p.child[v.Bit(r.p.label.Len())].Load()
+	}
+	r.node = n
+	if n.leaf && !t.skipRmvdCheck {
+		r.rmvd = logicallyRemoved(n.info.Load())
+	}
+	return r
+}
+
+// logicallyRemoved implements lines 122-124: a leaf whose info field holds
+// the Flag of a general-case replace is logically removed once that
+// replace's first child CAS has happened, which is detectable by the old
+// child no longer being a child of pNode[0] (Lemma 41).
+func logicallyRemoved[K keys.Key[K], V any](i *desc[K, V]) bool {
+	if !i.flagged() {
+		return false
+	}
+	p, old := i.pNode[0], i.oldChild[0]
+	return p.child[0].Load() != old && p.child[1].Load() != old
+}
+
+// keyInTrie implements lines 125-126.
+func keyInTrie[K keys.Key[K], V any](n *node[K, V], v K, rmvd bool) bool {
+	return n.leaf && n.label.Equal(v) && !rmvd
+}
+
+// Contains reports whether the encoded key v is in the set. It only
+// reads shared memory and never performs a CAS (the paper's find, lines
+// 72-75).
+func (t *Trie[K, V]) Contains(v K) bool {
+	r := t.search(v)
+	return keyInTrie(r.node, v, r.rmvd)
+}
+
+// Load returns the value stored under v, or (zero, false) when v is not
+// in the set. Like Contains it is read-only and CAS-free: one descent,
+// and the value comes back unboxed straight from the leaf. Leaf values
+// are immutable (updates install fresh leaves), so the value returned is
+// exactly the one bound to v at the linearization point.
+func (t *Trie[K, V]) Load(v K) (V, bool) {
+	r := t.search(v)
+	if !keyInTrie(r.node, v, r.rmvd) {
+		var zero V
+		return zero, false
+	}
+	return r.node.val, true
+}

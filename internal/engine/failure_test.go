@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"sync/atomic"
@@ -10,20 +10,21 @@ import (
 // flags — the paper's "if an operation dies while nodes are flagged for
 // it, other processes can complete the operation and remove the flags".
 // These tests prove the helping path deterministically, not just under
-// racy stress.
+// racy stress. They run here, against the shared engine, once for every
+// instantiation in the repository.
 
 // stallFirst installs a hook that blocks the first process to finish
 // flagging (simulating a crash) and lets every later caller — the
 // helpers — pass through. It returns (stalled, release): stalled is
 // signalled once the victim is parked; closing release revives it.
-func stallFirst(t *testing.T) (stalled chan *desc[any], release chan struct{}) {
+func stallFirst(t *testing.T) (stalled chan *udesc, release chan struct{}) {
 	t.Helper()
-	stalled = make(chan *desc[any], 1)
+	stalled = make(chan *udesc, 1)
 	release = make(chan struct{})
 	var once atomic.Bool
 	testHookAfterFlagging = func(d any) {
 		if once.CompareAndSwap(false, true) {
-			stalled <- d.(*desc[any])
+			stalled <- d.(*udesc)
 			<-release
 		}
 	}
@@ -147,5 +148,69 @@ func TestReaderNeverBlocksOnStalledUpdate(t *testing.T) {
 	<-done
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadPerformsNoCAS verifies the wait-free read path: with an update
+// stalled mid-protocol (flags planted, child CASes pending), Load must
+// complete, never help, and leave every info field exactly as it found
+// it — and it must not allocate.
+func TestLoadPerformsNoCAS(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Store(10, "ten")
+	tr.Store(20, "twenty")
+
+	entered := make(chan *udesc, 1)
+	release := make(chan struct{})
+	testHookAfterFlagging = func(d any) {
+		entered <- d.(*udesc)
+		<-release
+	}
+	defer func() { testHookAfterFlagging = nil }()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Insert(21) // stalls after its flag CASes succeed
+	}()
+	d := <-entered
+
+	// The stalled insert is not yet linearized (no child CAS): 21 absent.
+	if _, ok := tr.Load(21); ok {
+		t.Error("Load observed an update before its linearization point")
+	}
+	if v, ok := tr.Load(10); !ok || v != "ten" {
+		t.Errorf("Load(10) = %v,%v under a stalled update", v, ok)
+	}
+	if v, ok := tr.Load(20); !ok || v != "twenty" {
+		t.Errorf("Load(20) = %v,%v under a stalled update", v, ok)
+	}
+
+	// Load must not have helped: every node the stalled update flagged
+	// still carries its descriptor (a CAS-ing reader would have completed
+	// the child swaps or unflagged them).
+	for j := 0; j < int(d.nFlag); j++ {
+		if d.flag[j].info.Load() != d {
+			t.Error("a flag planted by the stalled update was changed by Load")
+		}
+	}
+
+	// And it must not allocate: the returned value is the leaf's already-
+	// boxed payload.
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := tr.Load(10); !ok {
+			t.Fatal("Load(10) missed")
+		}
+	}); n != 0 {
+		t.Errorf("Load allocates %v objects per call, want 0", n)
+	}
+
+	close(release)
+	<-done
+	if v, ok := tr.Load(21); !ok || v != nil {
+		t.Errorf("Load(21) after release = %v,%v", v, ok)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
 	}
 }

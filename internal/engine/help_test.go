@@ -1,9 +1,11 @@
-package core
+package engine
 
 import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"nbtrie/internal/keys"
 )
 
 // White-box tests of the coordination machinery: the help routine's
@@ -25,8 +27,8 @@ func TestHelpBacktracksOnStaleFlag(t *testing.T) {
 	if a.leaf || b.leaf {
 		t.Fatal("test setup: expected internal children")
 	}
-	stale := newUnflag[any]() // never the current info of b
-	d := &desc[any]{kind: kindFlag, nFlag: 2, nUnflag: 2}
+	stale := newUnflag[keys.Uint64Key, any]() // never the current info of b
+	d := &udesc{kind: kindFlag, nFlag: 2, nUnflag: 2}
 	d.flag[0], d.flag[1] = a, b
 	d.oldInfo[0], d.oldInfo[1] = a.info.Load(), stale
 	d.unflag[0], d.unflag[1] = a, b
@@ -53,16 +55,16 @@ func TestHelpBacktracksOnStaleFlag(t *testing.T) {
 func TestHelpIsIdempotent(t *testing.T) {
 	tr := mustNew(t, 8)
 	tr.Insert(7)
-	r := tr.search(tr.encode(9))
+	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	newNode := tr.makeInternal(copyNode(r.node), newLeaf[any](tr.encode(9), tr.klen), nodeInfo)
+	newNode := tr.makeInternal(copyNode(r.node), newTestLeaf(tr, 9), nodeInfo)
 	if newNode == nil {
 		t.Fatal("setup: makeInternal failed")
 	}
 	d := tr.newDesc(
-		[4]*node[any]{r.p}, [4]*desc[any]{r.pInfo}, 1,
-		[2]*node[any]{r.p}, 1,
-		[2]*node[any]{r.p}, [2]*node[any]{r.node}, [2]*node[any]{newNode}, 1,
+		[4]*unode{r.p}, [4]*udesc{r.pInfo}, 1,
+		[2]*unode{r.p}, 1,
+		[2]*unode{r.p}, [2]*unode{r.node}, [2]*unode{newNode}, 1,
 		nil)
 	if d == nil || !tr.help(d) {
 		t.Fatal("setup: first help must succeed")
@@ -88,9 +90,9 @@ func TestNewDescDuplicateHandling(t *testing.T) {
 
 	// Same node twice with the same oldInfo: deduplicated to one entry.
 	d := tr.newDesc(
-		[4]*node[any]{n, n}, [4]*desc[any]{info, info}, 2,
-		[2]*node[any]{n, n}, 2,
-		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		[4]*unode{n, n}, [4]*udesc{info, info}, 2,
+		[2]*unode{n, n}, 2,
+		[2]*unode{n}, [2]*unode{nil}, [2]*unode{newTestLeaf(tr, 1)}, 1,
 		nil)
 	if d == nil {
 		t.Fatal("duplicates with equal oldInfo must be accepted")
@@ -101,19 +103,19 @@ func TestNewDescDuplicateHandling(t *testing.T) {
 
 	// Same node with different oldInfo: the node changed between reads.
 	if tr.newDesc(
-		[4]*node[any]{n, n}, [4]*desc[any]{info, newUnflag[any]()}, 2,
-		[2]*node[any]{n}, 1,
-		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		[4]*unode{n, n}, [4]*udesc{info, newUnflag[keys.Uint64Key, any]()}, 2,
+		[2]*unode{n}, 1,
+		[2]*unode{n}, [2]*unode{nil}, [2]*unode{newTestLeaf(tr, 1)}, 1,
 		nil) != nil {
 		t.Error("duplicates with different oldInfo must be rejected")
 	}
 
 	// A flagged oldInfo: the conflicting update gets helped, nil returned.
-	flagged := &desc[any]{kind: kindFlag}
+	flagged := &udesc{kind: kindFlag}
 	if tr.newDesc(
-		[4]*node[any]{n}, [4]*desc[any]{flagged}, 1,
-		[2]*node[any]{n}, 1,
-		[2]*node[any]{n}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		[4]*unode{n}, [4]*udesc{flagged}, 1,
+		[2]*unode{n}, 1,
+		[2]*unode{n}, [2]*unode{nil}, [2]*unode{newTestLeaf(tr, 1)}, 1,
 		nil) != nil {
 		t.Error("flagged oldInfo must be rejected")
 	}
@@ -125,9 +127,9 @@ func TestNewDescSortsByLabel(t *testing.T) {
 		tr.Insert(k)
 	}
 	// Gather three internal nodes and pass them in reverse label order.
-	var internals []*node[any]
-	var collect func(*node[any])
-	collect = func(n *node[any]) {
+	var internals []*unode
+	var collect func(*unode)
+	collect = func(n *unode) {
 		if n.leaf {
 			return
 		}
@@ -139,17 +141,17 @@ func TestNewDescSortsByLabel(t *testing.T) {
 	if len(internals) < 3 {
 		t.Fatalf("setup: want >=3 internal nodes, got %d", len(internals))
 	}
-	ns := [4]*node[any]{internals[2], internals[0], internals[1]}
-	is := [4]*desc[any]{ns[0].info.Load(), ns[1].info.Load(), ns[2].info.Load()}
+	ns := [4]*unode{internals[2], internals[0], internals[1]}
+	is := [4]*udesc{ns[0].info.Load(), ns[1].info.Load(), ns[2].info.Load()}
 	d := tr.newDesc(ns, is, 3,
-		[2]*node[any]{ns[0]}, 1,
-		[2]*node[any]{ns[0]}, [2]*node[any]{nil}, [2]*node[any]{newLeaf[any](tr.encode(1), tr.klen)}, 1,
+		[2]*unode{ns[0]}, 1,
+		[2]*unode{ns[0]}, [2]*unode{nil}, [2]*unode{newTestLeaf(tr, 1)}, 1,
 		nil)
 	if d == nil {
 		t.Fatal("newDesc failed")
 	}
 	for i := 1; i < int(d.nFlag); i++ {
-		if !labelLess(d.flag[i-1], d.flag[i]) {
+		if d.flag[i-1].label.Compare(d.flag[i].label) >= 0 {
 			t.Fatalf("flag array not sorted at %d", i)
 		}
 		// The oldInfo permutation must follow its node.
@@ -162,22 +164,22 @@ func TestNewDescSortsByLabel(t *testing.T) {
 func TestLogicallyRemovedPredicate(t *testing.T) {
 	tr := mustNew(t, 8)
 	tr.Insert(5)
-	leaf5 := tr.search(tr.encode(5)).node
+	leaf5 := tr.search(tr.enc(5)).node
 
 	if logicallyRemoved(leaf5.info.Load()) {
 		t.Error("unflagged leaf must not be logically removed")
 	}
 	// Fabricate a replace-style flag whose pNode still points at
 	// oldChild: not yet removed.
-	p := tr.search(tr.encode(5)).p
-	d := &desc[any]{kind: kindFlag, nPNode: 1}
+	p := tr.search(tr.enc(5)).p
+	d := &udesc{kind: kindFlag, nPNode: 1}
 	d.pNode[0] = p
 	d.oldChild[0] = leaf5
 	if logicallyRemoved(d) {
 		t.Error("leaf still linked under pNode[0] is not removed")
 	}
 	// Once oldChild is no longer a child of pNode[0], it is removed.
-	d.oldChild[0] = newLeaf[any](tr.encode(9), tr.klen)
+	d.oldChild[0] = newTestLeaf(tr, 9)
 	if !logicallyRemoved(d) {
 		t.Error("leaf unlinked from pNode[0] must report removed")
 	}
@@ -185,8 +187,8 @@ func TestLogicallyRemovedPredicate(t *testing.T) {
 
 func TestMakeInternalConflictHelps(t *testing.T) {
 	tr := mustNew(t, 8)
-	a := newLeaf[any](tr.encode(5), tr.klen)
-	b := newLeaf[any](tr.encode(5), tr.klen) // identical labels: prefix conflict
+	a := newTestLeaf(tr, 5)
+	b := newTestLeaf(tr, 5) // identical labels: prefix conflict
 
 	if tr.makeInternal(a, b, nil) != nil {
 		t.Error("equal labels must yield nil")
@@ -194,13 +196,13 @@ func TestMakeInternalConflictHelps(t *testing.T) {
 	// With a completed Flag as info, makeInternal helps it (idempotent
 	// re-help) and still returns nil.
 	tr.Insert(7)
-	r := tr.search(tr.encode(9))
+	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	nn := tr.makeInternal(copyNode(r.node), newLeaf[any](tr.encode(9), tr.klen), nodeInfo)
+	nn := tr.makeInternal(copyNode(r.node), newTestLeaf(tr, 9), nodeInfo)
 	d := tr.newDesc(
-		[4]*node[any]{r.p}, [4]*desc[any]{r.pInfo}, 1,
-		[2]*node[any]{r.p}, 1,
-		[2]*node[any]{r.p}, [2]*node[any]{r.node}, [2]*node[any]{nn}, 1,
+		[4]*unode{r.p}, [4]*udesc{r.pInfo}, 1,
+		[2]*unode{r.p}, 1,
+		[2]*unode{r.p}, [2]*unode{r.node}, [2]*unode{nn}, 1,
 		nil)
 	tr.help(d)
 	if tr.makeInternal(a, b, d) != nil {
@@ -210,6 +212,113 @@ func TestMakeInternalConflictHelps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTryDeleteRootChildDefensive pins the defensive ordering in
+// tryDelete: the gp == nil branch must be taken before anything is read
+// through the search result. The situation cannot arise through Delete —
+// a leaf directly under the root is necessarily one of the two permanent
+// dummies (the 0-prefix and 1-prefix subtrees always contain them), and
+// dummy labels never equal an encoded user key, so keyInTrie rejects the
+// position first — but tryDelete must still fail closed when handed such
+// a result, leaving the trie untouched.
+func TestTryDeleteRootChildDefensive(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(7)
+
+	dummy := tr.root.child[0].Load()
+	for !dummy.leaf {
+		dummy = dummy.child[0].Load()
+	}
+	if !dummy.label.Equal(keys.Uint64DummyMin(tr.width)) {
+		t.Fatal("setup: leftmost leaf should be the 0^ℓ dummy")
+	}
+	r := searchResult[keys.Uint64Key, any]{
+		p:     tr.root,
+		pInfo: tr.root.info.Load(),
+		node:  dummy,
+		// gp and gpInfo deliberately nil: the root has no parent.
+	}
+	if tr.tryDelete(dummy.label, r) {
+		t.Error("tryDelete with nil gp must refuse")
+	}
+	if !tr.Contains(7) || tr.Size() != 1 {
+		t.Error("defensive tryDelete must not disturb the trie")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderedSkipsLogicallyRemoved: a leaf parked as rmvLeaf of a
+// completed replace (flag stays forever) must never surface from ordered
+// queries even when it is artificially kept reachable — fabricate the
+// state directly.
+func TestOrderedSkipsLogicallyRemoved(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(50)
+	leaf := tr.search(tr.enc(50)).node
+	d := &udesc{kind: kindFlag, nPNode: 1}
+	d.pNode[0] = tr.root
+	d.oldChild[0] = newTestLeaf(tr, 1) // not a child: "removed"
+	leaf.info.Store(d)
+	if _, ok := tr.Trie.Ceiling(tr.enc(0)); ok {
+		t.Error("logically removed leaf surfaced from Ceiling")
+	}
+	if _, ok := tr.Trie.Floor(tr.enc(255)); ok {
+		t.Error("logically removed leaf surfaced from Floor")
+	}
+	n := 0
+	tr.AscendKV(keys.Uint64Key{}, func(keys.Uint64Key, any) bool { n++; return true })
+	if n != 0 {
+		t.Error("logically removed leaf surfaced from AscendKV")
+	}
+}
+
+// TestValidateDetectsCorruption checks that the invariant checker is not
+// vacuous, by corrupting a trie in ways the algorithm can never produce.
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := mustNew(t, 4)
+	tr.Insert(3)
+
+	// Swap the root's children: branch bits become wrong.
+	c0, c1 := tr.root.child[0].Load(), tr.root.child[1].Load()
+	tr.root.child[0].Store(c1)
+	tr.root.child[1].Store(c0)
+	if tr.Validate() == nil {
+		t.Error("Validate must detect swapped children")
+	}
+	tr.root.child[0].Store(c0)
+	tr.root.child[1].Store(c1)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("restored trie should validate: %v", err)
+	}
+
+	// A reachable flagged node at quiescence is a violation.
+	d := &udesc{kind: kindFlag}
+	old := c0.info.Load()
+	c0.info.Store(d)
+	if tr.Validate() == nil {
+		t.Error("Validate must detect reachable flagged node")
+	}
+	c0.info.Store(old)
+
+	// The extra (instantiation-supplied) check is consulted too.
+	errSentinel := tr.Trie.Validate(func(label keys.Uint64Key, leaf bool) error {
+		if leaf {
+			return errFake
+		}
+		return nil
+	})
+	if errSentinel != errFake {
+		t.Errorf("Validate must surface the extra check's error, got %v", errSentinel)
+	}
+}
+
+var errFake = errFakeType{}
+
+type errFakeType struct{}
+
+func (errFakeType) Error() string { return "fake instantiation error" }
 
 // TestQuickOpSequences is the testing/quick property test over random
 // operation sequences: the trie must agree with a map oracle on every
@@ -221,10 +330,7 @@ func TestQuickOpSequences(t *testing.T) {
 		K2   uint16
 	}
 	f := func(ops []op) bool {
-		tr, err := New[any](16)
-		if err != nil {
-			return false
-		}
+		tr := mustNew(t, 16)
 		oracle := make(map[uint64]bool)
 		for _, o := range ops {
 			k, k2 := uint64(o.K), uint64(o.K2)

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The helpers in this file traverse the trie without synchronization and
+// are intended for quiescent use (tests, examples, offline inspection).
+// Called concurrently with updates they are safe — they only read — but
+// may observe a mix of states.
+
+// Size returns the number of live user keys in the set.
+func (t *Trie[K, V]) Size() int {
+	n := 0
+	var zero K
+	t.AscendKV(zero, func(K, V) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Validate checks the structural invariants of the trie and returns the
+// first violation found, or nil. It must be called at quiescence (no
+// concurrent updates). Checked invariants, from the paper's proof:
+//
+//   - Invariant 7: if x.child[i] = y then x.label · i is a prefix of
+//     y.label; hence labels strictly lengthen along every path.
+//   - Every internal node has exactly two non-nil children (Lemma 4).
+//   - The two dummy leaves are the extreme leaves of the trie.
+//   - Leaf labels appear in strictly increasing order.
+//   - No reachable node is flagged (Lemma 64: after every help call
+//     returns, no reachable node's info is a Flag).
+//
+// extra, when non-nil, runs on every reachable node so instantiations
+// can add key-space-specific checks (canonical representation, full
+// leaf length, ...); its first error is reported.
+func (t *Trie[K, V]) Validate(extra func(label K, leaf bool) error) error {
+	if t.root.leaf || t.root.label.Len() != 0 {
+		return fmt.Errorf("root must be an internal node with empty label")
+	}
+	var leaves []K
+	if err := t.validateNode(t.root, extra, &leaves); err != nil {
+		return err
+	}
+	if len(leaves) < 2 {
+		return fmt.Errorf("trie must always hold the two dummy leaves, found %d leaves", len(leaves))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1].Compare(leaves[i]) >= 0 {
+			return fmt.Errorf("leaf labels out of order: %v before %v", leaves[i-1], leaves[i])
+		}
+	}
+	if !leaves[0].Equal(t.dummyMin) {
+		return fmt.Errorf("leftmost leaf %v is not the minimum dummy", leaves[0])
+	}
+	if !leaves[len(leaves)-1].Equal(t.dummyMax) {
+		return fmt.Errorf("rightmost leaf %v is not the maximum dummy", leaves[len(leaves)-1])
+	}
+	return nil
+}
+
+func (t *Trie[K, V]) validateNode(n *node[K, V], extra func(K, bool) error, leaves *[]K) error {
+	if n.info.Load().flagged() {
+		return fmt.Errorf("reachable node %v is flagged at quiescence", n.label)
+	}
+	if extra != nil {
+		if err := extra(n.label, n.leaf); err != nil {
+			return err
+		}
+	}
+	if n.leaf {
+		*leaves = append(*leaves, n.label)
+		return nil
+	}
+	for idx := 0; idx < 2; idx++ {
+		c := n.child[idx].Load()
+		if c == nil {
+			return fmt.Errorf("internal node %v has nil child %d", n.label, idx)
+		}
+		if c.label.Len() <= n.label.Len() {
+			return fmt.Errorf("child label length %d not longer than parent's %d", c.label.Len(), n.label.Len())
+		}
+		if !n.label.IsPrefixOf(c.label) {
+			return fmt.Errorf("parent label %v is not a prefix of child label %v", n.label, c.label)
+		}
+		if c.label.Bit(n.label.Len()) != idx {
+			return fmt.Errorf("child %d of %v has wrong branch bit", idx, n.label)
+		}
+		if err := t.validateNode(c, extra, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump renders the trie structure as an indented multi-line string, for
+// debugging and the triecli tool; format renders one node (the
+// instantiation knows how to decode labels and name its dummies).
+// Quiescent use only.
+func (t *Trie[K, V]) Dump(format func(label K, leaf bool) string) string {
+	var sb strings.Builder
+	t.dumpNode(&sb, t.root, format, 0)
+	return sb.String()
+}
+
+func (t *Trie[K, V]) dumpNode(sb *strings.Builder, n *node[K, V], format func(K, bool) string, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(format(n.label, n.leaf))
+	sb.WriteByte('\n')
+	if n.leaf {
+		return
+	}
+	t.dumpNode(sb, n.child[0].Load(), format, depth+1)
+	t.dumpNode(sb, n.child[1].Load(), format, depth+1)
+}

@@ -1,6 +1,6 @@
-package core
+package engine
 
-// Map operations: the trie as a linearizable uint64 → V map. Every leaf
+// Map operations: the trie as a linearizable K → V map. Every leaf
 // carries an immutable, unboxed value payload, so a value update is a
 // structural update — the leaf is replaced wholesale by a fresh leaf via
 // the same flag/child-CAS protocol as the paper's Replace special case 1
@@ -10,9 +10,8 @@ package core
 // overwrite against any concurrent insert/delete/replace touching the
 // same pointer, and the overwrite is linearized at its single child CAS.
 //
-// Reads (Load) reuse the wait-free search and add only a field read of
-// the immutable leaf; they perform no CAS, write no shared memory and
-// allocate nothing — the value is stored unboxed in the leaf.
+// Reads (Load) reuse the read-only search and add only a field read of
+// the immutable leaf; they perform no CAS and write no shared memory.
 //
 // CompareAndSwap and CompareAndDelete compare values with Go interface
 // equality, mirroring sync.Map: the old value must be comparable or the
@@ -22,45 +21,33 @@ package core
 // search, and the paper's Lemma 31 argument then pins the child pointer
 // (and hence the leaf) for the duration.
 
-// Store binds k to val, inserting the key if absent and overwriting the
-// value if present (lock-free upsert). It returns false only for
-// out-of-range keys, which cannot be stored.
-func (t *Trie[V]) Store(k uint64, val V) bool {
-	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
+// Store binds the encoded key v to val, inserting the key if absent and
+// overwriting the value if present (lock-free upsert).
+func (t *Trie[K, V]) Store(v K, val V) {
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			if t.tryInsert(v, val, r) {
-				return true
+				return
 			}
 			continue
 		}
 		if t.tryOverwrite(v, val, r) {
-			return true
+			return
 		}
 	}
 }
 
-// LoadOrStore returns the value bound to k if present (loaded == true);
-// otherwise it stores val and returns it. The load path is wait-free.
-// ok is false only for out-of-range keys, which can neither be loaded
-// nor stored; loaded is false and actual is the zero value in that case.
-func (t *Trie[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
-	v, inRange := t.encodeOK(k)
-	if !inRange {
-		var zero V
-		return zero, false, false
-	}
+// LoadOrStore returns the value bound to v if present (loaded == true);
+// otherwise it stores val and returns it. The load path performs no CAS.
+func (t *Trie[K, V]) LoadOrStore(v K, val V) (actual V, loaded bool) {
 	for {
 		r := t.search(v)
 		if keyInTrie(r.node, v, r.rmvd) {
-			return r.node.val, true, true
+			return r.node.val, true
 		}
 		if t.tryInsert(v, val, r) {
-			return val, false, true
+			return val, false
 		}
 	}
 }
@@ -73,14 +60,10 @@ func valuesEqual[V any](a, b V) bool {
 	return any(a) == any(b)
 }
 
-// CompareAndSwap swaps the value bound to k from old to new if the stored
+// CompareAndSwap swaps the value bound to v from old to new if the stored
 // value equals old (interface equality; old must be comparable). It
 // returns true iff the swap happened.
-func (t *Trie[V]) CompareAndSwap(k uint64, old, new V) bool {
-	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
+func (t *Trie[K, V]) CompareAndSwap(v K, old, new V) bool {
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
@@ -95,14 +78,10 @@ func (t *Trie[V]) CompareAndSwap(k uint64, old, new V) bool {
 	}
 }
 
-// CompareAndDelete deletes k if its stored value equals old (interface
+// CompareAndDelete deletes v if its stored value equals old (interface
 // equality; old must be comparable). It returns true iff the key was
 // deleted.
-func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
-	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
+func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
@@ -121,20 +100,20 @@ func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
 	}
 }
 
-// tryOverwrite attempts to replace the live leaf r.node (holding internal
+// tryOverwrite attempts to replace the live leaf r.node (holding encoded
 // key v) with a fresh leaf carrying val — the descriptor shape of the
 // paper's Replace special case 1: flag the parent, one child CAS from the
 // old leaf to the new. False means re-search and retry. The fresh leaf is
 // only built once the captured parent info is known not to be a Flag.
-func (t *Trie[V]) tryOverwrite(v uint64, val V, r searchResult[V]) bool {
+func (t *Trie[K, V]) tryOverwrite(v K, val V, r searchResult[K, V]) bool {
 	if t.helpConflict(r.pInfo, nil, nil, nil) {
 		return false
 	}
 	i := t.newDesc(
-		[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
-		[2]*node[V]{r.p}, 1,
-		[2]*node[V]{r.p}, [2]*node[V]{r.node},
-		[2]*node[V]{newLeafVal(v, t.klen, val)}, 1,
+		[4]*node[K, V]{r.p}, [4]*desc[K, V]{r.pInfo}, 1,
+		[2]*node[K, V]{r.p}, 1,
+		[2]*node[K, V]{r.p}, [2]*node[K, V]{r.node},
+		[2]*node[K, V]{newLeafVal(v, val)}, 1,
 		nil)
 	return i != nil && t.help(i)
 }

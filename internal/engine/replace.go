@@ -1,6 +1,4 @@
-package core
-
-import "nbtrie/internal/keys"
+package engine
 
 // Replace atomically removes old and inserts new, returning true exactly
 // when old was present and new absent (lines 42-71). Both changes become
@@ -14,22 +12,15 @@ import "nbtrie/internal/keys"
 //
 // Replace moves the key's value payload along with it: after a
 // successful Replace(old, new), new is bound to the value old held.
-// Out-of-range keys make the operation fail (an out-of-range old is
-// never present; an out-of-range new cannot be inserted).
 //
 // Each case helps any conflicting update found among the captured info
 // values before building its replacement subtree, so a doomed attempt
 // costs no node allocations.
 //
 // Replace panics if the trie was built with WithoutReplace.
-func (t *Trie[V]) Replace(old, new uint64) bool {
+func (t *Trie[K, V]) Replace(vd, vi K) bool {
 	if t.skipRmvdCheck {
 		panic("patricia trie: Replace called on a trie built with WithoutReplace")
-	}
-	vd, okD := t.encodeOK(old)
-	vi, okI := t.encodeOK(new)
-	if !okD || !okI {
-		return false
 	}
 	for {
 		rd := t.search(vd)
@@ -40,10 +31,10 @@ func (t *Trie[V]) Replace(old, new uint64) bool {
 		if keyInTrie(ri.node, vi, ri.rmvd) {
 			return false // new key already present (line 48)
 		}
-		nodeInfoI := ri.node.info.Load()                       // line 49
-		sibD := rd.p.child[1-keys.BitAt(vd, rd.p.plen)].Load() // line 50
+		nodeInfoI := ri.node.info.Load()                      // line 49
+		sibD := rd.p.child[1-vd.Bit(rd.p.label.Len())].Load() // line 50
 
-		var i *desc[V]
+		var i *desc[K, V]
 		switch {
 		case rd.gp != nil &&
 			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
@@ -57,10 +48,10 @@ func (t *Trie[V]) Replace(old, new uint64) bool {
 				break
 			}
 			i = t.newDesc(
-				[4]*node[V]{rd.p}, [4]*desc[V]{rd.pInfo}, 1,
-				[2]*node[V]{rd.p}, 1,
-				[2]*node[V]{rd.p}, [2]*node[V]{ri.node},
-				[2]*node[V]{newLeafVal(vi, t.klen, rd.node.val)}, 1,
+				[4]*node[K, V]{rd.p}, [4]*desc[K, V]{rd.pInfo}, 1,
+				[2]*node[K, V]{rd.p}, 1,
+				[2]*node[K, V]{rd.p}, [2]*node[K, V]{ri.node},
+				[2]*node[K, V]{newLeafVal(vi, rd.node.val)}, 1,
 				nil)
 
 		case (ri.node == rd.p && ri.p == rd.gp) ||
@@ -72,15 +63,15 @@ func (t *Trie[V]) Replace(old, new uint64) bool {
 			if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
 				break
 			}
-			newNodeI := t.makeInternal(sibD, newLeafVal(vi, t.klen, rd.node.val), sibD.info.Load())
+			newNodeI := t.makeInternal(sibD, newLeafVal(vi, rd.node.val), sibD.info.Load())
 			if newNodeI == nil {
 				break
 			}
 			i = t.newDesc(
-				[4]*node[V]{rd.gp, rd.p}, [4]*desc[V]{rd.gpInfo, rd.pInfo}, 2,
-				[2]*node[V]{rd.gp}, 1,
-				[2]*node[V]{rd.gp}, [2]*node[V]{rd.p},
-				[2]*node[V]{newNodeI}, 1,
+				[4]*node[K, V]{rd.gp, rd.p}, [4]*desc[K, V]{rd.gpInfo, rd.pInfo}, 2,
+				[2]*node[K, V]{rd.gp}, 1,
+				[2]*node[K, V]{rd.gp}, [2]*node[K, V]{rd.p},
+				[2]*node[K, V]{newNodeI}, 1,
 				nil)
 
 		case ri.node == rd.gp:
@@ -90,21 +81,21 @@ func (t *Trie[V]) Replace(old, new uint64) bool {
 			if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
 				break
 			}
-			pSibD := rd.gp.child[1-keys.BitAt(vd, rd.gp.plen)].Load()
+			pSibD := rd.gp.child[1-vd.Bit(rd.gp.label.Len())].Load()
 			newChildI := t.makeInternal(sibD, pSibD, nil)
 			if newChildI == nil {
 				break
 			}
-			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, t.klen, rd.node.val), nil)
+			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, rd.node.val), nil)
 			if newNodeI == nil {
 				break
 			}
 			i = t.newDesc(
-				[4]*node[V]{ri.p, rd.gp, rd.p},
-				[4]*desc[V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
-				[2]*node[V]{ri.p}, 1,
-				[2]*node[V]{ri.p}, [2]*node[V]{ri.node},
-				[2]*node[V]{newNodeI}, 1,
+				[4]*node[K, V]{ri.p, rd.gp, rd.p},
+				[4]*desc[K, V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
+				[2]*node[K, V]{ri.p}, 1,
+				[2]*node[K, V]{ri.p}, [2]*node[K, V]{ri.node},
+				[2]*node[K, V]{newNodeI}, 1,
 				nil)
 		}
 
@@ -120,7 +111,7 @@ func (t *Trie[V]) Replace(old, new uint64) bool {
 // would flag, marks the old leaf, and performs two child CASes — insert
 // first, then delete. rmvLeaf is the old key's leaf; once the first child
 // CAS lands, searches reaching that leaf see it as logically removed.
-func (t *Trie[V]) replaceGeneral(vi uint64, rd, ri searchResult[V], nodeInfoI *desc[V], sibD *node[V]) *desc[V] {
+func (t *Trie[K, V]) replaceGeneral(vi K, rd, ri searchResult[K, V], nodeInfoI *desc[K, V], sibD *node[K, V]) *desc[K, V] {
 	// Help-before-build: every info value this case will hand to newDesc
 	// is checked up front, so no subtree is constructed for an attempt
 	// that is already doomed by a conflicting update.
@@ -130,7 +121,7 @@ func (t *Trie[V]) replaceGeneral(vi uint64, rd, ri searchResult[V], nodeInfoI *d
 	// The fresh leaf for the new key inherits the removed leaf's value:
 	// rd.node is immutable, so reading its payload here is consistent
 	// with the leaf the descriptor marks as rmvLeaf.
-	newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, t.klen, rd.node.val), nodeInfoI) // lines 52-53
+	newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, rd.node.val), nodeInfoI) // lines 52-53
 	if newNodeI == nil {
 		return nil
 	}
@@ -138,21 +129,21 @@ func (t *Trie[V]) replaceGeneral(vi uint64, rd, ri searchResult[V], nodeInfoI *d
 		// Line 55: the displaced insertion point is internal, so it too
 		// must be flagged (permanently — it leaves the trie).
 		return t.newDesc(
-			[4]*node[V]{rd.gp, rd.p, ri.p, ri.node},
-			[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
-			[2]*node[V]{rd.gp, ri.p}, 2,
-			[2]*node[V]{ri.p, rd.gp},
-			[2]*node[V]{ri.node, rd.p},
-			[2]*node[V]{newNodeI, sibD}, 2,
+			[4]*node[K, V]{rd.gp, rd.p, ri.p, ri.node},
+			[4]*desc[K, V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
+			[2]*node[K, V]{rd.gp, ri.p}, 2,
+			[2]*node[K, V]{ri.p, rd.gp},
+			[2]*node[K, V]{ri.node, rd.p},
+			[2]*node[K, V]{newNodeI, sibD}, 2,
 			rd.node)
 	}
 	// Line 57: leaf insertion point.
 	return t.newDesc(
-		[4]*node[V]{rd.gp, rd.p, ri.p},
-		[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
-		[2]*node[V]{rd.gp, ri.p}, 2,
-		[2]*node[V]{ri.p, rd.gp},
-		[2]*node[V]{ri.node, rd.p},
-		[2]*node[V]{newNodeI, sibD}, 2,
+		[4]*node[K, V]{rd.gp, rd.p, ri.p},
+		[4]*desc[K, V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
+		[2]*node[K, V]{rd.gp, ri.p}, 2,
+		[2]*node[K, V]{ri.p, rd.gp},
+		[2]*node[K, V]{ri.node, rd.p},
+		[2]*node[K, V]{newNodeI, sibD}, 2,
 		rd.node)
 }

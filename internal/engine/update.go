@@ -1,15 +1,13 @@
-package core
-
-import (
-	"nbtrie/internal/keys"
-)
+package engine
 
 // testHookAfterFlagging, when non-nil, runs inside help after all flag
-// CASes succeeded and before the child CASes. It receives the *desc[V] of
-// the stalled update as an any (a package-level hook cannot be generic).
-// It exists only for failure-injection tests (stalling an operation at its
-// most delicate point); it is nil in production and must only be set at
-// quiescence.
+// CASes succeeded and before the child CASes. It receives the *desc[K, V]
+// of the stalled update as an any (a package-level hook cannot be
+// generic). It exists only for failure-injection tests (stalling an
+// operation at its most delicate point); it is nil in production and must
+// only be set at quiescence. Because the engine is instantiated by every
+// trie in the repository, the helping tests driven through this hook run
+// once, here, rather than per instantiation.
 var testHookAfterFlagging func(any)
 
 // help carries out the real work of the update described by the Flag
@@ -23,7 +21,7 @@ var testHookAfterFlagging func(any)
 // replace only), and perform the child CASes; finally unflag survivors
 // (success) or backtrack the flags (failure). The update is linearized at
 // its first successful child CAS.
-func (t *Trie[V]) help(i *desc[V]) bool {
+func (t *Trie[K, V]) help(i *desc[K, V]) bool {
 	doChildCAS := true
 	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
 		n := i.flag[j]
@@ -48,7 +46,7 @@ func (t *Trie[V]) help(i *desc[V]) bool {
 		}
 		for j := 0; j < int(i.nPNode); j++ {
 			p, nc := i.pNode[j], i.newChild[j]
-			k := keys.BitAt(nc.bits, p.plen)
+			k := nc.label.Bit(p.label.Len())
 			p.child[k].CompareAndSwap(i.oldChild[j], nc) // child CAS (line 98)
 		}
 	}
@@ -57,12 +55,12 @@ func (t *Trie[V]) help(i *desc[V]) bool {
 		for j := int(i.nUnflag) - 1; j >= 0; j-- {
 			// The fresh Unflag per CAS is required for no-ABA; see
 			// newUnflag.
-			i.unflag[j].info.CompareAndSwap(i, newUnflag[V]()) // unflag CAS (line 101)
+			i.unflag[j].info.CompareAndSwap(i, newUnflag[K, V]()) // unflag CAS (line 101)
 		}
 		return true
 	}
 	for j := int(i.nFlag) - 1; j >= 0; j-- {
-		i.flag[j].info.CompareAndSwap(i, newUnflag[V]()) // backtrack CAS (line 105)
+		i.flag[j].info.CompareAndSwap(i, newUnflag[K, V]()) // backtrack CAS (line 105)
 	}
 	return false
 }
@@ -81,12 +79,12 @@ func (t *Trie[V]) help(i *desc[V]) bool {
 // heap allocation on any path is the descriptor itself on success. The
 // earlier slice-based signature allocated up to nine slices per attempt —
 // including every retry of a contended update.
-func (t *Trie[V]) newDesc(
-	flag [4]*node[V], oldInfo [4]*desc[V], nFlag int,
-	unflag [2]*node[V], nUnflag int,
-	pNode, oldChild, newChild [2]*node[V], nPNode int,
-	rmvLeaf *node[V],
-) *desc[V] {
+func (t *Trie[K, V]) newDesc(
+	flag [4]*node[K, V], oldInfo [4]*desc[K, V], nFlag int,
+	unflag [2]*node[K, V], nUnflag int,
+	pNode, oldChild, newChild [2]*node[K, V], nPNode int,
+	rmvLeaf *node[K, V],
+) *desc[K, V] {
 	// Lines 108-111: if any captured info value is a Flag, that update is
 	// incomplete; help it and make the caller retry from scratch.
 	for j := 0; j < nFlag; j++ {
@@ -135,15 +133,18 @@ func (t *Trie[V]) newDesc(
 	nUnflag = m
 
 	// Line 115: sort the flag set (and its old values) by label so every
-	// operation flags nodes in the same global order.
+	// operation flags nodes in the same global order. Reachable nodes
+	// have distinct labels (Lemma 9), and K's Compare orders distinct
+	// labels totally, which is what the progress proof's "blaming"
+	// argument needs.
 	for a := 1; a < nFlag; a++ {
-		for b := a; b > 0 && labelLess(flag[b], flag[b-1]); b-- {
+		for b := a; b > 0 && flag[b].label.Compare(flag[b-1].label) < 0; b-- {
 			flag[b], flag[b-1] = flag[b-1], flag[b]
 			oldInfo[b], oldInfo[b-1] = oldInfo[b-1], oldInfo[b]
 		}
 	}
 
-	return &desc[V]{
+	return &desc[K, V]{
 		kind:     kindFlag,
 		nFlag:    uint8(nFlag),
 		nUnflag:  uint8(nUnflag),
@@ -164,8 +165,8 @@ func (t *Trie[V]) newDesc(
 // (newDesc would reject it), so helping-then-retrying here avoids
 // constructing leaves and copies that would be thrown away. nil entries
 // are skipped.
-func (t *Trie[V]) helpConflict(i1, i2, i3, i4 *desc[V]) bool {
-	for _, d := range [...]*desc[V]{i1, i2, i3, i4} {
+func (t *Trie[K, V]) helpConflict(i1, i2, i3, i4 *desc[K, V]) bool {
+	for _, d := range [...]*desc[K, V]{i1, i2, i3, i4} {
 		if d != nil && d.flagged() {
 			t.help(d)
 			return true
@@ -181,39 +182,33 @@ func (t *Trie[V]) helpConflict(i1, i2, i3, i4 *desc[V]) bool {
 // info value is helped if it is a Flag (the usual cause: n1 is a stale
 // copy of a node another update is replacing) and nil is returned so the
 // caller retries.
-func (t *Trie[V]) makeInternal(n1, n2 *node[V], info *desc[V]) *node[V] {
-	if labelIsPrefixOf(n1, n2) || labelIsPrefixOf(n2, n1) {
+func (t *Trie[K, V]) makeInternal(n1, n2 *node[K, V], info *desc[K, V]) *node[K, V] {
+	if n1.label.IsPrefixOf(n2.label) || n2.label.IsPrefixOf(n1.label) {
 		if info != nil && info.flagged() {
 			t.help(info)
 		}
 		return nil
 	}
-	cpl := keys.CommonPrefixLen(n1.bits, n2.bits) // < min(plen1, plen2)
-	bits := n1.bits & keys.Mask(cpl)
-	if keys.BitAt(n1.bits, cpl) == 0 {
-		return newInternal(bits, cpl, n1, n2)
+	cp := n1.label.CommonPrefix(n2.label) // shorter than both labels
+	if n1.label.Bit(cp.Len()) == 0 {
+		return newInternal(cp, n1, n2)
 	}
-	return newInternal(bits, cpl, n2, n1)
+	return newInternal(cp, n2, n1)
 }
 
-// Insert adds k to the set, returning false if it was already present
-// (lines 20-32). Out-of-range keys are rejected (false). The leaf (or
-// internal node) at the insertion point is replaced by a new internal
-// node whose children are a fresh leaf for k and a fresh copy of the
-// displaced node; copying avoids ABA on child pointers. When the
-// displaced node is internal it is flagged permanently, since it leaves
-// the trie.
-func (t *Trie[V]) Insert(k uint64) bool {
+// Insert adds the encoded key v to the set, returning false if it was
+// already present (lines 20-32). The leaf (or internal node) at the
+// insertion point is replaced by a new internal node whose children are a
+// fresh leaf for v and a fresh copy of the displaced node; copying avoids
+// ABA on child pointers. When the displaced node is internal it is
+// flagged permanently, since it leaves the trie.
+func (t *Trie[K, V]) Insert(v K) bool {
 	var zero V
-	return t.InsertValue(k, zero)
+	return t.InsertValue(v, zero)
 }
 
 // InsertValue is Insert with a value payload bound to the fresh leaf.
-func (t *Trie[V]) InsertValue(k uint64, val V) bool {
-	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
+func (t *Trie[K, V]) InsertValue(v K, val V) bool {
 	for {
 		r := t.search(v)
 		if keyInTrie(r.node, v, r.rmvd) {
@@ -225,10 +220,10 @@ func (t *Trie[V]) InsertValue(k uint64, val V) bool {
 	}
 }
 
-// tryInsert attempts one round of the insert protocol for the internal
+// tryInsert attempts one round of the insert protocol for the encoded
 // key v at the position located by r; it returns false when the caller
 // must re-search and retry (conflicting update helped, or CAS lost).
-func (t *Trie[V]) tryInsert(v uint64, val V, r searchResult[V]) bool {
+func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 	n := r.node
 	nodeInfo := n.info.Load() // line 25: info before children
 	// Deferred speculative construction: a flagged capture means newDesc
@@ -238,37 +233,32 @@ func (t *Trie[V]) tryInsert(v uint64, val V, r searchResult[V]) bool {
 	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
 		return false
 	}
-	newNode := t.makeInternal(copyNode(n), newLeafVal(v, t.klen, val), nodeInfo)
+	newNode := t.makeInternal(copyNode(n), newLeafVal(v, val), nodeInfo)
 	if newNode == nil {
 		return false
 	}
-	var i *desc[V]
+	var i *desc[K, V]
 	if !n.leaf {
 		i = t.newDesc(
-			[4]*node[V]{r.p, n}, [4]*desc[V]{r.pInfo, nodeInfo}, 2,
-			[2]*node[V]{r.p}, 1,
-			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			[4]*node[K, V]{r.p, n}, [4]*desc[K, V]{r.pInfo, nodeInfo}, 2,
+			[2]*node[K, V]{r.p}, 1,
+			[2]*node[K, V]{r.p}, [2]*node[K, V]{n}, [2]*node[K, V]{newNode}, 1,
 			nil)
 	} else {
 		i = t.newDesc(
-			[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
-			[2]*node[V]{r.p}, 1,
-			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
+			[4]*node[K, V]{r.p}, [4]*desc[K, V]{r.pInfo}, 1,
+			[2]*node[K, V]{r.p}, 1,
+			[2]*node[K, V]{r.p}, [2]*node[K, V]{n}, [2]*node[K, V]{newNode}, 1,
 			nil)
 	}
 	return i != nil && t.help(i)
 }
 
-// Delete removes k from the set, returning false if it was absent
-// (lines 33-41). Out-of-range keys are reported absent. The parent of
-// k's leaf is replaced by the leaf's sibling; both the grandparent and
-// the parent are flagged, and the parent — which leaves the trie — stays
-// flagged forever.
-func (t *Trie[V]) Delete(k uint64) bool {
-	v, ok := t.encodeOK(k)
-	if !ok {
-		return false
-	}
+// Delete removes the encoded key v from the set, returning false if it
+// was absent (lines 33-41). The parent of v's leaf is replaced by the
+// leaf's sibling; both the grandparent and the parent are flagged, and
+// the parent — which leaves the trie — stays flagged forever.
+func (t *Trie[K, V]) Delete(v K) bool {
 	for {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
@@ -280,9 +270,9 @@ func (t *Trie[V]) Delete(k uint64) bool {
 	}
 }
 
-// tryDelete attempts one round of the delete protocol for the internal
+// tryDelete attempts one round of the delete protocol for the encoded
 // key v located by r; false means re-search and retry.
-func (t *Trie[V]) tryDelete(v uint64, r searchResult[V]) bool {
+func (t *Trie[K, V]) tryDelete(v K, r searchResult[K, V]) bool {
 	if r.gp == nil {
 		// A leaf that is a direct child of the root necessarily holds
 		// a dummy key (the 0-prefix and 1-prefix subtrees always
@@ -294,11 +284,11 @@ func (t *Trie[V]) tryDelete(v uint64, r searchResult[V]) bool {
 		// certified.
 		return false
 	}
-	sib := r.p.child[1-keys.BitAt(v, r.p.plen)].Load()
+	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
 	i := t.newDesc(
-		[4]*node[V]{r.gp, r.p}, [4]*desc[V]{r.gpInfo, r.pInfo}, 2,
-		[2]*node[V]{r.gp}, 1,
-		[2]*node[V]{r.gp}, [2]*node[V]{r.p}, [2]*node[V]{sib}, 1,
+		[4]*node[K, V]{r.gp, r.p}, [4]*desc[K, V]{r.gpInfo, r.pInfo}, 2,
+		[2]*node[K, V]{r.gp}, 1,
+		[2]*node[K, V]{r.gp}, [2]*node[K, V]{r.p}, [2]*node[K, V]{sib}, 1,
 		nil)
 	return i != nil && t.help(i)
 }

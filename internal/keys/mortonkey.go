@@ -1,0 +1,106 @@
+package keys
+
+// MortonKey is the key/label type of the spatial instantiation
+// (internal/spatial): a binary string of at most 65 bits stored
+// left-aligned in two words, canonical beyond the length. 65 bits fit
+// the full 64-bit Morton code space — every (uint32, uint32) point —
+// after the usual k -> k+1 shift that frees the all-zeros and all-ones
+// strings for the trie's dummy leaves; a single-word key could cover at
+// most 63-bit codes (31-bit coordinates).
+//
+// Like Uint64Key it is a pure value type: no method allocates, so the
+// Morton instantiation keeps the wait-free, allocation-free search of
+// the fixed-width trie.
+type MortonKey struct {
+	// w0 holds string bits 0..63, w1 holds bit 64 in its most
+	// significant position; both canonical (zero beyond n).
+	w0, w1 uint64
+	n      uint32
+}
+
+// EncodeMorton maps a 64-bit Morton code into the 65-bit internal key
+// space as the full-length key m+1, so codes occupy [1, 2^64] and the
+// dummies 0^65 and 1^65 stay free.
+func EncodeMorton(m uint64) MortonKey {
+	lo := m + 1
+	var hi uint64
+	if lo == 0 { // m+1 carried out of 64 bits: the code 2^64-1
+		hi = 1
+	}
+	return MortonKey{w0: hi<<63 | lo>>1, w1: lo << 63, n: 65}
+}
+
+// DecodeMorton inverts EncodeMorton for full-length keys.
+func DecodeMorton(k MortonKey) uint64 {
+	return (k.w0<<1 | k.w1>>63) - 1
+}
+
+// MortonDummyMin returns the 0^65 dummy key.
+func MortonDummyMin() MortonKey { return MortonKey{n: 65} }
+
+// MortonDummyMax returns the 1^65 dummy key.
+func MortonDummyMax() MortonKey {
+	return MortonKey{w0: ^uint64(0), w1: 1 << 63, n: 65}
+}
+
+// Bit returns the i-th bit of the string.
+func (k MortonKey) Bit(i uint32) int {
+	if i < 64 {
+		return int(k.w0 >> (63 - i) & 1)
+	}
+	return int(k.w1 >> (127 - i) & 1)
+}
+
+// Len returns the length of the string in bits.
+func (k MortonKey) Len() uint32 { return k.n }
+
+// Equal reports whether two strings are identical.
+func (k MortonKey) Equal(o MortonKey) bool { return k == o }
+
+// IsPrefixOf reports whether k is a prefix of o.
+func (k MortonKey) IsPrefixOf(o MortonKey) bool {
+	if k.n > o.n {
+		return false
+	}
+	if k.n <= 64 {
+		return k.w0 == o.w0&Mask(k.n)
+	}
+	return k.w0 == o.w0 && k.w1 == o.w1&Mask(k.n-64)
+}
+
+// CommonPrefix returns the longest common prefix of k and o.
+func (k MortonKey) CommonPrefix(o MortonKey) MortonKey {
+	cpl := CommonPrefixLen(k.w0, o.w0)
+	if cpl == 64 {
+		cpl += CommonPrefixLen(k.w1, o.w1)
+	}
+	cpl = min(cpl, k.n, o.n)
+	if cpl <= 64 {
+		return MortonKey{w0: k.w0 & Mask(cpl), n: cpl}
+	}
+	return MortonKey{w0: k.w0, w1: k.w1 & Mask(cpl-64), n: cpl}
+}
+
+// Compare orders labels prefix-first lexicographically; as with
+// Uint64Key, canonical zero-padding lets word comparison stand in for
+// bitwise comparison, with the length breaking prefix ties.
+func (k MortonKey) Compare(o MortonKey) int {
+	switch {
+	case k.w0 < o.w0:
+		return -1
+	case k.w0 > o.w0:
+		return 1
+	case k.w1 < o.w1:
+		return -1
+	case k.w1 > o.w1:
+		return 1
+	case k.n < o.n:
+		return -1
+	case k.n > o.n:
+		return 1
+	}
+	return 0
+}
+
+// String renders the label as "0101..." text ("ε" when empty).
+func (k MortonKey) String() string { return renderLabel(k) }

@@ -1,0 +1,86 @@
+package keys
+
+// Uint64Key is the fixed-width key/label type of the paper's core trie:
+// a binary string of at most 64 bits stored left-aligned in a single
+// word, canonical (zero beyond the length). It implements Key[Uint64Key]
+// with pure value arithmetic — no method allocates — which is what keeps
+// the fixed-width instantiation's search wait-free and allocation-free
+// through the generic engine.
+type Uint64Key struct {
+	bits uint64
+	n    uint32
+}
+
+// MakeUint64Key builds a label from left-aligned canonical bits and a
+// length. The caller must ensure bits are zero beyond n.
+func MakeUint64Key(bits uint64, plen uint32) Uint64Key {
+	return Uint64Key{bits: bits, n: plen}
+}
+
+// EncodeUint64 maps a user key of the given width into the trie's
+// internal key space as a full-length Uint64Key (see Encode for the
+// k -> k+1 shift that frees the dummy strings).
+func EncodeUint64(k uint64, width uint32) Uint64Key {
+	return Uint64Key{bits: Encode(k, width), n: KeyLen(width)}
+}
+
+// DecodeUint64 inverts EncodeUint64 for full-length keys.
+func DecodeUint64(k Uint64Key, width uint32) uint64 {
+	return Decode(k.bits, width)
+}
+
+// Uint64DummyMin returns the 0^ℓ dummy key for the given width.
+func Uint64DummyMin(width uint32) Uint64Key {
+	return Uint64Key{bits: DummyMin(width), n: KeyLen(width)}
+}
+
+// Uint64DummyMax returns the 1^ℓ dummy key for the given width.
+func Uint64DummyMax(width uint32) Uint64Key {
+	return Uint64Key{bits: DummyMax(width), n: KeyLen(width)}
+}
+
+// Bits returns the left-aligned label bits (for width-aware decoding and
+// diagnostics in the fixed-width instantiation).
+func (k Uint64Key) Bits() uint64 { return k.bits }
+
+// Bit returns the i-th bit of the string.
+func (k Uint64Key) Bit(i uint32) int { return BitAt(k.bits, i) }
+
+// Len returns the length of the string in bits.
+func (k Uint64Key) Len() uint32 { return k.n }
+
+// Equal reports whether two strings are identical.
+func (k Uint64Key) Equal(o Uint64Key) bool { return k == o }
+
+// IsPrefixOf reports whether k is a prefix of o.
+func (k Uint64Key) IsPrefixOf(o Uint64Key) bool {
+	return k.n <= o.n && IsPrefix(k.bits, k.n, o.bits)
+}
+
+// CommonPrefix returns the longest common prefix of k and o.
+func (k Uint64Key) CommonPrefix(o Uint64Key) Uint64Key {
+	cpl := min(CommonPrefixLen(k.bits, o.bits), k.n, o.n)
+	return Uint64Key{bits: k.bits & Mask(cpl), n: cpl}
+}
+
+// Compare orders labels prefix-first lexicographically. For canonical
+// left-aligned labels this is exactly (bits, length) lexicographic:
+// zero-padding makes the word comparison agree with bitwise comparison
+// up to the shorter length, and equal words mean one label is a prefix
+// of the other, so the shorter sorts first.
+func (k Uint64Key) Compare(o Uint64Key) int {
+	switch {
+	case k.bits < o.bits:
+		return -1
+	case k.bits > o.bits:
+		return 1
+	case k.n < o.n:
+		return -1
+	case k.n > o.n:
+		return 1
+	}
+	return 0
+}
+
+// String renders the label as "0101..." text ("ε" when empty).
+func (k Uint64Key) String() string { return renderLabel(k) }

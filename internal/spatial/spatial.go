@@ -1,0 +1,168 @@
+// Package spatial is the Morton-keyed instantiation of the shared
+// non-blocking update engine (internal/engine): a concurrent spatial
+// index over points in the 2^32 × 2^32 integer plane, realizing the
+// paper's own motivation for the replace operation — "a point in R^2
+// whose coordinates are (x, y) can be represented as a key formed by
+// interleaving the bits of x and y ... the replace operation can be
+// used to move a point from one location to another atomically."
+//
+// Points are mapped to 64-bit Morton (Z-order) codes by bit
+// interleaving (keys.Interleave2) and then into the engine's 65-bit
+// internal key space (keys.MortonKey), which frees the two dummy
+// strings exactly as the fixed-width trie's k -> k+1 shift does.
+// Because MortonKey has bounded length and pure value arithmetic, this
+// instantiation inherits the fixed-width trie's strongest guarantees:
+// Contains/Load are wait-free and allocation-free, mutations are
+// lock-free, and Move — the engine's Replace — relocates a point
+// atomically, so concurrent readers never observe an object at two
+// positions or at none.
+//
+// This package is the proof of the engine refactor's point: a whole new
+// key space (and with it a new public type, SpatialMap) costs an
+// encoding, two dummies and these thin wrappers — no protocol code.
+package spatial
+
+import (
+	"fmt"
+
+	"nbtrie/internal/engine"
+	"nbtrie/internal/keys"
+)
+
+// Trie is a non-blocking Patricia trie over 2-D points keyed by their
+// Morton codes, with an unboxed value payload V per point (the set view
+// instantiates V = struct{}). All methods are safe for unrestricted
+// concurrent use.
+type Trie[V any] struct {
+	e *engine.Trie[keys.MortonKey, V]
+}
+
+// New returns an empty spatial trie covering the full uint32 × uint32
+// plane.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{e: engine.New[keys.MortonKey, V](keys.MortonDummyMin(), keys.MortonDummyMax())}
+}
+
+func enc(x, y uint32) keys.MortonKey { return keys.EncodeMorton(keys.Interleave2(x, y)) }
+
+// Contains reports whether a point is stored at (x, y). Wait-free,
+// allocation-free.
+func (t *Trie[V]) Contains(x, y uint32) bool { return t.e.Contains(enc(x, y)) }
+
+// Load returns the value stored at (x, y). Wait-free, allocation-free.
+func (t *Trie[V]) Load(x, y uint32) (V, bool) { return t.e.Load(enc(x, y)) }
+
+// Insert adds the point (x, y), returning false if it was already
+// present. Lock-free.
+func (t *Trie[V]) Insert(x, y uint32) bool { return t.e.Insert(enc(x, y)) }
+
+// Store binds (x, y) to val, inserting or overwriting (lock-free
+// upsert).
+func (t *Trie[V]) Store(x, y uint32, val V) { t.e.Store(enc(x, y), val) }
+
+// LoadOrStore returns the value at (x, y) if present (loaded true);
+// otherwise it stores val and returns it (loaded false).
+func (t *Trie[V]) LoadOrStore(x, y uint32, val V) (actual V, loaded bool) {
+	return t.e.LoadOrStore(enc(x, y), val)
+}
+
+// Delete removes the point at (x, y); false iff absent. Lock-free.
+func (t *Trie[V]) Delete(x, y uint32) bool { return t.e.Delete(enc(x, y)) }
+
+// CompareAndSwap swaps the value at (x, y) from old to new when the
+// stored value equals old (interface equality; old must be comparable).
+func (t *Trie[V]) CompareAndSwap(x, y uint32, old, new V) bool {
+	return t.e.CompareAndSwap(enc(x, y), old, new)
+}
+
+// CompareAndDelete removes the point at (x, y) when its value equals old
+// (interface equality; old must be comparable).
+func (t *Trie[V]) CompareAndDelete(x, y uint32, old V) bool {
+	return t.e.CompareAndDelete(enc(x, y), old)
+}
+
+// Move atomically relocates the point at (ox, oy) to (nx, ny), carrying
+// its value: both changes become visible at a single linearization
+// point, so no concurrent reader observes the point at both positions or
+// at neither. It returns true iff the source held a point and the
+// destination was free (and the positions differ); otherwise the index
+// is unchanged. This is the paper's Replace operation on Z-order keys.
+func (t *Trie[V]) Move(ox, oy, nx, ny uint32) bool {
+	return t.e.Replace(enc(ox, oy), enc(nx, ny))
+}
+
+// Morton-code-level operations: the uint64 key is the raw Z-order code
+// (Interleave2 of the coordinates). They let code that already speaks
+// Morton codes — the registry's set adapter, the benchmark harness —
+// drive the spatial trie without decode/re-encode round trips.
+
+// ContainsCode reports membership of the raw Morton code m.
+func (t *Trie[V]) ContainsCode(m uint64) bool { return t.e.Contains(keys.EncodeMorton(m)) }
+
+// InsertCode inserts the raw Morton code m.
+func (t *Trie[V]) InsertCode(m uint64) bool { return t.e.Insert(keys.EncodeMorton(m)) }
+
+// DeleteCode removes the raw Morton code m.
+func (t *Trie[V]) DeleteCode(m uint64) bool { return t.e.Delete(keys.EncodeMorton(m)) }
+
+// ReplaceCode atomically replaces Morton code old with new.
+func (t *Trie[V]) ReplaceCode(old, new uint64) bool {
+	return t.e.Replace(keys.EncodeMorton(old), keys.EncodeMorton(new))
+}
+
+// AscendMorton calls fn on every stored point with Morton code >= from,
+// in Z-order, until fn returns false. Read-only: exact at quiescence,
+// best-effort under concurrent updates. Z-order is the trie's native
+// leaf order, so range scans prune subtrees exactly like the other
+// instantiations' Ascend.
+func (t *Trie[V]) AscendMorton(from uint64, fn func(m uint64, x, y uint32, val V) bool) {
+	t.e.AscendKV(keys.EncodeMorton(from), func(label keys.MortonKey, val V) bool {
+		m := keys.DecodeMorton(label)
+		x, y := keys.Deinterleave2(m)
+		return fn(m, x, y, val)
+	})
+}
+
+// InRect calls fn on every stored point inside the axis-aligned
+// rectangle [minX, maxX] × [minY, maxY], in Z-order, until fn returns
+// false. It exploits the standard Z-order range property: every point of
+// the rectangle has a Morton code in [Interleave2(minX, minY),
+// Interleave2(maxX, maxY)], so one pruned ascend over that code interval
+// suffices, with a coordinate filter dropping the interval's
+// out-of-rectangle points. (The scan may therefore visit Z-interval
+// points outside the rectangle; a BIGMIN-style skip would tighten that,
+// at the cost of considerably hairier code.)
+func (t *Trie[V]) InRect(minX, minY, maxX, maxY uint32, fn func(x, y uint32, val V) bool) {
+	if minX > maxX || minY > maxY {
+		return
+	}
+	zMax := keys.Interleave2(maxX, maxY)
+	t.AscendMorton(keys.Interleave2(minX, minY), func(m uint64, x, y uint32, val V) bool {
+		if m > zMax {
+			return false // past the rectangle's Z-interval: stop the walk
+		}
+		if x < minX || x > maxX || y < minY || y > maxY {
+			return true // inside the Z-interval but outside the rectangle
+		}
+		return fn(x, y, val)
+	})
+}
+
+// Size counts stored points; quiescent use only.
+func (t *Trie[V]) Size() int { return t.e.Size() }
+
+// Validate checks the structural invariants at quiescence: the engine's
+// key-agnostic checks plus the Morton label shape (full 65-bit leaf
+// labels, shorter internal labels).
+func (t *Trie[V]) Validate() error {
+	return t.e.Validate(func(label keys.MortonKey, leaf bool) error {
+		if leaf {
+			if label.Len() != 65 {
+				return fmt.Errorf("leaf label length %d != 65", label.Len())
+			}
+		} else if label.Len() >= 65 {
+			return fmt.Errorf("internal label length %d must be < 65", label.Len())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,274 @@
+package spatial
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"nbtrie/internal/keys"
+	"nbtrie/internal/settest"
+)
+
+func TestBasicPointOps(t *testing.T) {
+	tr := New[string]()
+	if tr.Contains(3, 4) || tr.Size() != 0 {
+		t.Error("fresh trie must be empty")
+	}
+	tr.Store(3, 4, "a")
+	if v, ok := tr.Load(3, 4); !ok || v != "a" {
+		t.Errorf("Load(3,4) = %q,%v", v, ok)
+	}
+	if tr.Contains(4, 3) {
+		t.Error("transposed coordinates must be a different point")
+	}
+	tr.Store(3, 4, "b") // overwrite
+	if v, _ := tr.Load(3, 4); v != "b" {
+		t.Errorf("Load after overwrite = %q", v)
+	}
+	if v, loaded := tr.LoadOrStore(3, 4, "c"); !loaded || v != "b" {
+		t.Errorf("LoadOrStore(present) = %q,%v", v, loaded)
+	}
+	if v, loaded := tr.LoadOrStore(5, 6, "c"); loaded || v != "c" {
+		t.Errorf("LoadOrStore(absent) = %q,%v", v, loaded)
+	}
+	if tr.CompareAndSwap(3, 4, "nope", "x") || !tr.CompareAndSwap(3, 4, "b", "x") {
+		t.Error("CompareAndSwap semantics wrong")
+	}
+	if tr.CompareAndDelete(3, 4, "nope") || !tr.CompareAndDelete(3, 4, "x") {
+		t.Error("CompareAndDelete semantics wrong")
+	}
+	if !tr.Delete(5, 6) || tr.Delete(5, 6) {
+		t.Error("Delete semantics wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtremeCoordinates(t *testing.T) {
+	// The 65-bit key space exists exactly so the plane's corners work:
+	// (2^32-1, 2^32-1) has Morton code 2^64-1, whose k+1 encoding
+	// overflows a single word.
+	tr := New[int]()
+	corners := [][2]uint32{
+		{0, 0}, {^uint32(0), 0}, {0, ^uint32(0)}, {^uint32(0), ^uint32(0)},
+	}
+	for i, c := range corners {
+		tr.Store(c[0], c[1], i)
+	}
+	for i, c := range corners {
+		if v, ok := tr.Load(c[0], c[1]); !ok || v != i {
+			t.Errorf("corner %v = %d,%v want %d", c, v, ok, i)
+		}
+	}
+	if tr.Size() != len(corners) {
+		t.Errorf("Size() = %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, c := range corners {
+		if !tr.Delete(c[0], c[1]) {
+			t.Errorf("Delete(%v) failed", c)
+		}
+	}
+}
+
+func TestMoveSemantics(t *testing.T) {
+	tr := New[string]()
+	tr.Store(1, 1, "v")
+	if !tr.Move(1, 1, 2, 2) {
+		t.Fatal("Move from occupied to free must succeed")
+	}
+	if tr.Contains(1, 1) || !tr.Contains(2, 2) {
+		t.Fatal("Move left wrong state")
+	}
+	if v, ok := tr.Load(2, 2); !ok || v != "v" {
+		t.Fatalf("value did not travel with Move: %q,%v", v, ok)
+	}
+	if tr.Move(1, 1, 3, 3) {
+		t.Error("Move from empty source must fail")
+	}
+	tr.Store(4, 4, "w")
+	if tr.Move(2, 2, 4, 4) {
+		t.Error("Move onto occupied destination must fail")
+	}
+	if tr.Move(2, 2, 2, 2) {
+		t.Error("Move onto itself must fail (paper's Replace spec)")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInRectOracle cross-checks InRect against a brute-force filter over
+// random point sets and random rectangles, including degenerate and
+// empty rectangles.
+func TestInRectOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	type pt struct{ x, y uint32 }
+	pts := make(map[pt]int)
+	for i := 0; i < 400; i++ {
+		p := pt{uint32(rng.Intn(64)), uint32(rng.Intn(64))}
+		pts[p] = i
+		tr.Store(p.x, p.y, i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x1, x2 := uint32(rng.Intn(70)), uint32(rng.Intn(70))
+		y1, y2 := uint32(rng.Intn(70)), uint32(rng.Intn(70))
+		minX, maxX := min(x1, x2), max(x1, x2)
+		minY, maxY := min(y1, y2), max(y1, y2)
+		want := map[pt]int{}
+		for p, v := range pts {
+			if p.x >= minX && p.x <= maxX && p.y >= minY && p.y <= maxY {
+				want[p] = v
+			}
+		}
+		got := map[pt]int{}
+		var lastM uint64
+		first := true
+		tr.InRect(minX, minY, maxX, maxY, func(x, y uint32, v int) bool {
+			m := keys.Interleave2(x, y)
+			if !first && m <= lastM {
+				t.Fatalf("InRect out of Z-order: %d after %d", m, lastM)
+			}
+			first, lastM = false, m
+			got[pt{x, y}] = v
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("rect [%d,%d]x[%d,%d]: got %d points, want %d", minX, maxX, minY, maxY, len(got), len(want))
+		}
+		for p, v := range want {
+			if got[p] != v {
+				t.Fatalf("rect [%d,%d]x[%d,%d]: point %v = %d, want %d", minX, maxX, minY, maxY, p, got[p], v)
+			}
+		}
+	}
+
+	// Inverted (empty) rectangles yield nothing.
+	tr.InRect(10, 10, 5, 20, func(x, y uint32, _ int) bool {
+		t.Errorf("empty rect yielded (%d,%d)", x, y)
+		return true
+	})
+
+	// Early stop.
+	n := 0
+	tr.InRect(0, 0, 63, 63, func(uint32, uint32, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d points", n)
+	}
+}
+
+// TestConcurrentMoveConservation: concurrent random Moves never create
+// or destroy points (the paper's atomicity argument, on the plane).
+func TestConcurrentMoveConservation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	tr := New[struct{}]()
+	const initial = 100
+	for i := uint32(0); i < initial; i++ {
+		tr.Store(i*7%50, i*13%50, struct{}{})
+	}
+	start := tr.Size()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4000; i++ {
+				tr.Move(uint32(rng.Intn(50)), uint32(rng.Intn(50)),
+					uint32(rng.Intn(50)), uint32(rng.Intn(50)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := tr.Size(); got != start {
+		t.Fatalf("Size() = %d after move-only churn, want %d", got, start)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// codeSet adapts the trie to the settest set battery via raw Morton
+// codes (a bijection with uint64 keys).
+type codeSet struct{ t *Trie[any] }
+
+func (s codeSet) Insert(k uint64) bool         { return s.t.InsertCode(k) }
+func (s codeSet) Delete(k uint64) bool         { return s.t.DeleteCode(k) }
+func (s codeSet) Contains(k uint64) bool       { return s.t.ContainsCode(k) }
+func (s codeSet) Replace(old, new uint64) bool { return s.t.ReplaceCode(old, new) }
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(uint64) settest.Set { return codeSet{t: New[any]()} })
+}
+
+// coordMap adapts the trie to the settest map battery, deinterleaving
+// the uint64 key into plane coordinates so the full coordinate API is
+// what gets hammered.
+type coordMap struct{ t *Trie[uint64] }
+
+func xy(k uint64) (uint32, uint32) { return keys.Deinterleave2(k) }
+
+func (m coordMap) Load(k uint64) (uint64, bool) { x, y := xy(k); return m.t.Load(x, y) }
+func (m coordMap) Store(k, v uint64) bool       { x, y := xy(k); m.t.Store(x, y, v); return true }
+func (m coordMap) LoadOrStore(k, v uint64) (uint64, bool) {
+	x, y := xy(k)
+	return m.t.LoadOrStore(x, y, v)
+}
+func (m coordMap) Delete(k uint64) bool { x, y := xy(k); return m.t.Delete(x, y) }
+func (m coordMap) CompareAndSwap(k, old, new uint64) bool {
+	x, y := xy(k)
+	return m.t.CompareAndSwap(x, y, old, new)
+}
+func (m coordMap) CompareAndDelete(k, old uint64) bool {
+	x, y := xy(k)
+	return m.t.CompareAndDelete(x, y, old)
+}
+func (m coordMap) ReplaceKey(old, new uint64) bool {
+	ox, oy := xy(old)
+	nx, ny := xy(new)
+	return m.t.Move(ox, oy, nx, ny)
+}
+
+func TestMapConformance(t *testing.T) {
+	settest.RunMap(t, func(uint64) settest.Map { return coordMap{t: New[uint64]()} })
+}
+
+func TestValidateAfterChurn(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(9))
+	live := make(map[[2]uint32]bool)
+	for i := 0; i < 3000; i++ {
+		p := [2]uint32{uint32(rng.Intn(100)), uint32(rng.Intn(100))}
+		if rng.Intn(2) == 0 {
+			tr.Store(p[0], p[1], i)
+			live[p] = true
+		} else {
+			tr.Delete(p[0], p[1])
+			delete(live, p)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	if tr.Size() != len(live) {
+		t.Fatalf("Size() = %d, oracle %d", tr.Size(), len(live))
+	}
+	// AscendMorton yields strictly increasing codes.
+	var last uint64
+	first := true
+	tr.AscendMorton(0, func(m uint64, x, y uint32, _ int) bool {
+		if gx, gy := keys.Deinterleave2(m); gx != x || gy != y {
+			t.Fatalf("AscendMorton decode mismatch: %d vs (%d,%d)", m, x, y)
+		}
+		if !first && m <= last {
+			t.Fatalf("AscendMorton out of order: %d after %d", m, last)
+		}
+		first, last = false, m
+		return true
+	})
+}

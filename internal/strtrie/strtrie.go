@@ -1,21 +1,19 @@
-// Package strtrie implements the unbounded-length-key extension of the
-// paper's Section VI: a non-blocking Patricia trie over arbitrary byte
-// strings. Each key is encoded bit-wise as 01/10 pairs with a 11
+// Package strtrie is the unbounded-length-key instantiation of the
+// shared non-blocking update engine (internal/engine): the paper's
+// Section VI extension, a non-blocking Patricia trie over arbitrary
+// byte strings. Each key is encoded bit-wise as 01/10 pairs with a 11
 // terminator (keys.EncodeString), making the encoded key space
 // prefix-free, and the two dummy leaves hold 00 and 111, which bound all
-// encoded keys. The algorithm is the same flag/help scheme as
-// internal/core with one semantic difference the paper calls out:
-// because key length is unbounded, searches are non-blocking but no
-// longer wait-free.
+// encoded keys.
 //
-// Like internal/core, the trie is generic over the leaf value payload V
-// and its update protocol is allocation-lean: values live unboxed on
-// leaves, descriptors are built from fixed-size stack arrays (an update
-// flags at most four nodes and swings at most two child pointers, the
-// same bounds as the fixed-width trie), and speculative node construction
-// is deferred until the captured info values are known not to belong to a
-// conflicting update. The fresh Unflag allocated per unflag CAS is
-// load-bearing for no-ABA and must not be pooled; see DESIGN.md.
+// The descriptor/flag/help/unflag protocol lives entirely in
+// internal/engine — this package contributes only the key layer (the
+// Section VI encoding and its dummies) plus the byte-string API. The
+// engine is instantiated with keys.Bitstring, whose unbounded length is
+// the one semantic difference the paper calls out: searches are
+// non-blocking but no longer wait-free, which is why this
+// instantiation's registry entry does not claim WaitFreeRead while the
+// fixed-width and Morton instantiations do.
 //
 // Empty keys are rejected: the paper's encoding maps the empty string to
 // "11", which is a prefix of the 111 dummy and therefore cannot coexist
@@ -25,98 +23,20 @@ package strtrie
 import (
 	"fmt"
 
-	"sync/atomic"
-
+	"nbtrie/internal/engine"
 	"nbtrie/internal/keys"
 )
-
-// node mirrors internal/core's node with Bitstring labels. val is the
-// immutable, unboxed value payload of a leaf (zero for internal nodes and
-// for set-API leaves); value updates install fresh leaves through the
-// child-CAS path, exactly as in internal/core, so no-ABA is preserved.
-type node[V any] struct {
-	label keys.Bitstring
-	leaf  bool
-	val   V
-	info  atomic.Pointer[desc[V]]
-	child [2]atomic.Pointer[node[V]]
-}
-
-func newLeaf[V any](label keys.Bitstring) *node[V] {
-	var zero V
-	return newLeafVal(label, zero)
-}
-
-func newLeafVal[V any](label keys.Bitstring, val V) *node[V] {
-	n := &node[V]{label: label, leaf: true, val: val}
-	n.info.Store(newUnflag[V]())
-	return n
-}
-
-func newInternal[V any](label keys.Bitstring, left, right *node[V]) *node[V] {
-	n := &node[V]{label: label}
-	n.info.Store(newUnflag[V]())
-	n.child[0].Store(left)
-	n.child[1].Store(right)
-	return n
-}
-
-func copyNode[V any](n *node[V]) *node[V] {
-	if n.leaf {
-		return newLeafVal(n.label, n.val)
-	}
-	return newInternal(n.label, n.child[0].Load(), n.child[1].Load())
-}
-
-type descKind uint8
-
-const (
-	kindUnflag descKind = iota + 1
-	kindFlag
-)
-
-// desc is the Flag/Unflag Info object, identical in role to core's. The
-// same worst case applies — a general-case replace with an internal
-// insertion point flags four nodes, unflags two and performs two child
-// CASes — so the same fixed-size arrays bound it, and a descriptor is a
-// single allocation.
-type desc[V any] struct {
-	kind descKind
-
-	nFlag   uint8
-	nUnflag uint8
-	nPNode  uint8
-
-	flag    [4]*node[V]
-	oldInfo [4]*desc[V]
-	unflag  [2]*node[V]
-
-	pNode    [2]*node[V]
-	oldChild [2]*node[V]
-	newChild [2]*node[V]
-
-	rmvLeaf  *node[V]
-	flagDone atomic.Bool
-}
-
-// newUnflag allocates a fresh Unflag descriptor; the allocation is
-// load-bearing for no-ABA on info fields (see core.newUnflag).
-func newUnflag[V any]() *desc[V] { return &desc[V]{kind: kindUnflag} }
-
-func (d *desc[V]) flagged() bool { return d.kind == kindFlag }
 
 // Trie is the variable-length-key Patricia trie. Keys are arbitrary
 // non-empty byte strings; each leaf carries an unboxed value of type V
 // (the set view instantiates V = struct{}).
 type Trie[V any] struct {
-	root *node[V]
+	e *engine.Trie[keys.Bitstring, V]
 }
 
 // New returns an empty trie.
 func New[V any]() *Trie[V] {
-	return &Trie[V]{root: newInternal(keys.Bitstring{},
-		newLeaf[V](keys.StrDummyMin()),
-		newLeaf[V](keys.StrDummyMax()))}
+	return &Trie[V]{e: engine.New[keys.Bitstring, V](keys.StrDummyMin(), keys.StrDummyMax())}
 }
 
 func encode(k []byte) keys.Bitstring {
@@ -127,467 +47,48 @@ func encode(k []byte) keys.Bitstring {
 	return keys.EncodeString(k)
 }
 
-type searchResult[V any] struct {
-	gp, p, node   *node[V]
-	gpInfo, pInfo *desc[V]
-	rmvd          bool
-}
-
-// search descends to v's location. The loop is bounded by v's encoded
-// length plus churn from concurrent restructuring: lock-free, not
-// wait-free (Section VI).
-func (t *Trie[V]) search(v keys.Bitstring) searchResult[V] {
-	var r searchResult[V]
-	n := t.root
-	for !n.leaf && n.label.IsPrefixOf(v) && n.label.Len() < v.Len() {
-		r.gp, r.gpInfo = r.p, r.pInfo
-		r.p, r.pInfo = n, n.info.Load()
-		n = r.p.child[v.Bit(r.p.label.Len())].Load()
-	}
-	r.node = n
-	if n.leaf {
-		r.rmvd = logicallyRemoved(n.info.Load())
-	}
-	return r
-}
-
-func logicallyRemoved[V any](i *desc[V]) bool {
-	if !i.flagged() {
-		return false
-	}
-	p, old := i.pNode[0], i.oldChild[0]
-	return p.child[0].Load() != old && p.child[1].Load() != old
-}
-
-func keyInTrie[V any](n *node[V], v keys.Bitstring, rmvd bool) bool {
-	return n.leaf && n.label.Equal(v) && !rmvd
-}
-
 // Contains reports whether k is in the set (read-only, lock-free).
-func (t *Trie[V]) Contains(k []byte) bool {
-	v := encode(k)
-	r := t.search(v)
-	return keyInTrie(r.node, v, r.rmvd)
-}
-
-// help is the core help routine over Bitstring nodes; see
-// internal/core/update.go for the step-by-step commentary.
-func (t *Trie[V]) help(i *desc[V]) bool {
-	doChildCAS := true
-	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
-		n := i.flag[j]
-		n.info.CompareAndSwap(i.oldInfo[j], i)
-		doChildCAS = n.info.Load() == i
-	}
-	if doChildCAS {
-		i.flagDone.Store(true)
-		if i.rmvLeaf != nil {
-			i.rmvLeaf.info.Store(i)
-		}
-		for j := 0; j < int(i.nPNode); j++ {
-			p, nc := i.pNode[j], i.newChild[j]
-			k := nc.label.Bit(p.label.Len())
-			p.child[k].CompareAndSwap(i.oldChild[j], nc)
-		}
-	}
-	if i.flagDone.Load() {
-		for j := int(i.nUnflag) - 1; j >= 0; j-- {
-			i.unflag[j].info.CompareAndSwap(i, newUnflag[V]())
-		}
-		return true
-	}
-	for j := int(i.nFlag) - 1; j >= 0; j-- {
-		i.flag[j].info.CompareAndSwap(i, newUnflag[V]())
-	}
-	return false
-}
-
-// newDesc validates, deduplicates and orders the flag set (newFlag). As
-// in internal/core the parameters are fixed-size arrays with occupancy
-// counts, passed by value and mutated in place; the descriptor on the
-// success path is the only heap allocation.
-func (t *Trie[V]) newDesc(
-	flag [4]*node[V], oldInfo [4]*desc[V], nFlag int,
-	unflag [2]*node[V], nUnflag int,
-	pNode, oldChild, newChild [2]*node[V], nPNode int,
-	rmvLeaf *node[V],
-) *desc[V] {
-	for j := 0; j < nFlag; j++ {
-		if oldInfo[j].flagged() {
-			t.help(oldInfo[j])
-			return nil
-		}
-	}
-	m := 0
-	for a := 0; a < nFlag; a++ {
-		dup := false
-		for b := 0; b < m; b++ {
-			if flag[b] == flag[a] {
-				if oldInfo[b] != oldInfo[a] {
-					return nil
-				}
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			flag[m], oldInfo[m] = flag[a], oldInfo[a]
-			m++
-		}
-	}
-	nFlag = m
-
-	m = 0
-	for a := 0; a < nUnflag; a++ {
-		dup := false
-		for b := 0; b < m; b++ {
-			if unflag[b] == unflag[a] {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			unflag[m] = unflag[a]
-			m++
-		}
-	}
-	nUnflag = m
-
-	// Sort the flag set by label, permuting oldInfo alongside.
-	for a := 1; a < nFlag; a++ {
-		for b := a; b > 0 && flag[b].label.Compare(flag[b-1].label) < 0; b-- {
-			flag[b], flag[b-1] = flag[b-1], flag[b]
-			oldInfo[b], oldInfo[b-1] = oldInfo[b-1], oldInfo[b]
-		}
-	}
-
-	return &desc[V]{
-		kind:     kindFlag,
-		nFlag:    uint8(nFlag),
-		nUnflag:  uint8(nUnflag),
-		nPNode:   uint8(nPNode),
-		flag:     flag,
-		oldInfo:  oldInfo,
-		unflag:   unflag,
-		pNode:    pNode,
-		oldChild: oldChild,
-		newChild: newChild,
-		rmvLeaf:  rmvLeaf,
-	}
-}
-
-// helpConflict helps the first flagged descriptor among the captured
-// info values, reporting whether one was found; see core.helpConflict.
-func (t *Trie[V]) helpConflict(i1, i2, i3, i4 *desc[V]) bool {
-	for _, d := range [...]*desc[V]{i1, i2, i3, i4} {
-		if d != nil && d.flagged() {
-			t.help(d)
-			return true
-		}
-	}
-	return false
-}
-
-// makeInternal is createNode: nil on prefix conflict (helping the given
-// info first when it is a Flag).
-func (t *Trie[V]) makeInternal(n1, n2 *node[V], info *desc[V]) *node[V] {
-	if n1.label.IsPrefixOf(n2.label) || n2.label.IsPrefixOf(n1.label) {
-		if info != nil && info.flagged() {
-			t.help(info)
-		}
-		return nil
-	}
-	cp := n1.label.CommonPrefix(n2.label)
-	if n1.label.Bit(cp.Len()) == 0 {
-		return newInternal(cp, n1, n2)
-	}
-	return newInternal(cp, n2, n1)
-}
+func (t *Trie[V]) Contains(k []byte) bool { return t.e.Contains(encode(k)) }
 
 // Insert adds k, returning false if already present.
-func (t *Trie[V]) Insert(k []byte) bool {
-	var zero V
-	return t.InsertValue(k, zero)
-}
+func (t *Trie[V]) Insert(k []byte) bool { return t.e.Insert(encode(k)) }
 
 // InsertValue is Insert with a value payload bound to the fresh leaf.
-func (t *Trie[V]) InsertValue(k []byte, val V) bool {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if keyInTrie(r.node, v, r.rmvd) {
-			return false
-		}
-		if t.tryInsert(v, val, r) {
-			return true
-		}
-	}
-}
-
-// tryInsert attempts one round of the insert protocol; false means
-// re-search and retry. Construction is deferred past the conflicting-
-// update check, as in core.tryInsert.
-func (t *Trie[V]) tryInsert(v keys.Bitstring, val V, r searchResult[V]) bool {
-	n := r.node
-	nodeInfo := n.info.Load()
-	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
-		return false
-	}
-	newNode := t.makeInternal(copyNode(n), newLeafVal(v, val), nodeInfo)
-	if newNode == nil {
-		return false
-	}
-	var i *desc[V]
-	if !n.leaf {
-		i = t.newDesc(
-			[4]*node[V]{r.p, n}, [4]*desc[V]{r.pInfo, nodeInfo}, 2,
-			[2]*node[V]{r.p}, 1,
-			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
-			nil)
-	} else {
-		i = t.newDesc(
-			[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
-			[2]*node[V]{r.p}, 1,
-			[2]*node[V]{r.p}, [2]*node[V]{n}, [2]*node[V]{newNode}, 1,
-			nil)
-	}
-	return i != nil && t.help(i)
-}
+func (t *Trie[V]) InsertValue(k []byte, val V) bool { return t.e.InsertValue(encode(k), val) }
 
 // Delete removes k, returning false if absent.
-func (t *Trie[V]) Delete(k []byte) bool {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if !keyInTrie(r.node, v, r.rmvd) {
-			return false
-		}
-		if t.tryDelete(v, r) {
-			return true
-		}
-	}
-}
+func (t *Trie[V]) Delete(k []byte) bool { return t.e.Delete(encode(k)) }
 
-// tryDelete attempts one round of the delete protocol; false means
-// re-search and retry. As in core.tryDelete the defensive nil-gp branch
-// comes before any read through r.p (only dummies sit directly under the
-// root, so the branch is unreachable from Delete).
-func (t *Trie[V]) tryDelete(v keys.Bitstring, r searchResult[V]) bool {
-	if r.gp == nil {
-		return false
-	}
-	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
-	i := t.newDesc(
-		[4]*node[V]{r.gp, r.p}, [4]*desc[V]{r.gpInfo, r.pInfo}, 2,
-		[2]*node[V]{r.gp}, 1,
-		[2]*node[V]{r.gp}, [2]*node[V]{r.p}, [2]*node[V]{sib}, 1,
-		nil)
-	return i != nil && t.help(i)
+// Replace atomically removes old and inserts new; true iff old was
+// present and new absent. The value payload travels with the key.
+func (t *Trie[V]) Replace(old, new []byte) bool {
+	return t.e.Replace(encode(old), encode(new))
 }
 
 // Load returns the value stored under k; like Contains it only reads
 // shared memory and performs no CAS. The value comes back unboxed; the
 // only allocation on the Load path is the key encoding itself.
-func (t *Trie[V]) Load(k []byte) (V, bool) {
-	v := encode(k)
-	r := t.search(v)
-	if !keyInTrie(r.node, v, r.rmvd) {
-		var zero V
-		return zero, false
-	}
-	return r.node.val, true
-}
+func (t *Trie[V]) Load(k []byte) (V, bool) { return t.e.Load(encode(k)) }
 
 // Store binds k to val, inserting or overwriting (lock-free upsert).
-func (t *Trie[V]) Store(k []byte, val V) {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if !keyInTrie(r.node, v, r.rmvd) {
-			if t.tryInsert(v, val, r) {
-				return
-			}
-			continue
-		}
-		if t.tryOverwrite(v, val, r) {
-			return
-		}
-	}
-}
+func (t *Trie[V]) Store(k []byte, val V) { t.e.Store(encode(k), val) }
 
 // LoadOrStore returns the existing value for k if present (loaded true);
 // otherwise it stores val and returns it (loaded false).
 func (t *Trie[V]) LoadOrStore(k []byte, val V) (actual V, loaded bool) {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if keyInTrie(r.node, v, r.rmvd) {
-			return r.node.val, true
-		}
-		if t.tryInsert(v, val, r) {
-			return val, false
-		}
-	}
-}
-
-// valuesEqual compares with interface equality (sync.Map contract); it
-// panics when the values are not comparable.
-func valuesEqual[V any](a, b V) bool {
-	return any(a) == any(b)
+	return t.e.LoadOrStore(encode(k), val)
 }
 
 // CompareAndSwap swaps k's value from old to new when the stored value
 // equals old (interface equality; old must be comparable).
 func (t *Trie[V]) CompareAndSwap(k []byte, old, new V) bool {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if !keyInTrie(r.node, v, r.rmvd) {
-			return false
-		}
-		if !valuesEqual(r.node.val, old) {
-			return false
-		}
-		if t.tryOverwrite(v, new, r) {
-			return true
-		}
-	}
+	return t.e.CompareAndSwap(encode(k), old, new)
 }
 
 // CompareAndDelete deletes k when its stored value equals old (interface
 // equality; old must be comparable).
 func (t *Trie[V]) CompareAndDelete(k []byte, old V) bool {
-	v := encode(k)
-	for {
-		r := t.search(v)
-		if !keyInTrie(r.node, v, r.rmvd) {
-			return false
-		}
-		if !valuesEqual(r.node.val, old) {
-			return false
-		}
-		if t.tryDelete(v, r) {
-			return true
-		}
-	}
-}
-
-// tryOverwrite replaces the live leaf r.node with a fresh leaf carrying
-// val — the descriptor shape of Replace's special case 1: flag the
-// parent, one child CAS old leaf → new leaf. The leaf is built only after
-// the captured parent info is known not to be a Flag.
-func (t *Trie[V]) tryOverwrite(v keys.Bitstring, val V, r searchResult[V]) bool {
-	if t.helpConflict(r.pInfo, nil, nil, nil) {
-		return false
-	}
-	i := t.newDesc(
-		[4]*node[V]{r.p}, [4]*desc[V]{r.pInfo}, 1,
-		[2]*node[V]{r.p}, 1,
-		[2]*node[V]{r.p}, [2]*node[V]{r.node},
-		[2]*node[V]{newLeafVal(v, val)}, 1,
-		nil)
-	return i != nil && t.help(i)
-}
-
-// Replace atomically removes old and inserts new; the same general and
-// special cases as internal/core's Replace (paper lines 42-71), with the
-// same help-before-build discipline.
-func (t *Trie[V]) Replace(old, new []byte) bool {
-	vd, vi := encode(old), encode(new)
-	for {
-		rd := t.search(vd)
-		if !keyInTrie(rd.node, vd, rd.rmvd) {
-			return false
-		}
-		ri := t.search(vi)
-		if keyInTrie(ri.node, vi, ri.rmvd) {
-			return false
-		}
-		nodeInfoI := ri.node.info.Load()
-		sibD := rd.p.child[1-vd.Bit(rd.p.label.Len())].Load()
-
-		var i *desc[V]
-		switch {
-		case rd.gp != nil &&
-			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
-			ri.p != rd.p:
-			// General case: two child CASes, insert side first.
-			if t.helpConflict(rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI) {
-				break
-			}
-			newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, rd.node.val), nodeInfoI)
-			if newNodeI == nil {
-				break
-			}
-			if !ri.node.leaf {
-				i = t.newDesc(
-					[4]*node[V]{rd.gp, rd.p, ri.p, ri.node},
-					[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
-					[2]*node[V]{rd.gp, ri.p}, 2,
-					[2]*node[V]{ri.p, rd.gp},
-					[2]*node[V]{ri.node, rd.p},
-					[2]*node[V]{newNodeI, sibD}, 2,
-					rd.node)
-			} else {
-				i = t.newDesc(
-					[4]*node[V]{rd.gp, rd.p, ri.p},
-					[4]*desc[V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
-					[2]*node[V]{rd.gp, ri.p}, 2,
-					[2]*node[V]{ri.p, rd.gp},
-					[2]*node[V]{ri.node, rd.p},
-					[2]*node[V]{newNodeI, sibD}, 2,
-					rd.node)
-			}
-		case ri.node == rd.node:
-			if t.helpConflict(rd.pInfo, nil, nil, nil) {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[V]{rd.p}, [4]*desc[V]{rd.pInfo}, 1,
-				[2]*node[V]{rd.p}, 1,
-				[2]*node[V]{rd.p}, [2]*node[V]{ri.node},
-				[2]*node[V]{newLeafVal(vi, rd.node.val)}, 1,
-				nil)
-		case (ri.node == rd.p && ri.p == rd.gp) ||
-			(rd.gp != nil && ri.p == rd.p):
-			if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
-				break
-			}
-			newNodeI := t.makeInternal(sibD, newLeafVal(vi, rd.node.val), sibD.info.Load())
-			if newNodeI == nil {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[V]{rd.gp, rd.p}, [4]*desc[V]{rd.gpInfo, rd.pInfo}, 2,
-				[2]*node[V]{rd.gp}, 1,
-				[2]*node[V]{rd.gp}, [2]*node[V]{rd.p},
-				[2]*node[V]{newNodeI}, 1,
-				nil)
-		case ri.node == rd.gp:
-			if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
-				break
-			}
-			pSibD := rd.gp.child[1-vd.Bit(rd.gp.label.Len())].Load()
-			newChildI := t.makeInternal(sibD, pSibD, nil)
-			if newChildI == nil {
-				break
-			}
-			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, rd.node.val), nil)
-			if newNodeI == nil {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[V]{ri.p, rd.gp, rd.p},
-				[4]*desc[V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
-				[2]*node[V]{ri.p}, 1,
-				[2]*node[V]{ri.p}, [2]*node[V]{ri.node},
-				[2]*node[V]{newNodeI}, 1,
-				nil)
-		}
-		if i != nil && t.help(i) {
-			return true
-		}
-	}
+	return t.e.CompareAndDelete(encode(k), old)
 }
 
 // Keys returns the decoded keys in encoded-key order; quiescent use
@@ -608,77 +109,48 @@ func (t *Trie[V]) Keys() [][]byte {
 // fn returns false. Like Keys it is read-only: exact at quiescence,
 // best-effort under concurrent updates.
 func (t *Trie[V]) AllKV(fn func(k []byte, val V) bool) {
-	t.walkKV(t.root, fn)
+	t.e.AscendKV(keys.Bitstring{}, func(label keys.Bitstring, val V) bool {
+		k, ok := keys.DecodeString(label)
+		if !ok {
+			return true // defensive: only dummies fail to decode, and the engine skips them
+		}
+		return fn(k, val)
+	})
 }
 
-func (t *Trie[V]) walkKV(n *node[V], fn func(k []byte, val V) bool) bool {
-	if n.leaf {
-		if k, ok := keys.DecodeString(n.label); ok && !logicallyRemoved(n.info.Load()) {
-			return fn(k, n.val)
+// AscendKV calls fn on every (key, value) pair whose encoded key is
+// >= the encoding of from, in encoded-key order, until fn returns false.
+// Subtrees entirely below from are pruned, so resuming an iteration from
+// a midpoint costs one descent rather than a full scan. Same consistency
+// contract as AllKV.
+func (t *Trie[V]) AscendKV(from []byte, fn func(k []byte, val V) bool) {
+	t.e.AscendKV(encode(from), func(label keys.Bitstring, val V) bool {
+		k, ok := keys.DecodeString(label)
+		if !ok {
+			return true
 		}
-		return true
-	}
-	return t.walkKV(n.child[0].Load(), fn) && t.walkKV(n.child[1].Load(), fn)
+		return fn(k, val)
+	})
 }
 
 // Size counts keys; quiescent use only.
-func (t *Trie[V]) Size() int { return len(t.Keys()) }
+func (t *Trie[V]) Size() int { return t.e.Size() }
 
-// Validate checks the structural invariants at quiescence, mirroring
-// internal/core's checker over variable-length labels: labels strictly
-// lengthen along paths with the correct branch bits, leaves hold the
-// dummies at the extremes, leaf labels are strictly increasing in
-// encoded order, and no reachable node is still flagged.
+// Validate checks the structural invariants at quiescence. The engine
+// checks the key-agnostic invariants; the instantiation-specific check
+// is that every leaf label decodes under the Section VI scheme or is a
+// dummy.
 func (t *Trie[V]) Validate() error {
-	if t.root.leaf || t.root.label.Len() != 0 {
-		return fmt.Errorf("root must be internal with empty label")
-	}
-	var leaves []keys.Bitstring
-	if err := t.validateNode(t.root, &leaves); err != nil {
-		return err
-	}
-	if len(leaves) < 2 {
-		return fmt.Errorf("dummies missing: %d leaves", len(leaves))
-	}
-	for i := 1; i < len(leaves); i++ {
-		if leaves[i-1].Compare(leaves[i]) >= 0 {
-			return fmt.Errorf("leaf labels out of order: %q before %q", leaves[i-1], leaves[i])
+	return t.e.Validate(func(label keys.Bitstring, leaf bool) error {
+		if !leaf {
+			return nil
 		}
-	}
-	if !leaves[0].Equal(keys.StrDummyMin()) {
-		return fmt.Errorf("leftmost leaf %q is not the 00 dummy", leaves[0])
-	}
-	if !leaves[len(leaves)-1].Equal(keys.StrDummyMax()) {
-		return fmt.Errorf("rightmost leaf %q is not the 111 dummy", leaves[len(leaves)-1])
-	}
-	return nil
-}
-
-func (t *Trie[V]) validateNode(n *node[V], leaves *[]keys.Bitstring) error {
-	if n.info.Load().flagged() {
-		return fmt.Errorf("reachable node %q flagged at quiescence", n.label)
-	}
-	if n.leaf {
-		*leaves = append(*leaves, n.label)
+		if label.Equal(keys.StrDummyMin()) || label.Equal(keys.StrDummyMax()) {
+			return nil
+		}
+		if _, ok := keys.DecodeString(label); !ok {
+			return fmt.Errorf("leaf label %q is not a valid Section VI encoding", label)
+		}
 		return nil
-	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if c == nil {
-			return fmt.Errorf("internal node %q has nil child %d", n.label, idx)
-		}
-		if c.label.Len() <= n.label.Len() {
-			return fmt.Errorf("child label %q not longer than parent %q", c.label, n.label)
-		}
-		if !n.label.IsPrefixOf(c.label) {
-			return fmt.Errorf("parent label %q not a prefix of child %q", n.label, c.label)
-		}
-		if c.label.Bit(n.label.Len()) != idx {
-			return fmt.Errorf("child %d of %q has wrong branch bit", idx, n.label)
-		}
-		if err := t.validateNode(c, leaves); err != nil {
-			return err
-		}
-	}
-	return nil
+	})
 }

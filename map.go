@@ -199,3 +199,14 @@ func (m *StringMap[V]) All() iter.Seq2[[]byte, V] {
 		m.t.AllKV(yield)
 	}
 }
+
+// Ascend iterates over the entries whose key sorts at or after from in
+// encoded-key order, mirroring Map.Ascend. Subtrees below from are
+// pruned, so resuming an iteration from a midpoint costs one descent
+// rather than a full scan. from must be non-empty, like every StringMap
+// key.
+func (m *StringMap[V]) Ascend(from []byte) iter.Seq2[[]byte, V] {
+	return func(yield func([]byte, V) bool) {
+		m.t.AscendKV(from, yield)
+	}
+}

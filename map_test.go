@@ -224,6 +224,80 @@ func TestStringMap(t *testing.T) {
 	}
 }
 
+// TestStringMapAscend pins the API-parity iterator: StringMap.Ascend
+// mirrors Map.Ascend over the encoded-key order, including midpoint
+// resume, early break, and the documented prefix-after-extension quirk.
+func TestStringMapAscend(t *testing.T) {
+	m := NewStringMap[int]()
+	words := []string{"apple", "banana", "cherry", "pear", "zebra"}
+	for i, w := range words {
+		m.Store([]byte(w), i)
+	}
+
+	var got []string
+	for k, v := range m.Ascend([]byte("banana")) {
+		got = append(got, string(k))
+		if v < 0 || v >= len(words) {
+			t.Errorf("Ascend yielded wrong value %d for %q", v, k)
+		}
+	}
+	want := []string{"banana", "cherry", "pear", "zebra"}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend(banana) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend(banana)[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// A from-key that is not a member starts at its successor.
+	got = nil
+	for k := range m.Ascend([]byte("blueberry")) {
+		got = append(got, string(k))
+	}
+	if len(got) != 3 || got[0] != "cherry" {
+		t.Fatalf("Ascend(blueberry) = %v", got)
+	}
+
+	// Early break stops the walk.
+	n := 0
+	for range m.Ascend([]byte("apple")) {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Errorf("break after first yield, saw %d", n)
+	}
+
+	// Encoded order sorts a proper prefix after its extensions
+	// (Section VI terminator 11 > continuation pairs), so Ascend from
+	// the prefix skips its extensions.
+	m2 := NewStringMap[int]()
+	m2.Store([]byte("app"), 1)
+	m2.Store([]byte("applesauce"), 2)
+	got = nil
+	for k := range m2.Ascend([]byte("app")) {
+		got = append(got, string(k))
+	}
+	if len(got) != 1 || got[0] != "app" {
+		t.Fatalf("Ascend(app) over a prefix pair = %v (encoded order puts extensions first)", got)
+	}
+
+	// The set-level twin agrees.
+	s := NewStringTrie()
+	for _, w := range words {
+		s.Insert([]byte(w))
+	}
+	got = nil
+	for k := range s.Ascend([]byte("cherry")) {
+		got = append(got, string(k))
+	}
+	if len(got) != 3 || got[0] != "cherry" || got[2] != "zebra" {
+		t.Fatalf("StringTrie.Ascend(cherry) = %v", got)
+	}
+}
+
 // TestStringMapConcurrent hammers a StringMap from several goroutines on
 // overlapping string keys.
 func TestStringMapConcurrent(t *testing.T) {

@@ -3,14 +3,21 @@
 // (ICDCS 2013), exposed at two levels:
 //
 //   - a value-bearing, generics-friendly concurrent map — Map[V] for
-//     uint64 keys and StringMap[V] for byte-string keys — with the
-//     sync.Map operation set (Load, Store, LoadOrStore, Delete,
-//     CompareAndSwap, CompareAndDelete), the paper's atomic
-//     ReplaceKey(old, new), and Go iterators (All, Ascend) over the
-//     trie's sorted key space. Load is wait-free; every mutation is
-//     lock-free. Values live immutably and unboxed on trie leaves, so a
-//     value update is a fresh-leaf child CAS, readers never see torn
-//     data, and Load allocates nothing.
+//     uint64 keys, StringMap[V] for byte-string keys and SpatialMap[V]
+//     for points in the plane (Morton/Z-order keys, with atomic Move
+//     and rectangle queries) — with the sync.Map operation set (Load,
+//     Store, LoadOrStore, Delete, CompareAndSwap, CompareAndDelete),
+//     the paper's atomic ReplaceKey(old, new), and Go iterators (All,
+//     Ascend, InRect) over the trie's sorted key space. Load is
+//     wait-free except on StringMap (unbounded keys make it lock-free);
+//     every mutation is lock-free. Values live immutably and unboxed on
+//     trie leaves, so a value update is a fresh-leaf child CAS, readers
+//     never see torn data, and Load allocates nothing.
+//
+// All three key spaces are instantiations of one shared update engine
+// (internal/engine): the descriptor/flag/help protocol of the paper is
+// written once, generic over the key type, and each trie contributes
+// only its key encoding and dummy bounds (see DESIGN.md).
 //
 //   - the paper's set layer: PatriciaTrie (wait-free Contains,
 //     lock-free Insert/Delete, and the lock-free atomic Replace none of
@@ -218,5 +225,14 @@ func (s *StringTrie) Keys() [][]byte { return s.t.Keys() }
 func (s *StringTrie) All() iter.Seq[[]byte] {
 	return func(yield func([]byte) bool) {
 		s.t.AllKV(func(k []byte, _ struct{}) bool { return yield(k) })
+	}
+}
+
+// Ascend iterates over the keys sorting at or after from in encoded
+// order, pruning subtrees below from — the set-level twin of
+// StringMap.Ascend. from must be non-empty, like every StringTrie key.
+func (s *StringTrie) Ascend(from []byte) iter.Seq[[]byte] {
+	return func(yield func([]byte) bool) {
+		s.t.AscendKV(from, func(k []byte, _ struct{}) bool { return yield(k) })
 	}
 }

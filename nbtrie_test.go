@@ -37,8 +37,11 @@ func TestConformanceAllImplementations(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Implementations()
-	if len(names) != 6 || names[0] != "patricia" {
-		t.Fatalf("Implementations() = %v; want the trie plus five baselines, trie first", names)
+	if len(names) != 7 || names[0] != "patricia" {
+		t.Fatalf("Implementations() = %v; want the trie, five baselines and the spatial instantiation, trie first", names)
+	}
+	if names[len(names)-1] != "spatial" {
+		t.Fatalf("Implementations() = %v; the spatial instantiation should be registered last", names)
 	}
 	seen := map[string]bool{}
 	for _, name := range names {

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"nbtrie/internal/spatial"
 )
 
 // Implementation describes one registered concurrent-set implementation:
-// the paper's Patricia trie and the five baselines of its evaluation.
+// the paper's Patricia trie, the five baselines of its evaluation, and
+// the Morton-keyed spatial instantiation of the shared engine.
 // Tools (cmd/benchtrie, cmd/triecli, the conformance tests and the
 // examples) enumerate this registry instead of hard-coding the list, so
 // a new implementation registers once and appears everywhere.
@@ -38,7 +41,9 @@ type Implementation struct {
 const DefaultWidth = 63
 
 // registry lists the implementations in the paper's legend order
-// (Figures 8-11). Names and legends must be unique case-insensitively.
+// (Figures 8-11), with this repository's extra engine instantiations
+// appended after the paper's six. Names and legends must be unique
+// case-insensitively.
 var registry = []Implementation{
 	{
 		Name:         "patricia",
@@ -88,6 +93,19 @@ var registry = []Implementation{
 		Description: "non-blocking 32-way concurrent hash trie, no snapshots (Prokopec et al., PPoPP 2012)",
 		New: func(uint32) (Set, error) {
 			return NewCtrie(), nil
+		},
+	},
+	{
+		Name:         "spatial",
+		Legend:       "PAT-Z",
+		Description:  "Morton-keyed spatial instantiation of the shared engine (65-bit Z-order keys; atomic point moves via Replace)",
+		HasReplace:   true,
+		WaitFreeRead: true,
+		New: func(uint32) (Set, error) {
+			// The Morton key space is fixed at 64 bits (the full
+			// uint32 × uint32 plane); width is ignored. The uint64 set
+			// key is the raw Morton code.
+			return spatialSet{t: spatial.New[struct{}]()}, nil
 		},
 	},
 }

@@ -1,0 +1,132 @@
+package nbtrie
+
+import (
+	"iter"
+
+	"nbtrie/internal/spatial"
+)
+
+// Point is a position in the 2^32 × 2^32 integer plane indexed by
+// SpatialMap.
+type Point struct {
+	X, Y uint32
+}
+
+// SpatialMap is a linearizable concurrent spatial index: a map from
+// points in the plane to values of type V, backed by the Morton-keyed
+// instantiation of the same non-blocking Patricia-trie engine as Map
+// and StringMap. Points are keyed by their Z-order (bit-interleaved)
+// Morton codes, which makes the trie a quadtree-like index: nearby
+// points share long key prefixes, and axis-aligned rectangle queries
+// become pruned range scans over one code interval.
+//
+// Load and Contains are wait-free and allocation-free (Morton keys are
+// fixed 65-bit strings, so the fixed-width read guarantee carries
+// over); every mutation is lock-free. Move is the paper's atomic
+// Replace on Z-order keys — the exact GIS scenario the paper motivates
+// Replace with: relocating an object is one linearizable step, so
+// concurrent readers never observe it at two positions or at none.
+//
+// CompareAndSwap and CompareAndDelete compare values with Go's ==, like
+// sync.Map: they panic if the values are not comparable.
+type SpatialMap[V any] struct {
+	t *spatial.Trie[V]
+}
+
+// NewSpatialMap returns an empty spatial map covering the full
+// uint32 × uint32 plane (no width parameter: the Morton key space is
+// fixed at 64 bits).
+func NewSpatialMap[V any]() *SpatialMap[V] {
+	return &SpatialMap[V]{t: spatial.New[V]()}
+}
+
+// Load returns the value stored at (x, y). Wait-free: a bounded number
+// of child-pointer reads, no CAS, no allocation.
+func (m *SpatialMap[V]) Load(x, y uint32) (V, bool) { return m.t.Load(x, y) }
+
+// Store binds (x, y) to val, inserting or overwriting (lock-free
+// upsert).
+func (m *SpatialMap[V]) Store(x, y uint32, val V) { m.t.Store(x, y, val) }
+
+// LoadOrStore returns the value at (x, y) if present (loaded true);
+// otherwise it stores val and returns it (loaded false).
+func (m *SpatialMap[V]) LoadOrStore(x, y uint32, val V) (actual V, loaded bool) {
+	return m.t.LoadOrStore(x, y, val)
+}
+
+// Delete removes the point at (x, y); false iff nothing was stored
+// there.
+func (m *SpatialMap[V]) Delete(x, y uint32) bool { return m.t.Delete(x, y) }
+
+// Contains reports whether a point is stored at (x, y), wait-free and
+// without allocating.
+func (m *SpatialMap[V]) Contains(x, y uint32) bool { return m.t.Contains(x, y) }
+
+// CompareAndSwap swaps the value at (x, y) from old to new if the stored
+// value equals old (==; panics if the values are not comparable).
+func (m *SpatialMap[V]) CompareAndSwap(x, y uint32, old, new V) bool {
+	return m.t.CompareAndSwap(x, y, old, new)
+}
+
+// CompareAndDelete removes the point at (x, y) if its value equals old
+// (==; panics if the values are not comparable).
+func (m *SpatialMap[V]) CompareAndDelete(x, y uint32, old V) bool {
+	return m.t.CompareAndDelete(x, y, old)
+}
+
+// Move atomically relocates the point at old to new, carrying its
+// value: both the removal and the insertion become visible at a single
+// linearization point. It returns true iff old held a point, new was
+// free and the positions differ; otherwise the map is unchanged. This is
+// the paper's Replace operation lifted to the plane.
+func (m *SpatialMap[V]) Move(old, new Point) bool {
+	return m.t.Move(old.X, old.Y, new.X, new.Y)
+}
+
+// Len returns the number of stored points; quiescent use only.
+func (m *SpatialMap[V]) Len() int { return m.t.Size() }
+
+// All iterates over every stored point in Z-order (Morton-code order).
+// The sequence is read-only and safe under concurrent updates: points
+// present for the whole iteration are always yielded, concurrent changes
+// may or may not be observed (the Range contract as a Go iterator).
+func (m *SpatialMap[V]) All() iter.Seq2[Point, V] {
+	return func(yield func(Point, V) bool) {
+		m.t.AscendMorton(0, func(_ uint64, x, y uint32, val V) bool {
+			return yield(Point{X: x, Y: y}, val)
+		})
+	}
+}
+
+// InRect iterates over the stored points inside the axis-aligned
+// rectangle [min.X, max.X] × [min.Y, max.Y] (inclusive), in Z-order. An
+// empty rectangle (min exceeding max on either axis) yields nothing.
+// The walk scans one Morton-code interval with subtree pruning and
+// filters out the interval's out-of-rectangle points; same consistency
+// contract as All.
+func (m *SpatialMap[V]) InRect(min, max Point) iter.Seq2[Point, V] {
+	return func(yield func(Point, V) bool) {
+		m.t.InRect(min.X, min.Y, max.X, max.Y, func(x, y uint32, val V) bool {
+			return yield(Point{X: x, Y: y}, val)
+		})
+	}
+}
+
+// Validate checks the structural invariants (tests/diagnostics;
+// quiescent use only).
+func (m *SpatialMap[V]) Validate() error { return m.t.Validate() }
+
+// spatialSet adapts the Morton-keyed trie to the registry's Set
+// interface: the uint64 key is the raw Morton code, so the adapter is a
+// bijection and inherits the trie's exact set semantics (including
+// atomic Replace).
+type spatialSet struct {
+	t *spatial.Trie[struct{}]
+}
+
+var _ ReplaceSet = spatialSet{}
+
+func (s spatialSet) Insert(k uint64) bool         { return s.t.InsertCode(k) }
+func (s spatialSet) Delete(k uint64) bool         { return s.t.DeleteCode(k) }
+func (s spatialSet) Contains(k uint64) bool       { return s.t.ContainsCode(k) }
+func (s spatialSet) Replace(old, new uint64) bool { return s.t.ReplaceCode(old, new) }
