@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"runtime"
 	"strconv"
@@ -52,7 +53,7 @@ func run(args []string) error {
 		warmup   = fs.Duration("warmup", 100*time.Millisecond, "warmup run per data point (paper: 10s)")
 		trials   = fs.Int("trials", 3, "timed trials per data point (paper: 8)")
 		threads  = fs.String("threads", "", "comma-separated thread counts (default: adapted to host)")
-		width    = fs.Uint("width", 21, "Patricia trie key width in bits (must cover the key range)")
+		width    = fs.Uint("width", 0, "Patricia trie key width in bits (must cover the key range; 0 = smallest width covering each figure's range)")
 		seed     = fs.Uint64("seed", 1, "base RNG seed")
 		csv      = fs.Bool("csv", false, "emit machine-readable CSV (figure,impl,threads,mean_ops_per_sec,stddev) instead of tables")
 		jsonOut  = fs.Bool("json", false, "write one BENCH_<figure>.json artifact per figure instead of tables")
@@ -114,17 +115,31 @@ func run(args []string) error {
 			SeqLen:   e.seqLen,
 			Seed:     *seed,
 		}
+		// -width 0 (the default) sizes each figure's trie to its key
+		// range. A minimal width matters beyond memory: the sharded
+		// front-end routes on the top key bits, so a width far wider than
+		// the range would park every key in shard 0 and measure nothing.
+		w := uint32(*width)
+		if w == 0 {
+			w = widthFor(e.keyRange)
+		}
 		if *jsonOut {
-			if err := runJSONExperiment(e, cfg, ths, uint32(*width), *outDir, *quick); err != nil {
+			if err := runJSONExperiment(e, cfg, ths, w, *outDir, *quick); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := runExperiment(e, cfg, ths, uint32(*width), *csv); err != nil {
+		if err := runExperiment(e, cfg, ths, w, *csv); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// widthFor returns the smallest trie width whose key space [0, 2^w)
+// covers [0, keyRange).
+func widthFor(keyRange uint64) uint32 {
+	return max(1, uint32(bits.Len64(keyRange-1)))
 }
 
 // runJSONExperiment runs one figure and writes its BENCH_<figure>.json

@@ -36,6 +36,22 @@ func TestSelectExperiments(t *testing.T) {
 	}
 }
 
+func TestWidthFor(t *testing.T) {
+	cases := map[uint64]uint32{
+		2:         1,
+		100:       7,
+		128:       7,
+		129:       8,
+		1_000:     10,
+		1_000_000: 20,
+	}
+	for keyRange, want := range cases {
+		if got := widthFor(keyRange); got != want {
+			t.Errorf("widthFor(%d) = %d, want %d", keyRange, got, want)
+		}
+	}
+}
+
 func TestFormatOps(t *testing.T) {
 	cases := map[float64]string{
 		12:        "12 op/s",

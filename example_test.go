@@ -134,4 +134,5 @@ func ExampleNewSet() {
 	// skiplist true
 	// ctrie true
 	// spatial true
+	// sharded true
 }

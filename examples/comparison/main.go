@@ -1,5 +1,6 @@
-// Comparison: drives the paper's six set implementations through the
-// same mixed workload and prints a small throughput table — a miniature,
+// Comparison: drives every registered set implementation — the paper's
+// six plus the spatial and sharded engine instantiations — through the
+// same mixed workload and prints a small throughput table: a miniature,
 // single-shot version of what cmd/benchtrie measures rigorously.
 package main
 
@@ -19,10 +20,13 @@ func main() {
 		name string
 		mk   func() bench.Set
 	}
+	// Width 17 is the smallest covering the key range below — minimal on
+	// purpose: the sharded front-end (PAT-S) routes on the top key bits,
+	// so slack width would funnel every key into its first shard.
 	var impls []impl
 	for _, im := range nbtrie.AllImplementations() {
 		impls = append(impls, impl{im.Legend, func() bench.Set {
-			s, err := im.New(20)
+			s, err := im.New(17)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkSeries(name string, means map[int]float64, allocs *AllocsProfile) ArtifactSeries {
+	s := ArtifactSeries{Name: name, AllocsPerOp: allocs}
+	// Deterministic point order, ascending threads.
+	for _, th := range []int{1, 2, 4, 8} {
+		if m, ok := means[th]; ok {
+			s.Points = append(s.Points, ArtifactPoint{Threads: th, MeanOpsPerSec: m})
+		}
+	}
+	return s
+}
+
+func mkArtifact(fig string, series ...ArtifactSeries) Artifact {
+	return Artifact{Schema: ArtifactSchema, Figure: fig, Series: series}
+}
+
+func TestCompareArtifactsPasses(t *testing.T) {
+	base := mkArtifact("9b",
+		mkSeries("PAT", map[int]float64{1: 1000, 2: 2000, 4: 4000}, &AllocsProfile{Insert: 8, Delete: 2}),
+	)
+	// Candidate: small drop within tolerance at 1 thread, improvement at
+	// 2, no point at 4 (quick sweep), equal allocs — all fine. Extra
+	// series pass freely.
+	cand := mkArtifact("9b",
+		mkSeries("PAT", map[int]float64{1: 900, 2: 2600}, &AllocsProfile{Insert: 8, Delete: 2}),
+		mkSeries("PAT-S", map[int]float64{1: 1500}, &AllocsProfile{Insert: 8}),
+	)
+	regs, err := CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25, AllocSlack: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("expected clean gate, got %v", regs)
+	}
+}
+
+func TestCompareArtifactsThroughputRegression(t *testing.T) {
+	base := mkArtifact("9b", mkSeries("PAT", map[int]float64{1: 1000, 2: 2000}, nil))
+	cand := mkArtifact("9b", mkSeries("PAT", map[int]float64{1: 1000, 2: 1400}, nil))
+	regs, err := CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Series != "PAT" || !strings.Contains(regs[0].Metric, "2 threads") {
+		t.Fatalf("want one 2-thread throughput regression, got %v", regs)
+	}
+	// Exactly at the tolerance boundary: 25% drop with MaxDrop 0.25 passes.
+	cand2 := mkArtifact("9b", mkSeries("PAT", map[int]float64{1: 750, 2: 1500}, nil))
+	regs, err = CompareArtifacts(base, cand2, CompareOptions{MaxDrop: 0.25})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("boundary drop must pass, got %v, %v", regs, err)
+	}
+}
+
+func TestCompareArtifactsAllocRegression(t *testing.T) {
+	base := mkArtifact("9a", mkSeries("PAT", map[int]float64{1: 1000},
+		&AllocsProfile{Contains: 0, Insert: 8, Delete: 2}))
+	cand := mkArtifact("9a", mkSeries("PAT", map[int]float64{1: 5000},
+		&AllocsProfile{Contains: 1, Insert: 8, Delete: 2}))
+	regs, err := CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25, AllocSlack: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Metric, "contains") {
+		t.Fatalf("want one contains-allocs regression, got %v", regs)
+	}
+	// A candidate that silently drops its alloc profile fails too.
+	cand.Series[0].AllocsPerOp = nil
+	regs, err = CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25, AllocSlack: 0.25})
+	if err != nil || len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("missing profile must regress, got %v, %v", regs, err)
+	}
+	// Lower allocs pass (the pin is one-sided).
+	cand.Series[0].AllocsPerOp = &AllocsProfile{Contains: 0, Insert: 4, Delete: 1}
+	regs, _ = CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25, AllocSlack: 0.25})
+	if len(regs) != 0 {
+		t.Fatalf("improved allocs must pass, got %v", regs)
+	}
+}
+
+func TestCompareArtifactsMissingSeries(t *testing.T) {
+	base := mkArtifact("9b",
+		mkSeries("PAT", map[int]float64{1: 1000}, nil),
+		mkSeries("BST", map[int]float64{1: 800}, nil))
+	cand := mkArtifact("9b", mkSeries("PAT", map[int]float64{1: 1000}, nil))
+	regs, err := CompareArtifacts(base, cand, CompareOptions{MaxDrop: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Series != "BST" || regs[0].Metric != "series" {
+		t.Fatalf("want one missing-series regression, got %v", regs)
+	}
+}
+
+func TestCompareArtifactsMisuse(t *testing.T) {
+	a := mkArtifact("9a")
+	b := mkArtifact("9b")
+	if _, err := CompareArtifacts(a, b, CompareOptions{MaxDrop: 0.25}); err == nil {
+		t.Error("figure mismatch must error")
+	}
+	if _, err := CompareArtifacts(a, a, CompareOptions{MaxDrop: 1.5}); err == nil {
+		t.Error("MaxDrop >= 1 must error")
+	}
+	if _, err := CompareArtifacts(a, a, CompareOptions{MaxDrop: -0.1}); err == nil {
+		t.Error("negative MaxDrop must error")
+	}
+}
+
+func TestReadArtifactRoundTripAndSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	a := mkArtifact("9b", mkSeries("PAT", map[int]float64{1: 1000}, &AllocsProfile{Insert: 8}))
+	path, err := WriteArtifact(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Figure != "9b" || len(got.Series) != 1 || got.Series[0].Points[0].MeanOpsPerSec != 1000 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	// Wrong schema fails loudly.
+	bad := a
+	bad.Schema = "nbtrie-bench/v0"
+	bad.Figure = "bad"
+	if _, err := WriteArtifact(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(filepath.Join(dir, ArtifactFilename("bad"))); err == nil {
+		t.Error("schema mismatch must error")
+	}
+	// Missing and malformed files error too.
+	if _, err := ReadArtifact(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}

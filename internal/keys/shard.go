@@ -1,0 +1,35 @@
+package keys
+
+// Shard routing for the Uint64Key space, used by the sharded front-end
+// (internal/sharded): a width-bit user key k is routed to one of 2^s
+// shards by its top s bits, and the owning shard's trie stores only the
+// remaining low width-s bits. Routing on the top bits — rather than a
+// hash — keeps each shard's key space a contiguous, order-preserving
+// slice of the full space: shard i owns exactly
+// [i << (width-s), (i+1) << (width-s)), so concatenating per-shard
+// ascents in shard-index order yields the full ascending key order, and
+// any two keys in the same shard keep the prefix relationship they had
+// in the unsharded trie (the top s bits they share are simply factored
+// out).
+//
+// All three helpers require 0 <= s < width (each shard keeps at least
+// one key bit) and a k that fits in width bits (see InRange); the
+// sharded front-end validates both before routing.
+
+// ShardOf returns the index of the shard owning the width-bit key k:
+// the value of k's top s bits.
+func ShardOf(k uint64, width, s uint32) uint64 {
+	return k >> (width - s)
+}
+
+// ShardRest returns the low width-s bits of k: the key the owning
+// shard's trie stores in place of k.
+func ShardRest(k uint64, width, s uint32) uint64 {
+	return k & (1<<(width-s) - 1)
+}
+
+// ShardBase returns the smallest width-bit key owned by shard idx, so
+// ShardBase(ShardOf(k, w, s), w, s) | ShardRest(k, w, s) == k.
+func ShardBase(idx uint64, width, s uint32) uint64 {
+	return idx << (width - s)
+}

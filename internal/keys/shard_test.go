@@ -1,0 +1,96 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardSplitRoundTrip: ShardOf/ShardRest decompose a key and
+// ShardBase|ShardRest reassembles it, for a sweep of widths and shard
+// bit counts.
+func TestShardSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []uint32{1, 2, 7, 10, 21, 32, 63} {
+		for s := uint32(0); s < width && s <= 8; s++ {
+			for trial := 0; trial < 200; trial++ {
+				k := rng.Uint64()
+				if width < 64 {
+					k %= 1 << width
+				}
+				idx := ShardOf(k, width, s)
+				rest := ShardRest(k, width, s)
+				if idx >= 1<<s {
+					t.Fatalf("width=%d s=%d: ShardOf(%d) = %d out of range", width, s, k, idx)
+				}
+				if rest >= 1<<(width-s) {
+					t.Fatalf("width=%d s=%d: ShardRest(%d) = %d out of range", width, s, k, rest)
+				}
+				if got := ShardBase(idx, width, s) | rest; got != k {
+					t.Fatalf("width=%d s=%d: base|rest = %d, want %d", width, s, got, k)
+				}
+			}
+		}
+	}
+}
+
+// TestShardBoundaries pins the contiguous ownership contract: shard idx
+// owns exactly [ShardBase(idx), ShardBase(idx+1)), so the base key maps
+// to idx, its predecessor to idx-1, and the last key of the shard back
+// to idx.
+func TestShardBoundaries(t *testing.T) {
+	const width, s = 10, 3
+	span := uint64(1) << (width - s)
+	for idx := uint64(0); idx < 1<<s; idx++ {
+		base := ShardBase(idx, width, s)
+		if base != idx*span {
+			t.Fatalf("ShardBase(%d) = %d, want %d", idx, base, idx*span)
+		}
+		if got := ShardOf(base, width, s); got != idx {
+			t.Errorf("ShardOf(base %d) = %d, want %d", base, got, idx)
+		}
+		if got := ShardOf(base+span-1, width, s); got != idx {
+			t.Errorf("ShardOf(last %d) = %d, want %d", base+span-1, got, idx)
+		}
+		if idx > 0 {
+			if got := ShardOf(base-1, width, s); got != idx-1 {
+				t.Errorf("ShardOf(%d) = %d, want %d", base-1, got, idx-1)
+			}
+		}
+		if got := ShardRest(base, width, s); got != 0 {
+			t.Errorf("ShardRest(base %d) = %d, want 0", base, got)
+		}
+	}
+}
+
+// TestShardOfMonotone: routing preserves key order at shard granularity,
+// the property the stitched Ascend relies on.
+func TestShardOfMonotone(t *testing.T) {
+	const width, s = 8, 2
+	prev := uint64(0)
+	for k := uint64(0); k < 1<<width; k++ {
+		idx := ShardOf(k, width, s)
+		if idx < prev {
+			t.Fatalf("ShardOf not monotone at key %d: %d after %d", k, idx, prev)
+		}
+		prev = idx
+	}
+	if prev != 1<<s-1 {
+		t.Fatalf("top shard index %d, want %d", prev, uint64(1<<s-1))
+	}
+}
+
+// TestShardZeroBits: s = 0 is the single-shard degenerate case — every
+// key routes to shard 0 unchanged.
+func TestShardZeroBits(t *testing.T) {
+	for _, k := range []uint64{0, 1, 1<<21 - 1} {
+		if ShardOf(k, 21, 0) != 0 {
+			t.Errorf("ShardOf(%d, 21, 0) != 0", k)
+		}
+		if ShardRest(k, 21, 0) != k {
+			t.Errorf("ShardRest(%d, 21, 0) != %d", k, k)
+		}
+	}
+	if ShardBase(0, 21, 0) != 0 {
+		t.Error("ShardBase(0, 21, 0) != 0")
+	}
+}

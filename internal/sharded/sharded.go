@@ -1,0 +1,297 @@
+// Package sharded is a sharded front-end over the fixed-width Patricia
+// trie (internal/core): the width-bit key space is partitioned into 2^s
+// contiguous slices by the top s key bits (keys.ShardOf), and each slice
+// is served by its own independent instance of the shared non-blocking
+// update engine. Every update funnelling through one root is the paper's
+// trie's scaling ceiling — helping traffic and child-CAS retries grow
+// with contention near the root — so partitioning the key space is the
+// standard next lever (compare the cache-aware Ctrie line of work):
+// writers touching different shards share no memory at all, while each
+// shard individually keeps every per-trie guarantee.
+//
+// Because the partition is by top bits rather than by hash, shard i owns
+// exactly the contiguous key interval [i<<(width-s), (i+1)<<(width-s)).
+// Two consequences the API relies on:
+//
+//   - per-shard tries keep their prefix structure: keys in one shard
+//     relate exactly as in the unsharded trie once the shared top s bits
+//     are factored out, so each shard stores only the low width-s bits
+//     of its keys (a strictly shallower trie);
+//   - ascending iteration stitches: concatenating per-shard ascents in
+//     shard-index order is a full ascent of the key space.
+//
+// Guarantees are per shard: Load/Contains stay wait-free and
+// allocation-free, all single-key mutations stay lock-free, and Replace
+// stays atomic when both keys live in the same shard. A cross-shard
+// Replace would need one linearization point spanning two independent
+// tries, which no per-shard protocol can provide without locking both —
+// so it is refused with ErrCrossShard instead of being faked.
+// Aggregate reads (Size, iteration) are per-shard-exact but not a global
+// snapshot, same as the unsharded trie's Range contract.
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"nbtrie/internal/core"
+	"nbtrie/internal/keys"
+)
+
+// ErrCrossShard is returned by Replace when the two keys live in
+// different shards. The sharded trie's Replace is atomic only within a
+// shard (one engine instance, one linearization point); moving a key
+// across shards is two independent linearizable operations and callers
+// must decide how to compose them (delete-then-insert, tolerate both
+// visible, or re-key within a shard).
+var ErrCrossShard = errors.New("sharded: keys live in different shards; cross-shard replace is not atomic")
+
+// MaxShards caps the shard count: beyond a few hundred independent
+// roots, routing wins are exhausted and per-shard fixed overhead (two
+// dummy leaves and a root path each) dominates.
+const MaxShards = 256
+
+// minDefaultShards floors DefaultShards: shard demand tracks concurrent
+// goroutines, which routinely outnumber GOMAXPROCS, so a few shards are
+// kept even on small hosts (the same reasoning as ConcurrentHashMap's
+// historical minimum segment count).
+const minDefaultShards = 8
+
+// DefaultShards is the shard count New uses when given 0:
+// runtime.GOMAXPROCS rounded up to a power of two, floored at 8 and
+// capped at MaxShards.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < minDefaultShards {
+		n = minDefaultShards
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Trie is the sharded front-end: a linearizable set/map over uint64 keys
+// in [0, 2^width) with the same per-operation surface as core.Trie,
+// served by 2^s independent engine instances. All methods are safe for
+// unrestricted concurrent use.
+type Trie[V any] struct {
+	width     uint32
+	shardBits uint32
+	shards    []*core.Trie[V]
+}
+
+// New returns an empty sharded trie over keys in [0, 2^width); width
+// must be in [1, keys.MaxWidth]. shardCount selects the number of
+// shards: 0 means DefaultShards, anything else must be a power of two in
+// [1, MaxShards]. The count is silently clamped so each shard keeps at
+// least one key bit (shardBits <= width-1); Shards reports the count in
+// effect.
+func New[V any](width uint32, shardCount int) (*Trie[V], error) {
+	if width < 1 || width > keys.MaxWidth {
+		return nil, fmt.Errorf("sharded trie: width %d out of range [1, %d]", width, keys.MaxWidth)
+	}
+	if shardCount == 0 {
+		shardCount = DefaultShards()
+	}
+	if shardCount < 1 || shardCount > MaxShards || shardCount&(shardCount-1) != 0 {
+		return nil, fmt.Errorf("sharded trie: shard count %d must be a power of two in [1, %d]", shardCount, MaxShards)
+	}
+	s := uint32(bits.TrailingZeros(uint(shardCount)))
+	if s > width-1 {
+		s = width - 1
+	}
+	t := &Trie[V]{
+		width:     width,
+		shardBits: s,
+		shards:    make([]*core.Trie[V], 1<<s),
+	}
+	for i := range t.shards {
+		st, err := core.New[V](width - s)
+		if err != nil {
+			return nil, err
+		}
+		t.shards[i] = st
+	}
+	return t, nil
+}
+
+// Width returns the user-key width in bits.
+func (t *Trie[V]) Width() uint32 { return t.width }
+
+// Shards returns the number of shards in effect.
+func (t *Trie[V]) Shards() int { return len(t.shards) }
+
+// ShardBits returns s, the number of top key bits used for routing.
+func (t *Trie[V]) ShardBits() uint32 { return t.shardBits }
+
+// ShardOf returns the index of the shard owning k, and false for keys
+// outside [0, 2^width), which no shard owns.
+func (t *Trie[V]) ShardOf(k uint64) (int, bool) {
+	if !keys.InRange(k, t.width) {
+		return 0, false
+	}
+	return int(keys.ShardOf(k, t.width, t.shardBits)), true
+}
+
+// SameShard reports whether a and b are both in range and owned by the
+// same shard — the precondition for an atomic Replace between them.
+func (t *Trie[V]) SameShard(a, b uint64) bool {
+	ia, okA := t.ShardOf(a)
+	ib, okB := t.ShardOf(b)
+	return okA && okB && ia == ib
+}
+
+// locate routes an in-range key to its shard and per-shard key; ok is
+// false for out-of-range keys, which are permanently absent.
+func (t *Trie[V]) locate(k uint64) (shard *core.Trie[V], rest uint64, ok bool) {
+	if !keys.InRange(k, t.width) {
+		return nil, 0, false
+	}
+	return t.shards[keys.ShardOf(k, t.width, t.shardBits)],
+		keys.ShardRest(k, t.width, t.shardBits), true
+}
+
+// Contains reports membership, wait-free and allocation-free: one shard
+// index computation, then the shard trie's pure-read descent.
+func (t *Trie[V]) Contains(k uint64) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.Contains(rest)
+}
+
+// Load returns the value bound to k, or (zero, false) when absent.
+// Wait-free and allocation-free like Contains.
+func (t *Trie[V]) Load(k uint64) (V, bool) {
+	sh, rest, ok := t.locate(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return sh.Load(rest)
+}
+
+// Insert adds k, returning false if it was already present or out of
+// range. Lock-free within the owning shard.
+func (t *Trie[V]) Insert(k uint64) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.Insert(rest)
+}
+
+// InsertValue is Insert with a value payload bound to the fresh leaf.
+func (t *Trie[V]) InsertValue(k uint64, val V) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.InsertValue(rest, val)
+}
+
+// Delete removes k, returning false if it was absent. Lock-free within
+// the owning shard.
+func (t *Trie[V]) Delete(k uint64) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.Delete(rest)
+}
+
+// Store binds k to val, inserting or overwriting (lock-free upsert). It
+// returns false only for out-of-range keys.
+func (t *Trie[V]) Store(k uint64, val V) bool {
+	sh, rest, ok := t.locate(k)
+	if !ok {
+		return false
+	}
+	return sh.Store(rest, val)
+}
+
+// LoadOrStore returns the value bound to k if present (loaded true);
+// otherwise it stores val and returns it. ok is false only for
+// out-of-range keys, which can neither be loaded nor stored.
+func (t *Trie[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
+	sh, rest, inRange := t.locate(k)
+	if !inRange {
+		var zero V
+		return zero, false, false
+	}
+	return sh.LoadOrStore(rest, val)
+}
+
+// CompareAndSwap swaps k's value from old to new if the stored value
+// equals old (interface equality; old must be comparable).
+func (t *Trie[V]) CompareAndSwap(k uint64, old, new V) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.CompareAndSwap(rest, old, new)
+}
+
+// CompareAndDelete deletes k if its stored value equals old (interface
+// equality; old must be comparable).
+func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.CompareAndDelete(rest, old)
+}
+
+// Replace atomically removes old and inserts new when both keys live in
+// the same shard: the owning engine's Replace provides the single
+// linearization point, and the value travels with the key. It returns
+// (false, ErrCrossShard) when both keys are in range but owned by
+// different shards — see the package comment for why this is refused
+// rather than faked. Out-of-range keys make it return (false, nil), like
+// the unsharded trie: an out-of-range old is never present, an
+// out-of-range new cannot be inserted.
+func (t *Trie[V]) Replace(old, new uint64) (bool, error) {
+	if !keys.InRange(old, t.width) || !keys.InRange(new, t.width) {
+		return false, nil
+	}
+	io := keys.ShardOf(old, t.width, t.shardBits)
+	in := keys.ShardOf(new, t.width, t.shardBits)
+	if io != in {
+		return false, ErrCrossShard
+	}
+	return t.shards[io].Replace(
+		keys.ShardRest(old, t.width, t.shardBits),
+		keys.ShardRest(new, t.width, t.shardBits)), nil
+}
+
+// AscendKV calls fn on every (key, value) pair with key >= from in
+// ascending key order, until fn returns false: the per-shard ascents of
+// the shards at or after from's, concatenated in shard-index order
+// (contiguous top-bit partitioning makes that the global key order).
+// Read-only and safe under concurrent updates with the per-shard Range
+// contract; entries in different shards are not a single snapshot.
+func (t *Trie[V]) AscendKV(from uint64, fn func(k uint64, val V) bool) {
+	if !keys.InRange(from, t.width) {
+		return // nothing sorts at or after an out-of-range from
+	}
+	start := keys.ShardOf(from, t.width, t.shardBits)
+	more := true
+	for idx := start; more && idx < uint64(len(t.shards)); idx++ {
+		base := keys.ShardBase(idx, t.width, t.shardBits)
+		rest := uint64(0)
+		if idx == start {
+			rest = keys.ShardRest(from, t.width, t.shardBits)
+		}
+		t.shards[idx].AscendKV(rest, func(k uint64, val V) bool {
+			more = fn(base|k, val)
+			return more
+		})
+	}
+}
+
+// Size sums the shard sizes; quiescent use only (the per-shard counts
+// are exact, their sum is not a global snapshot).
+func (t *Trie[V]) Size() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// Validate checks every shard's structural invariants
+// (tests/diagnostics; quiescent use only).
+func (t *Trie[V]) Validate() error {
+	for i, sh := range t.shards {
+		if err := sh.Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

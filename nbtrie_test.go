@@ -37,11 +37,11 @@ func TestConformanceAllImplementations(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Implementations()
-	if len(names) != 7 || names[0] != "patricia" {
-		t.Fatalf("Implementations() = %v; want the trie, five baselines and the spatial instantiation, trie first", names)
+	if len(names) != 8 || names[0] != "patricia" {
+		t.Fatalf("Implementations() = %v; want the trie, five baselines, the spatial instantiation and the sharded front-end, trie first", names)
 	}
-	if names[len(names)-1] != "spatial" {
-		t.Fatalf("Implementations() = %v; the spatial instantiation should be registered last", names)
+	if names[len(names)-2] != "spatial" || names[len(names)-1] != "sharded" {
+		t.Fatalf("Implementations() = %v; spatial then sharded should close the registry", names)
 	}
 	seen := map[string]bool{}
 	for _, name := range names {

@@ -5,12 +5,15 @@ import (
 	"sort"
 	"strings"
 
+	"nbtrie/internal/sharded"
 	"nbtrie/internal/spatial"
 )
 
 // Implementation describes one registered concurrent-set implementation:
-// the paper's Patricia trie, the five baselines of its evaluation, and
-// the Morton-keyed spatial instantiation of the shared engine.
+// the paper's Patricia trie, the five baselines of its evaluation, the
+// Morton-keyed spatial instantiation of the shared engine, and the
+// sharded front-end that partitions the key space across engine
+// instances.
 // Tools (cmd/benchtrie, cmd/triecli, the conformance tests and the
 // examples) enumerate this registry instead of hard-coding the list, so
 // a new implementation registers once and appears everywhere.
@@ -106,6 +109,19 @@ var registry = []Implementation{
 			// uint32 × uint32 plane); width is ignored. The uint64 set
 			// key is the raw Morton code.
 			return spatialSet{t: spatial.New[struct{}]()}, nil
+		},
+	},
+	{
+		Name:         "sharded",
+		Legend:       "PAT-S",
+		Description:  "sharded front-end: 2^s independent engine instances partitioned by the top key bits, for multi-core write scaling (replace is per-shard only, so not advertised)",
+		WaitFreeRead: true,
+		New: func(width uint32) (Set, error) {
+			t, err := sharded.New[struct{}](width, 0)
+			if err != nil {
+				return nil, err
+			}
+			return shardedSet{t: t}, nil
 		},
 	},
 }

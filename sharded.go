@@ -1,0 +1,159 @@
+package nbtrie
+
+import (
+	"iter"
+
+	"nbtrie/internal/sharded"
+)
+
+// ErrCrossShard is returned by ShardedMap.ReplaceKey when the two keys
+// live in different shards. Replace atomicity is a per-shard guarantee —
+// one engine instance, one linearization point — and the sharded map
+// refuses to fake a cross-shard replace with locks or a non-atomic
+// delete+insert. Callers that can tolerate the intermediate states can
+// compose Delete and Store themselves; callers that need atomicity must
+// pick keys in the same shard (see ShardedMap.SameShard) or use the
+// unsharded Map.
+var ErrCrossShard = sharded.ErrCrossShard
+
+// ShardedMap is a Map-alike built for multi-core write throughput: the
+// key space [0, 2^width) is partitioned into 2^s contiguous slices by
+// the top s key bits, each served by an independent instance of the
+// non-blocking Patricia-trie engine. Writers touching different shards
+// contend on nothing at all — no shared root, no shared helping traffic
+// — which is what buys write scaling the single-root trie cannot offer;
+// see DESIGN.md §5 for the scheme and its measured effect.
+//
+// Per-operation guarantees are per shard and match Map: Load and
+// Contains are wait-free and allocation-free, every single-key mutation
+// is lock-free, and ReplaceKey is the paper's atomic Replace when old
+// and new share a shard (a cross-shard pair returns ErrCrossShard —
+// atomicity is never faked). All and Ascend stitch the per-shard ascents
+// into the global ascending key order. Aggregate reads (Len, iteration)
+// are per-shard-exact but not a global snapshot, the same Range contract
+// as Map.
+//
+// CompareAndSwap and CompareAndDelete compare values with Go's ==, like
+// sync.Map: they panic if the values are not comparable.
+type ShardedMap[V any] struct {
+	t *sharded.Trie[V]
+}
+
+// NewShardedMap returns an empty sharded map over keys in [0, 2^width);
+// width must be in [1, 63]. shards selects the shard count: 0 picks the
+// default (runtime.GOMAXPROCS rounded up to a power of two, floored at 8
+// and capped at 256); any other value must be a power of two in
+// [1, 256]. The count is clamped so each shard keeps at least one key
+// bit; Shards reports the count in effect.
+func NewShardedMap[V any](width uint32, shards int) (*ShardedMap[V], error) {
+	t, err := sharded.New[V](width, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMap[V]{t: t}, nil
+}
+
+// Load returns the value bound to k. Wait-free and allocation-free: a
+// shard index computation, then one pure-read descent of the owning
+// shard.
+func (m *ShardedMap[V]) Load(k uint64) (V, bool) {
+	return m.t.Load(k)
+}
+
+// Store binds k to val, inserting or overwriting (lock-free upsert
+// within the owning shard). It returns false only when k is out of range
+// for the map's width.
+func (m *ShardedMap[V]) Store(k uint64, val V) bool {
+	return m.t.Store(k, val)
+}
+
+// LoadOrStore returns the existing value for k if present (loaded true);
+// otherwise it stores val and returns it (loaded false). ok is false
+// only when k is out of range — nothing was loaded or stored.
+func (m *ShardedMap[V]) LoadOrStore(k uint64, val V) (actual V, loaded, ok bool) {
+	return m.t.LoadOrStore(k, val)
+}
+
+// Delete removes k; false iff k was absent.
+func (m *ShardedMap[V]) Delete(k uint64) bool {
+	return m.t.Delete(k)
+}
+
+// CompareAndSwap swaps k's value from old to new if the stored value
+// equals old (==; panics if the values are not comparable).
+func (m *ShardedMap[V]) CompareAndSwap(k uint64, old, new V) bool {
+	return m.t.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete deletes k if its value equals old (==; panics if the
+// values are not comparable).
+func (m *ShardedMap[V]) CompareAndDelete(k uint64, old V) bool {
+	return m.t.CompareAndDelete(k, old)
+}
+
+// ReplaceKey atomically rebinds old's value to the key new, removing
+// old, when both keys live in the same shard: one linearization point,
+// the value travels, exactly Map.ReplaceKey. swapped is true iff old was
+// present and new absent (and old != new). When the keys are in range
+// but owned by different shards nothing happens and err is
+// ErrCrossShard; out-of-range keys return (false, nil) like Map.
+func (m *ShardedMap[V]) ReplaceKey(old, new uint64) (swapped bool, err error) {
+	return m.t.Replace(old, new)
+}
+
+// Contains reports whether k has a binding, wait-free and without
+// allocating.
+func (m *ShardedMap[V]) Contains(k uint64) bool {
+	return m.t.Contains(k)
+}
+
+// Len returns the number of entries; quiescent use only.
+func (m *ShardedMap[V]) Len() int {
+	return m.t.Size()
+}
+
+// Width returns the key width the map was built with.
+func (m *ShardedMap[V]) Width() uint32 {
+	return m.t.Width()
+}
+
+// Shards returns the number of shards in effect.
+func (m *ShardedMap[V]) Shards() int {
+	return m.t.Shards()
+}
+
+// SameShard reports whether a and b are both in range and owned by the
+// same shard — the precondition for an atomic ReplaceKey between them.
+func (m *ShardedMap[V]) SameShard(a, b uint64) bool {
+	return m.t.SameShard(a, b)
+}
+
+// All iterates over all entries in increasing key order, stitching the
+// per-shard ascents. Same consistency contract as Map.All per shard;
+// entries in different shards are not a single snapshot.
+func (m *ShardedMap[V]) All() iter.Seq2[uint64, V] {
+	return m.Ascend(0)
+}
+
+// Ascend iterates over the entries with key >= from, in increasing key
+// order. Shards entirely below from are skipped and the first shard
+// resumes from from, so a midpoint resume costs one descent.
+func (m *ShardedMap[V]) Ascend(from uint64) iter.Seq2[uint64, V] {
+	return func(yield func(uint64, V) bool) {
+		m.t.AscendKV(from, yield)
+	}
+}
+
+// shardedSet adapts the sharded trie to the registry's Set interface.
+// It deliberately does not implement ReplaceSet: the sharded trie's
+// replace is atomic only within a shard, and a partial Replace cannot
+// honor the registry's full-key-space contract.
+type shardedSet struct {
+	t *sharded.Trie[struct{}]
+}
+
+var _ Set = shardedSet{}
+
+func (s shardedSet) Insert(k uint64) bool   { return s.t.Insert(k) }
+func (s shardedSet) Delete(k uint64) bool   { return s.t.Delete(k) }
+func (s shardedSet) Contains(k uint64) bool { return s.t.Contains(k) }
