@@ -168,8 +168,11 @@ func runJSONExperiment(e experiment, cfg bench.Config, ths []int, width uint32, 
 
 // experiment describes one figure of the paper. replaceOnly marks the
 // figures whose workload contains replace operations; only
-// implementations whose registry entry advertises HasReplace can run
-// them (in the paper: PAT alone).
+// implementations whose registry entry advertises a full-key-space
+// replace (ReplaceScope == ReplaceFull) can run them — a per-shard
+// replace would silently skip the cross-shard pairs the uniform
+// workload generates, so it does not qualify. (In the paper: PAT
+// alone.)
 type experiment struct {
 	id          string
 	title       string
@@ -220,7 +223,7 @@ func factories(e experiment, width uint32) []struct {
 		mk   func() bench.Set
 	}
 	for _, im := range nbtrie.AllImplementations() {
-		if e.replaceOnly && !im.HasReplace {
+		if e.replaceOnly && im.Replace != nbtrie.ReplaceFull {
 			continue
 		}
 		out = append(out, struct {

@@ -173,7 +173,7 @@ func TestFactoriesEnumerateRegistry(t *testing.T) {
 	}
 	for _, f := range factories(rep[0], 21) {
 		im, ok := nbtrie.LookupImplementation(f.name)
-		if !ok || !im.HasReplace {
+		if !ok || im.Replace != nbtrie.ReplaceFull {
 			t.Errorf("replace figure must only run replace-capable impls, got %q", f.name)
 		}
 	}

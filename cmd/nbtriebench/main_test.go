@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbtrie/internal/bench"
+	"nbtrie/internal/server"
+)
+
+// startServer runs an in-process nbtried-equivalent on a random port.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return ln.Addr().String()
+}
+
+// TestSmokeAgainstServer: the -smoke battery must pass against the real
+// server — this is the same check CI runs across processes.
+func TestSmokeAgainstServer(t *testing.T) {
+	addr := startServer(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-addr", addr, "-smoke"}, &out, &errOut); err != nil {
+		t.Fatalf("smoke failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "smoke ok") {
+		t.Fatalf("smoke output: %q", out.String())
+	}
+}
+
+// TestQuickBenchWritesArtifact runs the quick sweep end to end and
+// checks the emitted artifact parses, has the expected shape, and pins
+// a non-empty codec allocation profile.
+func TestQuickBenchWritesArtifact(t *testing.T) {
+	addr := startServer(t)
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	args := []string{"-addr", addr, "-quick", "-json", "-out", dir,
+		"-duration", "50ms", "-warmup", "10ms", "-pipeline", "8"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("bench failed: %v\n%s", err, errOut.String())
+	}
+	path := filepath.Join(dir, "BENCH_server.json")
+	a, err := bench.ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Figure != "server" || a.Schema != bench.ArtifactSchema {
+		t.Fatalf("artifact header: %+v", a)
+	}
+	if a.Config.PipelineDepth != 8 || a.Config.ValueSize != 64 {
+		t.Fatalf("artifact config: %+v", a.Config)
+	}
+	if len(a.Series) != 1 || a.Series[0].Name != "get90-set10" {
+		t.Fatalf("series: %+v", a.Series)
+	}
+	pts := a.Series[0].Points
+	if len(pts) != 2 || pts[0].Threads != 1 || pts[1].Threads != 2 {
+		t.Fatalf("points: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.MeanOpsPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+	}
+	if a.Series[0].AllocsPerOp == nil {
+		t.Fatal("artifact missing the codec allocs profile")
+	}
+	// The artifact must gate cleanly against itself.
+	if regs, err := bench.CompareArtifacts(a, a, bench.CompareOptions{MaxDrop: 0.5, AllocSlack: 0.25}); err != nil || len(regs) != 0 {
+		t.Fatalf("self-comparison: %v, %v", regs, err)
+	}
+}
+
+// TestCodecAllocsDeterministic: the pinned profile is the whole point
+// of gating allocs strictly; two measurements must agree exactly.
+func TestCodecAllocsDeterministic(t *testing.T) {
+	a := codecAllocs(64)
+	b := codecAllocs(64)
+	if a != b {
+		t.Fatalf("codec allocs not deterministic: %+v vs %+v", a, b)
+	}
+	// GET and SET replies carry a payload the parser must copy, so at
+	// least one allocation each; DEL's integer reply parses into a
+	// stack Value and is rightly allocation-free.
+	if a.Contains <= 0 || a.Insert <= 0 || a.Delete != 0 {
+		t.Fatalf("implausible codec profile: %+v", a)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-clients", "0"},
+		{"-clients", "x"},
+		{"-get-pct", "101"},
+		{"-pipeline", "0"},
+	} {
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	// Unreachable server: a readable connection error, not a hang.
+	if err := run([]string{"-addr", "127.0.0.1:1", "-quick"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "cannot reach server") {
+		t.Errorf("unreachable server: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Command nbtried is the network daemon over the sharded non-blocking
+// Patricia trie: a RESP2-subset key-value server (see internal/server
+// for the protocol subset and the command → engine-op mapping). Any
+// RESP2 client — redis-cli included — can speak to it:
+//
+//	nbtried -addr 127.0.0.1:6380
+//	redis-cli -p 6380 SET foo bar
+//	redis-cli -p 6380 GET foo
+//
+// Flags:
+//
+//	-addr       listen address (host:port; port 0 picks a free port)
+//	-keyer      wire-key mapping: "bytes" (1-7 raw bytes, the default)
+//	            or "decimal" (canonical decimal integers)
+//	-width      key width in bits for the decimal keyer (default 63;
+//	            the bytes keyer is fixed at 59)
+//	-shards     shard count for the backing map (0 = GOMAXPROCS-based)
+//	-max-bulk   largest accepted bulk string (keys and values), bytes
+//	-scan-count SCAN's default page size
+//	-port-file  write the actual listen address to this file once
+//	            listening (for scripts that start on a random port)
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// live connections are torn down, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nbtrie/internal/resp"
+	"nbtrie/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nbtried:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until ctx is cancelled (or the listener
+// fails) and returns nil on a graceful shutdown. Factored from main so
+// tests can drive the whole daemon in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nbtried", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:6380", "listen address (host:port; port 0 = random free port)")
+		keyerName = fs.String("keyer", "bytes", "wire-key mapping: bytes or decimal")
+		width     = fs.Uint("width", 63, "key width in bits for the decimal keyer (the bytes keyer is fixed at 59)")
+		shards    = fs.Int("shards", 0, "shard count (0 = default, else a power of two in [1, 256])")
+		maxBulk   = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
+		scanCount = fs.Int("scan-count", 10, "SCAN's default page size")
+		portFile  = fs.String("port-file", "", "write the actual listen address here once listening")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	keyer, err := buildKeyer(*keyerName, uint32(*width))
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Keyer:            keyer,
+		Shards:           *shards,
+		Limits:           resp.Limits{MaxBulkLen: *maxBulk},
+		ScanDefaultCount: *scanCount,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "nbtried %s listening on %s (keyer=%s width=%d shards=%d)\n",
+		server.Version, ln.Addr(), keyer.Name(), keyer.Width(), srv.DB().Shards())
+
+	// A cancelled context (signal, test shutdown) closes the server,
+	// which unblocks Serve with a nil error: the graceful path.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			srv.Close()
+		case <-done: // Serve failed on its own; don't leak the goroutine
+		}
+	}()
+	if err := srv.Serve(ln); err != nil {
+		// A signal can land between Listen and Serve: the watcher then
+		// closes the server first and Serve refuses with an error even
+		// though this is the graceful path. Cancellation always means a
+		// clean shutdown, whatever Serve managed to observe.
+		if ctx.Err() == nil {
+			return err
+		}
+	}
+	// Serve can return while the watcher's Close is still draining
+	// connection goroutines; Close is idempotent and waits, so this
+	// call is the synchronization point — no handler is cut off by
+	// process exit.
+	srv.Close()
+	fmt.Fprintln(stdout, "nbtried: shut down")
+	return nil
+}
+
+// buildKeyer resolves the -keyer/-width flag pair.
+func buildKeyer(name string, width uint32) (server.Keyer, error) {
+	if name == "decimal" {
+		if width < 1 || width > 63 {
+			return nil, fmt.Errorf("width %d out of range [1, 63]", width)
+		}
+		return server.DecimalKeyer{KeyWidth: width}, nil
+	}
+	return server.NewKeyer(name)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nbtrie/internal/resp"
+)
+
+// TestDaemonLifecycle drives the whole daemon in-process: random port,
+// port file, one client session, then graceful shutdown via context
+// cancellation (the signal path minus the signal).
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port.txt")
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-port-file", portFile}, &out, os.Stderr)
+	}()
+
+	// Wait for the port file.
+	var addr string
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("port file never appeared")
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := resp.NewWriter(bufio.NewWriter(conn))
+	w.WriteCommandString("SET", "k", "v")
+	w.WriteCommandString("GET", "k")
+	w.WriteCommandString("DBSIZE")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"OK", `"v"`, "(integer) 1"} {
+		v, err := resp.ReadReply(r, resp.Limits{})
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if v.String() != want {
+			t.Fatalf("reply %d = %s, want %s", i, v, want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("daemon output missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-keyer", "md5"},
+		{"-keyer", "decimal", "-width", "99"},
+		{"-shards", "3"},
+		{"-addr", "not an address"},
+	} {
+		if err := run(ctx, args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestBuildKeyer(t *testing.T) {
+	k, err := buildKeyer("decimal", 20)
+	if err != nil || k.Width() != 20 {
+		t.Fatalf("decimal@20: %v, %v", k, err)
+	}
+	k, err = buildKeyer("bytes", 63) // width ignored for bytes
+	if err != nil || k.Width() != 59 {
+		t.Fatalf("bytes: %v, %v", k, err)
+	}
+}

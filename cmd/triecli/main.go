@@ -20,6 +20,13 @@
 //	dump            print the internal structure (where supported)
 //	impls           list the registered implementations
 //	quit
+//
+// With -connect addr, triecli instead becomes an interactive RESP
+// client for a running nbtried server, sharing the wire codec
+// (internal/resp) with the server and cmd/nbtriebench. Each input line
+// is sent verbatim as one command — `set foo bar`, `get foo`,
+// `scan 0 count 5`, `info` — and the reply is printed in a
+// redis-cli-like rendering; quit (or EOF) exits.
 package main
 
 import (
@@ -27,24 +34,67 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 
 	"nbtrie"
+	"nbtrie/internal/resp"
 )
 
 func main() {
 	fs := flag.NewFlagSet("triecli", flag.ContinueOnError)
 	impl := fs.String("impl", "patricia", "implementation to drive (see the impls command)")
 	width := fs.Uint("width", 16, "key width in bits: keys lie in [0, 2^width)")
+	connect := fs.String("connect", "", "connect to a running nbtried at host:port instead of driving an in-process set")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(os.Stdin, os.Stdout, *impl, uint32(*width)); err != nil {
+	var err error
+	if *connect != "" {
+		err = runConnect(os.Stdin, os.Stdout, *connect)
+	} else {
+		err = run(os.Stdin, os.Stdout, *impl, uint32(*width))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "triecli:", err)
 		os.Exit(1)
 	}
+}
+
+// runConnect is the -connect REPL: one line in, one RESP command out,
+// one reply printed. The QUIT command is forwarded (the server answers
+// and closes); a local EOF just disconnects.
+func runConnect(in io.Reader, out io.Writer, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := resp.NewWriter(bufio.NewWriter(conn))
+	fmt.Fprintf(out, "connected to nbtried at %s; type commands (get/set/del/scan/rename/ping/info/dbsize/quit)\n", addr)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		w.WriteCommandString(fields...)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		v, err := resp.ReadReply(r, resp.Limits{})
+		if err != nil {
+			return fmt.Errorf("reading reply: %w", err)
+		}
+		fmt.Fprintln(out, v)
+		if strings.EqualFold(fields[0], "quit") {
+			return nil
+		}
+	}
+	return sc.Err()
 }
 
 func run(in io.Reader, out io.Writer, impl string, width uint32) error {
@@ -148,8 +198,8 @@ func exec(s nbtrie.Set, out io.Writer, line string, width uint32) bool {
 	case "impls":
 		for _, im := range nbtrie.AllImplementations() {
 			replace := ""
-			if im.HasReplace {
-				replace = " [replace]"
+			if im.Replace != nbtrie.ReplaceNone {
+				replace = " [replace:" + im.Replace.String() + "]"
 			}
 			fmt.Fprintf(out, "%-10s %-6s%s %s\n", im.Name, im.Legend, replace, im.Description)
 		}

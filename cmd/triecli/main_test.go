@@ -1,8 +1,11 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"testing"
+
+	"nbtrie/internal/server"
 )
 
 func TestCLISession(t *testing.T) {
@@ -91,7 +94,7 @@ func TestCLIImplsCommand(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"patricia", "bst", "kst", "avl", "skiplist", "ctrie", "[replace]"} {
+	for _, want := range []string{"patricia", "bst", "kst", "avl", "skiplist", "ctrie", "[replace:full]", "[replace:per-shard]"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("impls output missing %q:\n%s", want, got)
 		}
@@ -111,5 +114,53 @@ func TestCLIWidthValidation(t *testing.T) {
 		if err := run(strings.NewReader("quit\n"), &out, "bst", w); err == nil {
 			t.Errorf("width %d must be rejected", w)
 		}
+	}
+}
+
+// TestCLIConnectMode drives the -connect REPL against an in-process
+// nbtried server: the third consumer of the shared RESP codec.
+func TestCLIConnectMode(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+
+	in := strings.NewReader(strings.Join([]string{
+		"ping",
+		"set foo bar",
+		"get foo",
+		"dbsize",
+		"nosuchcmd",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	if err := runConnect(in, &out, ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"connected to nbtried",
+		"PONG",
+		"OK",
+		`"bar"`,
+		"(integer) 1",
+		`(error) ERR unknown command "nosuchcmd"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("connect session missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCLIConnectRefused(t *testing.T) {
+	var out strings.Builder
+	if err := runConnect(strings.NewReader("ping\n"), &out, "127.0.0.1:1"); err == nil {
+		t.Fatal("connecting to a dead address must error")
 	}
 }

@@ -17,15 +17,16 @@ import (
 func main() {
 	// The registry enumerates every implementation — no hard-coded list.
 	type impl struct {
-		name string
-		mk   func() bench.Set
+		name    string
+		replace nbtrie.ReplaceScope
+		mk      func() bench.Set
 	}
 	// Width 17 is the smallest covering the key range below — minimal on
 	// purpose: the sharded front-end (PAT-S) routes on the top key bits,
 	// so slack width would funnel every key into its first shard.
 	var impls []impl
 	for _, im := range nbtrie.AllImplementations() {
-		impls = append(impls, impl{im.Legend, func() bench.Set {
+		impls = append(impls, impl{im.Legend, im.Replace, func() bench.Set {
 			s, err := im.New(17)
 			if err != nil {
 				log.Fatal(err)
@@ -45,13 +46,13 @@ func main() {
 	}
 	fmt.Printf("workload %v, key range %d, %d goroutines, %d trials x %v\n\n",
 		cfg.Mix, cfg.KeyRange, cfg.Threads, cfg.Trials, cfg.Duration)
-	fmt.Printf("%-6s %14s %8s\n", "impl", "mean ops/s", "±stddev")
+	fmt.Printf("%-6s %14s %8s  %s\n", "impl", "mean ops/s", "±stddev", "replace")
 
 	for _, im := range impls {
 		sum, err := bench.RunExperiment(im.mk, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6s %14.0f %7.1f%%\n", im.name, sum.Mean, 100*sum.RelStddev())
+		fmt.Printf("%-6s %14.0f %7.1f%%  %s\n", im.name, sum.Mean, 100*sum.RelStddev(), im.replace)
 	}
 }

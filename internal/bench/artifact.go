@@ -92,6 +92,12 @@ type ArtifactConfig struct {
 	SeqLen     uint64       `json:"seq_len"`
 	Seed       uint64       `json:"seed"`
 	Width      uint32       `json:"width"`
+
+	// Server-benchmark extras (cmd/nbtriebench). Additive and omitted
+	// when zero, so library artifacts are byte-identical to before and
+	// old artifacts still parse: no schema bump needed.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	ValueSize     int `json:"value_size,omitempty"`
 }
 
 // ArtifactPoint is one (threads, throughput) measurement.

@@ -31,8 +31,13 @@ func (t *Trie[V]) Keys() []uint64 {
 	return out
 }
 
-// Size returns the number of user keys in the set.
+// Size returns the number of user keys in the set by traversal.
 func (t *Trie[V]) Size() int { return t.e.Size() }
+
+// Len returns the number of user keys from the engine's atomic counter:
+// O(1), allocation-free, exact at quiescence, and at most the number of
+// in-flight mutations stale under concurrency (see engine.Trie.Len).
+func (t *Trie[V]) Len() int { return t.e.Len() }
 
 // Validate checks the structural invariants of the trie and returns the
 // first violation found, or nil. It must be called at quiescence. The

@@ -188,6 +188,19 @@ type Trie[K keys.Key[K], V any] struct {
 
 	dummyMin, dummyMax K
 
+	// count tracks the number of live user keys for Len. It is bumped by
+	// the *initiating* goroutine of a successful insert or delete — never
+	// by helpers, so each successful operation is counted exactly once —
+	// strictly after the operation's linearization point (the child CAS
+	// inside help). Replace and value overwrites do not change the key
+	// count and never touch it. Consequences: Len is exact whenever no
+	// mutation is in flight, and under concurrency it lags the linearized
+	// state by at most the number of in-flight mutations (each op's bump
+	// lands within its own invocation window, so Len is always a value
+	// the set held at some point inside the read's own window of
+	// concurrent operations).
+	count atomic.Int64
+
 	// skipRmvdCheck applies the paper's Section V optimization for
 	// workloads without replace operations: the search does not inspect
 	// leaf info fields for logical removal. Replace must not be used on

@@ -10,7 +10,26 @@ import (
 // Called concurrently with updates they are safe — they only read — but
 // may observe a mix of states.
 
-// Size returns the number of live user keys in the set.
+// Len returns the number of live user keys, read from the atomic
+// counter maintained on the insert/delete paths (see the count field):
+// O(1), allocation-free, exact at quiescence, and under concurrent
+// mutation stale by at most the number of in-flight operations. Unlike
+// the rest of this file it is safe and meaningful under full
+// concurrency.
+//
+// The raw counter can dip below zero transiently (an insert past its
+// linearization point but before its bump, whose key a concurrent
+// delete already removed and counted); clamp so callers can use Len as
+// a capacity without a makeslice panic.
+func (t *Trie[K, V]) Len() int {
+	if n := t.count.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// Size returns the number of live user keys in the set by traversal.
+// Tests compare it against Len to validate the counter.
 func (t *Trie[K, V]) Size() int {
 	n := 0
 	var zero K

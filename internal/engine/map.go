@@ -28,6 +28,7 @@ func (t *Trie[K, V]) Store(v K, val V) {
 		r := t.search(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			if t.tryInsert(v, val, r) {
+				t.count.Add(1)
 				return
 			}
 			continue
@@ -47,6 +48,7 @@ func (t *Trie[K, V]) LoadOrStore(v K, val V) (actual V, loaded bool) {
 			return r.node.val, true
 		}
 		if t.tryInsert(v, val, r) {
+			t.count.Add(1)
 			return val, false
 		}
 	}
@@ -95,6 +97,7 @@ func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
 		// info is unchanged since the search, which pins the leaf we
 		// inspected (a concurrent overwrite must flag the same parent).
 		if t.tryDelete(v, r) {
+			t.count.Add(-1)
 			return true
 		}
 	}

@@ -215,6 +215,7 @@ func (t *Trie[K, V]) InsertValue(v K, val V) bool {
 			return false
 		}
 		if t.tryInsert(v, val, r) {
+			t.count.Add(1)
 			return true
 		}
 	}
@@ -265,6 +266,7 @@ func (t *Trie[K, V]) Delete(v K) bool {
 			return false
 		}
 		if t.tryDelete(v, r) {
+			t.count.Add(-1)
 			return true
 		}
 	}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"nbtrie/internal/resp"
+)
+
+// dispatch answers one command into w (the caller flushes). It returns
+// true when the connection should close (QUIT). Unknown commands and
+// arity/key errors are ordinary RESP errors: the connection survives,
+// only protocol-level framing errors are fatal (handled by the caller).
+func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
+	cmd := string(toUpper(args[0]))
+	switch cmd {
+	case "PING":
+		switch len(args) {
+		case 1:
+			w.WriteSimple("PONG")
+		case 2:
+			w.WriteBulk(args[1])
+		default:
+			s.wrongArity(w, cmd)
+		}
+	case "QUIT":
+		w.WriteSimple("OK")
+		return true
+	case "GET":
+		if len(args) != 2 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		k, ok := s.encodeKey(w, args[1])
+		if !ok {
+			return
+		}
+		if v, found := s.db.Load(k); found {
+			w.WriteBulk(v)
+		} else {
+			w.WriteNull()
+		}
+	case "SET":
+		if len(args) != 3 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		k, ok := s.encodeKey(w, args[1])
+		if !ok {
+			return
+		}
+		// args[2] is a fresh slice from the RESP reader; storing it
+		// directly is safe (nothing else aliases it).
+		s.db.Store(k, args[2])
+		w.WriteSimple("OK")
+	case "DEL":
+		if len(args) < 2 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		// Validate every key before the first delete: an invalid key
+		// mid-batch must fail the command without having half-applied it.
+		ks, ok := s.encodeKeys(w, args[1:])
+		if !ok {
+			return
+		}
+		n := int64(0)
+		for _, k := range ks {
+			if s.db.Delete(k) {
+				n++
+			}
+		}
+		w.WriteInt(n)
+	case "EXISTS":
+		if len(args) < 2 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		ks, ok := s.encodeKeys(w, args[1:])
+		if !ok {
+			return
+		}
+		n := int64(0)
+		for _, k := range ks {
+			if s.db.Contains(k) {
+				n++
+			}
+		}
+		w.WriteInt(n)
+	case "MGET":
+		if len(args) < 2 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		// Validate every key before emitting the array header: a key
+		// error halfway through an array reply would corrupt the stream.
+		ks, ok := s.encodeKeys(w, args[1:])
+		if !ok {
+			return
+		}
+		w.WriteArrayHeader(len(ks))
+		for _, k := range ks {
+			if v, found := s.db.Load(k); found {
+				w.WriteBulk(v)
+			} else {
+				w.WriteNull()
+			}
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		ks := make([]uint64, 0, (len(args)-1)/2)
+		for i := 1; i < len(args); i += 2 {
+			k, ok := s.encodeKey(w, args[i])
+			if !ok {
+				return
+			}
+			ks = append(ks, k)
+		}
+		// Each Store is individually linearizable; the batch is not
+		// atomic as a whole (the trie has no multi-key transaction), but
+		// the pre-validation above means it either starts with every key
+		// accepted or not at all.
+		for i, k := range ks {
+			s.db.Store(k, args[2+2*i])
+		}
+		w.WriteSimple("OK")
+	case "DBSIZE":
+		if len(args) != 1 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		w.WriteInt(int64(s.db.Len()))
+	case "SCAN":
+		s.scan(w, args)
+	case "RENAME":
+		s.rename(w, args)
+	case "INFO":
+		if len(args) > 2 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		w.WriteBulkString(s.infoText())
+	default:
+		// %q, not %s: args[0] is raw client bytes and a bare CR/LF would
+		// split the RESP reply stream.
+		w.WriteError(fmt.Sprintf("ERR unknown command %q", args[0]))
+	}
+	return false
+}
+
+// scan implements SCAN cursor [COUNT n]: a stateless cursor walk over
+// the trie's ascending key order. The cursor is the decimal trie key
+// the next page starts from — 0 opens the scan, and the server replies
+// 0 when the key space is exhausted. Because the trie iterates in key
+// order and the cursor is a plain resume point, the usual Redis SCAN
+// caveats shrink: every key present for the whole scan is returned
+// exactly once (no duplicates, ever), and keys inserted or deleted
+// concurrently may or may not appear.
+func (s *Server) scan(w *resp.Writer, args [][]byte) {
+	if len(args) != 2 && len(args) != 4 {
+		s.wrongArity(w, "SCAN")
+		return
+	}
+	cursor, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		w.WriteError("ERR invalid cursor")
+		return
+	}
+	count := s.cfg.ScanDefaultCount
+	if len(args) == 4 {
+		if string(toUpper(args[2])) != "COUNT" {
+			w.WriteError(fmt.Sprintf("ERR syntax error: expected COUNT, got %q", args[2]))
+			return
+		}
+		c, err := strconv.Atoi(string(args[3]))
+		if err != nil || c < 1 {
+			w.WriteError("ERR COUNT must be a positive integer")
+			return
+		}
+		// Clamp to the resolved array limit before sizing anything: an
+		// unclamped client COUNT would drive the page allocation (and
+		// the reply array) arbitrarily large.
+		if c > s.cfg.Limits.MaxArrayLen {
+			c = s.cfg.Limits.MaxArrayLen
+		}
+		count = c
+	}
+	keys := make([][]byte, 0, count)
+	next := uint64(0)
+	for k := range s.db.Ascend(cursor) {
+		if len(keys) == count {
+			next = k // the first key of the next page
+			break
+		}
+		keys = append(keys, s.keyer.Decode(k))
+	}
+	w.WriteArrayHeader(2)
+	w.WriteBulk(strconv.AppendUint(nil, next, 10))
+	w.WriteArrayHeader(len(keys))
+	for _, key := range keys {
+		w.WriteBulk(key)
+	}
+}
+
+// rename implements RENAME old new as the paper's atomic Replace.
+// Same-shard pairs get ShardedMap.ReplaceKey: one linearization point
+// moves the value from old to new. Cross-shard pairs are refused with
+// -CROSSSHARD (the sharded trie's documented contract: replace
+// atomicity is per shard, and the server will not fake it with a
+// non-atomic delete+insert). Unlike Redis, an existing destination is
+// an error, not an overwrite: Replace is insert-if-absent by
+// definition, and silently deleting the destination first would need a
+// second linearization point.
+func (s *Server) rename(w *resp.Writer, args [][]byte) {
+	if len(args) != 3 {
+		s.wrongArity(w, "RENAME")
+		return
+	}
+	old, ok := s.encodeKey(w, args[1])
+	if !ok {
+		return
+	}
+	new, ok := s.encodeKey(w, args[2])
+	if !ok {
+		return
+	}
+	if old == new {
+		// Degenerate rename-to-self: Replace refuses (old != new is part
+		// of its contract), but "key exists" would be a misleading
+		// error. Match Redis: succeed iff the key exists.
+		if s.db.Contains(old) {
+			w.WriteSimple("OK")
+		} else {
+			w.WriteError("ERR no such key")
+		}
+		return
+	}
+	swapped, err := s.db.ReplaceKey(old, new)
+	if err != nil {
+		// ErrCrossShard. -CROSSSHARD mirrors Redis Cluster's -CROSSSLOT:
+		// the operation is well-formed but these two keys cannot be
+		// moved atomically; the client may retry with same-shard keys
+		// or compose DEL+SET itself, accepting the intermediate states.
+		w.WriteError(fmt.Sprintf(
+			"CROSSSHARD keys map to different shards (%d-shard map); atomic RENAME is per-shard — see DESIGN.md §8: %v",
+			s.db.Shards(), err))
+		return
+	}
+	if swapped {
+		w.WriteSimple("OK")
+		return
+	}
+	// Distinguish the two failure modes for the error message only;
+	// the check is best-effort under concurrency, the refusal itself
+	// was decided atomically by Replace.
+	if !s.db.Contains(old) {
+		w.WriteError("ERR no such key")
+	} else {
+		w.WriteError("ERR destination key exists (RENAME is the trie's atomic Replace: insert-if-absent; DEL it first to overwrite)")
+	}
+}
+
+// encodeKey maps a wire key through the keyer, answering a RESP error
+// and returning ok=false when the key is not representable.
+func (s *Server) encodeKey(w *resp.Writer, key []byte) (uint64, bool) {
+	k, err := s.keyer.Encode(key)
+	if err != nil {
+		w.WriteError("ERR " + err.Error())
+		return 0, false
+	}
+	return k, true
+}
+
+// encodeKeys maps a batch of wire keys, failing the whole command on
+// the first unrepresentable one *before* the caller acts on any — so a
+// multi-key command is never half-applied and never emits a partial
+// array reply.
+func (s *Server) encodeKeys(w *resp.Writer, keys [][]byte) ([]uint64, bool) {
+	ks := make([]uint64, 0, len(keys))
+	for _, key := range keys {
+		k, ok := s.encodeKey(w, key)
+		if !ok {
+			return nil, false
+		}
+		ks = append(ks, k)
+	}
+	return ks, true
+}
+
+// wrongArity is the standard Redis arity error.
+func (s *Server) wrongArity(w *resp.Writer, cmd string) {
+	w.WriteError(fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd))
+}
+
+// toUpper upper-cases ASCII in place-ish (fresh slice only when
+// needed); command words are short so this stays cheap.
+func toUpper(b []byte) []byte {
+	if i := bytes.IndexFunc(b, func(r rune) bool { return 'a' <= r && r <= 'z' }); i < 0 {
+		return b
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDecimalKeyerRoundTrip(t *testing.T) {
+	d := DecimalKeyer{KeyWidth: 20}
+	for _, key := range []string{"0", "1", "7", "42", "1048575"} {
+		k, err := d.Encode([]byte(key))
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", key, err)
+		}
+		if got := string(d.Decode(k)); got != key {
+			t.Errorf("Decode(Encode(%q)) = %q", key, got)
+		}
+	}
+}
+
+func TestDecimalKeyerRejects(t *testing.T) {
+	d := DecimalKeyer{KeyWidth: 20}
+	for _, key := range []string{"", "007", "-1", "+1", " 1", "1 ", "abc", "1a", "1048576", "99999999999999999999999"} {
+		if k, err := d.Encode([]byte(key)); err == nil {
+			t.Errorf("Encode(%q) = %d, want error", key, k)
+		}
+	}
+}
+
+func TestBytesKeyerRoundTrip(t *testing.T) {
+	b := BytesKeyer{}
+	keys := [][]byte{
+		[]byte("a"), []byte("ab"), []byte("abcdefg"),
+		{0}, {0, 0}, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		[]byte("a\x00b"), []byte("1234567"),
+	}
+	seen := map[uint64][]byte{}
+	for _, key := range keys {
+		k, err := b.Encode(key)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", key, err)
+		}
+		if k >= 1<<b.Width() {
+			t.Fatalf("Encode(%q) = %d outside the %d-bit space", key, k, b.Width())
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("collision: %q and %q both encode to %d", prev, key, k)
+		}
+		seen[k] = key
+		if got := b.Decode(k); !bytes.Equal(got, key) {
+			t.Errorf("Decode(Encode(%q)) = %q", key, got)
+		}
+	}
+	for _, key := range [][]byte{{}, []byte("12345678")} {
+		if _, err := b.Encode(key); err == nil {
+			t.Errorf("Encode(%q) accepted, want error", key)
+		}
+	}
+}
+
+// TestBytesKeyerOrder: trie-key order must equal lexicographic wire-key
+// order, so SCAN walks keys in the order a client expects.
+func TestBytesKeyerOrder(t *testing.T) {
+	b := BytesKeyer{}
+	sorted := [][]byte{
+		{0}, {0, 0}, {0, 1}, []byte("a"), []byte("a\x00"), []byte("a\x00\x00"),
+		[]byte("a\x01"), []byte("ab"), []byte("abcdefg"), []byte("b"), {0xff}, {0xff, 0x00},
+	}
+	for i := 1; i < len(sorted); i++ {
+		prev, _ := b.Encode(sorted[i-1])
+		cur, _ := b.Encode(sorted[i])
+		if prev >= cur {
+			t.Errorf("order broken: %q (%d) !< %q (%d)", sorted[i-1], prev, sorted[i], cur)
+		}
+	}
+}
+
+// TestBytesKeyerExhaustiveShort proves injectivity exhaustively for all
+// 1- and 2-byte keys (the padding/length-tag interplay lives there).
+func TestBytesKeyerExhaustiveShort(t *testing.T) {
+	b := BytesKeyer{}
+	seen := make(map[uint64]bool, 256+65536)
+	n := 0
+	for x := 0; x < 256; x++ {
+		k, err := b.Encode([]byte{byte(x)})
+		if err != nil || seen[k] {
+			t.Fatalf("1-byte %02x: err=%v dup=%v", x, err, seen[k])
+		}
+		seen[k] = true
+		n++
+	}
+	for x := 0; x < 65536; x++ {
+		k, err := b.Encode([]byte{byte(x >> 8), byte(x)})
+		if err != nil || seen[k] {
+			t.Fatalf("2-byte %04x: err=%v dup=%v", x, err, seen[k])
+		}
+		seen[k] = true
+		n++
+	}
+	if n != 256+65536 {
+		t.Fatalf("covered %d keys", n)
+	}
+}
+
+func TestNewKeyer(t *testing.T) {
+	for _, name := range []string{"bytes", "decimal"} {
+		k, err := NewKeyer(name)
+		if err != nil || k.Name() != name {
+			t.Errorf("NewKeyer(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := NewKeyer("md5"); err == nil {
+		t.Error("NewKeyer must reject unknown names")
+	}
+	// The widths must be accepted by the sharded map.
+	for _, name := range []string{"bytes", "decimal"} {
+		k, _ := NewKeyer(name)
+		if _, err := New(Config{Keyer: k}); err != nil {
+			t.Errorf("server over %s keyer: %v", name, err)
+		}
+	}
+}

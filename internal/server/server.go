@@ -1,0 +1,299 @@
+// Package server is nbtried's network layer: a pipelined, RESP2-subset
+// key-value server over the repository's sharded non-blocking Patricia
+// trie (ShardedMap[[]byte]). It is the first layer of the ROADMAP's
+// "production-scale system serving heavy traffic": the paper's
+// lock-free engine does the synchronization, so the server needs no
+// lock around the data path at all — every connection goroutine calls
+// straight into the trie.
+//
+// # Connection model and pipelining
+//
+// One goroutine per connection, with a buffered reader and writer.
+// Requests are processed strictly in arrival order and replies are
+// written in that same order into the write buffer, so pipelining —
+// a client sending N commands before reading any reply — works by
+// construction. The write buffer is flushed exactly when the request
+// parser is about to block on the socket (a read-side hook, see
+// flushBeforeRead), i.e. once the batch of already-received requests —
+// complete or partial — is answered as far as possible; a deep
+// pipeline therefore costs one syscall per batch, not per command, and
+// a reply is never withheld while the connection waits for input.
+//
+// # Command → engine-op mapping
+//
+//	GET     → ShardedMap.Load          (wait-free, 0-alloc in the trie)
+//	SET     → ShardedMap.Store         (lock-free upsert)
+//	DEL     → ShardedMap.Delete        (lock-free)
+//	EXISTS  → ShardedMap.Contains      (wait-free)
+//	MGET    → n × Load                 (each key individually linearizable)
+//	MSET    → n × Store                (not atomic across keys; documented)
+//	DBSIZE  → ShardedMap.Len           (per-shard atomic counters)
+//	SCAN    → ShardedMap.Ascend        (cursor = next trie key)
+//	RENAME  → ShardedMap.ReplaceKey    (the paper's atomic Replace;
+//	          cross-shard pairs are refused with -CROSSSHARD, never
+//	          emulated with delete+insert)
+//
+// Wire keys pass through a pluggable Keyer (see keyer.go); values are
+// stored as the raw request bytes (the RESP reader hands each argument
+// out as a freshly allocated slice, so storing it aliases nothing).
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbtrie"
+	"nbtrie/internal/resp"
+)
+
+// Version is reported by INFO.
+const Version = "0.5.0"
+
+// Config parameterizes a Server. The zero value is usable: BytesKeyer,
+// default shard count, default protocol limits.
+type Config struct {
+	// Keyer maps wire keys to trie keys; nil means BytesKeyer{}.
+	Keyer Keyer
+	// Shards is handed to NewShardedMap: 0 picks the default
+	// (GOMAXPROCS-derived), otherwise a power of two in [1, 256].
+	Shards int
+	// Limits bounds the request parser; zero fields take resp.DefaultLimits.
+	Limits resp.Limits
+	// ScanDefaultCount is SCAN's page size when no COUNT is given;
+	// 0 means 10 (Redis's default).
+	ScanDefaultCount int
+}
+
+// Server owns the map and the listener lifecycle. Create with New,
+// start with Serve (or ListenAndServe), stop with Close; Close unblocks
+// Serve, closes every live connection and waits for their goroutines.
+type Server struct {
+	cfg   Config
+	keyer Keyer
+	db    *nbtrie.ShardedMap[[]byte]
+	start time.Time
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	totalConns atomic.Int64
+	totalCmds  atomic.Int64
+}
+
+// New builds a server and its backing map.
+func New(cfg Config) (*Server, error) {
+	if cfg.Keyer == nil {
+		cfg.Keyer = BytesKeyer{}
+	}
+	if cfg.ScanDefaultCount <= 0 {
+		cfg.ScanDefaultCount = 10
+	}
+	// Resolve the limits once: the dispatcher sizes replies (SCAN's
+	// page cap) from the same values the request parser enforces. The
+	// default page size is clamped too — a page larger than the array
+	// limit would be rejected by every consumer of the shared codec.
+	cfg.Limits = cfg.Limits.WithDefaults()
+	if cfg.ScanDefaultCount > cfg.Limits.MaxArrayLen {
+		cfg.ScanDefaultCount = cfg.Limits.MaxArrayLen
+	}
+	db, err := nbtrie.NewShardedMap[[]byte](cfg.Keyer.Width(), cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		keyer: cfg.Keyer,
+		db:    db,
+		start: time.Now(),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// DB exposes the backing map (tests and embedders).
+func (s *Server) DB() *nbtrie.ShardedMap[[]byte] { return s.db }
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close is called (which returns
+// nil here) or the listener fails. The caller keeps ln's address —
+// listen on ":0" for a random port.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil // graceful: Close closed the listener under us
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		// Add under the same lock that registers the conn: Close holds
+		// this lock before its wg.Wait, so Wait can never run between
+		// the registration and the Add and miss this goroutine.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// all connection goroutines to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// dropConn removes a finished connection from the live set.
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// connectedClients reports the live connection count (INFO).
+func (s *Server) connectedClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// flushBeforeRead interposes on the connection's read side: any read
+// that goes to the socket — which is exactly when the request parser
+// has exhausted its buffer and is about to block — first flushes the
+// pending replies. This is what makes the pipelining model deadlock
+// free in every case: a client that sent N complete commands plus a
+// *partial* (N+1)-th and then waits for replies before sending the
+// rest still gets its N replies, because the parser's next fill
+// flushes before blocking. A simple "flush when the read buffer is
+// empty" check cannot express that (the buffer is non-empty, yet the
+// parser is about to block).
+type flushBeforeRead struct {
+	c net.Conn
+	w *resp.Writer
+}
+
+func (f flushBeforeRead) Read(p []byte) (int, error) {
+	if f.w.Buffered() > 0 {
+		if err := f.w.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	return f.c.Read(p)
+}
+
+// handle runs one connection's read-dispatch-write loop. Protocol
+// errors are answered (best effort) and then kill the connection, like
+// Redis: after a framing error the stream offset cannot be trusted.
+func (s *Server) handle(c net.Conn) {
+	defer s.dropConn(c)
+	w := resp.NewWriter(bufio.NewWriterSize(c, 16<<10))
+	// Replies accumulate in w across a pipelined batch and are flushed
+	// by the flushBeforeRead hook the moment the parser needs more
+	// bytes from the socket: one write syscall per batch, and never a
+	// withheld reply while the connection blocks reading.
+	rr := resp.NewRequestReader(bufio.NewReaderSize(flushBeforeRead{c: c, w: w}, 16<<10), s.cfg.Limits)
+	for {
+		args, err := rr.ReadCommand()
+		if err != nil {
+			if resp.IsProtocolError(err) {
+				w.WriteError("ERR protocol error: " + err.Error())
+				w.Flush()
+			}
+			return
+		}
+		s.totalCmds.Add(1)
+		if quit := s.dispatch(w, args); quit {
+			w.Flush()
+			return
+		}
+	}
+}
+
+// infoText renders the INFO reply.
+func (s *Server) infoText() string {
+	return fmt.Sprintf(
+		"# Server\r\n"+
+			"nbtried_version:%s\r\n"+
+			"engine:nbtrie-sharded-patricia\r\n"+
+			"keyer:%s\r\n"+
+			"key_width_bits:%d\r\n"+
+			"shards:%d\r\n"+
+			"uptime_in_seconds:%d\r\n"+
+			"\r\n# Clients\r\n"+
+			"connected_clients:%d\r\n"+
+			"\r\n# Stats\r\n"+
+			"total_connections_received:%d\r\n"+
+			"total_commands_processed:%d\r\n"+
+			"\r\n# Keyspace\r\n"+
+			"db0:keys=%d\r\n",
+		Version,
+		s.keyer.Name(),
+		s.keyer.Width(),
+		s.db.Shards(),
+		int64(time.Since(s.start).Seconds()),
+		s.connectedClients(),
+		s.totalConns.Load(),
+		s.totalCmds.Load(),
+		s.db.Len(),
+	)
+}

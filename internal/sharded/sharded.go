@@ -275,12 +275,24 @@ func (t *Trie[V]) AscendKV(from uint64, fn func(k uint64, val V) bool) {
 	}
 }
 
-// Size sums the shard sizes; quiescent use only (the per-shard counts
-// are exact, their sum is not a global snapshot).
+// Size sums the shard sizes by traversal; quiescent use only (the
+// per-shard counts are exact, their sum is not a global snapshot).
 func (t *Trie[V]) Size() int {
 	n := 0
 	for _, sh := range t.shards {
 		n += sh.Size()
+	}
+	return n
+}
+
+// Len sums the per-shard atomic counters: O(shards), allocation-free,
+// exact at quiescence. Under concurrency each shard's counter is at
+// most its in-flight mutations stale, and the sum is not a global
+// snapshot — the same consistency window as iteration.
+func (t *Trie[V]) Len() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.Len()
 	}
 	return n
 }

@@ -148,8 +148,13 @@ func (t *Trie[V]) InRect(minX, minY, maxX, maxY uint32, fn func(x, y uint32, val
 	})
 }
 
-// Size counts stored points; quiescent use only.
+// Size counts stored points by traversal; quiescent use only.
 func (t *Trie[V]) Size() int { return t.e.Size() }
+
+// Len returns the number of stored points from the engine's atomic
+// counter: O(1), allocation-free, exact at quiescence, and at most the
+// number of in-flight mutations stale under concurrency.
+func (t *Trie[V]) Len() int { return t.e.Len() }
 
 // Validate checks the structural invariants at quiescence: the engine's
 // key-agnostic checks plus the Morton label shape (full 65-bit leaf

@@ -133,8 +133,13 @@ func (t *Trie[V]) AscendKV(from []byte, fn func(k []byte, val V) bool) {
 	})
 }
 
-// Size counts keys; quiescent use only.
+// Size counts keys by traversal; quiescent use only.
 func (t *Trie[V]) Size() int { return t.e.Size() }
+
+// Len returns the number of keys from the engine's atomic counter:
+// O(1), allocation-free, exact at quiescence, and at most the number of
+// in-flight mutations stale under concurrency (see engine.Trie.Len).
+func (t *Trie[V]) Len() int { return t.e.Len() }
 
 // Validate checks the structural invariants at quiescence. The engine
 // checks the key-agnostic invariants; the instantiation-specific check

@@ -94,9 +94,14 @@ func (m *Map[V]) Contains(k uint64) bool {
 	return m.t.Contains(k)
 }
 
-// Len returns the number of entries; quiescent use only.
+// Len returns the number of entries, read from an atomic counter
+// maintained on the successful insert and delete paths: O(1) and
+// allocation-free. It is exact whenever no mutation is in flight; under
+// concurrent updates it lags by at most the number of in-flight
+// operations (each successful insert/delete is counted exactly once,
+// just after its linearization point).
 func (m *Map[V]) Len() int {
-	return m.t.Size()
+	return m.t.Len()
 }
 
 // Width returns the key width the map was built with.
@@ -186,9 +191,11 @@ func (m *StringMap[V]) Contains(k []byte) bool {
 	return m.t.Contains(k)
 }
 
-// Len returns the number of entries; quiescent use only.
+// Len returns the number of entries, read from an atomic counter: O(1),
+// allocation-free, exact at quiescence, and at most the number of
+// in-flight mutations stale under concurrency (see Map.Len).
 func (m *StringMap[V]) Len() int {
-	return m.t.Size()
+	return m.t.Len()
 }
 
 // All iterates over all entries in encoded-key order (lexicographic,

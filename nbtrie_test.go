@@ -1,6 +1,7 @@
 package nbtrie
 
 import (
+	"strings"
 	"testing"
 
 	"nbtrie/internal/settest"
@@ -60,8 +61,19 @@ func TestRegistry(t *testing.T) {
 		if !s.Insert(7) || !s.Contains(7) || !s.Delete(7) {
 			t.Fatalf("NewSet(%q) produced a broken set", name)
 		}
-		if _, isReplace := s.(ReplaceSet); im.HasReplace != isReplace {
-			t.Fatalf("%q: HasReplace=%v but ReplaceSet assertion=%v", name, im.HasReplace, isReplace)
+		// The structured replace capability must match the set surface:
+		// exactly the ReplaceFull entries satisfy ReplaceSet. A per-shard
+		// replace must NOT leak through the full-key-space interface.
+		if _, isReplace := s.(ReplaceSet); (im.Replace == ReplaceFull) != isReplace {
+			t.Fatalf("%q: ReplaceScope=%v but ReplaceSet assertion=%v", name, im.Replace, isReplace)
+		}
+	}
+	if im, _ := LookupImplementation("sharded"); im.Replace != ReplacePerShard {
+		t.Fatalf("sharded ReplaceScope = %v, want ReplacePerShard", im.Replace)
+	}
+	for _, scope := range []ReplaceScope{ReplaceNone, ReplaceFull, ReplacePerShard} {
+		if scope.String() == "" || strings.HasPrefix(scope.String(), "ReplaceScope(") {
+			t.Errorf("ReplaceScope(%d).String() = %q", scope, scope)
 		}
 	}
 	// AllImplementations mirrors Implementations in order and content,

@@ -9,6 +9,42 @@ import (
 	"nbtrie/internal/spatial"
 )
 
+// ReplaceScope is the structured replace capability of a registered
+// implementation. A bare "has replace" bool could not express the
+// sharded front-end honestly: its Replace is the paper's atomic
+// operation within a shard and refused (ErrCrossShard) across shards,
+// which is neither "no replace" nor "replace over the full key space".
+type ReplaceScope uint8
+
+const (
+	// ReplaceNone: the implementation has no atomic replace at all (the
+	// paper's five baselines).
+	ReplaceNone ReplaceScope = iota
+	// ReplaceFull: the paper's atomic Replace over the entire key
+	// space; the implementation satisfies ReplaceSet.
+	ReplaceFull
+	// ReplacePerShard: replace is atomic only between keys owned by the
+	// same shard and refused otherwise. The set view does NOT satisfy
+	// ReplaceSet — a partial replace cannot honor its full-key-space
+	// contract — but ShardedMap.ReplaceKey exposes the per-shard
+	// operation, with SameShard as the precondition probe.
+	ReplacePerShard
+)
+
+// String renders the scope for tables and CLIs.
+func (s ReplaceScope) String() string {
+	switch s {
+	case ReplaceFull:
+		return "full"
+	case ReplacePerShard:
+		return "per-shard"
+	case ReplaceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ReplaceScope(%d)", uint8(s))
+	}
+}
+
 // Implementation describes one registered concurrent-set implementation:
 // the paper's Patricia trie, the five baselines of its evaluation, the
 // Morton-keyed spatial instantiation of the shared engine, and the
@@ -24,9 +60,12 @@ type Implementation struct {
 	Legend string
 	// Description is a one-line human-readable summary with the citation.
 	Description string
-	// HasReplace reports whether the implementation supports the paper's
-	// atomic Replace (only the Patricia tries do).
-	HasReplace bool
+	// Replace is the structured replace capability: none, full
+	// (ReplaceSet is satisfied), or per-shard (atomic within a shard,
+	// refused across; only the map layer exposes it). Tools that need
+	// the paper's whole-key-space Replace must check for ReplaceFull,
+	// not merely "not none".
+	Replace ReplaceScope
 	// WaitFreeRead reports whether the implementation's Contains is
 	// wait-free — a pure read that performs no CAS, helps no other
 	// operation and allocates nothing. Implementations claiming this are
@@ -52,7 +91,7 @@ var registry = []Implementation{
 		Name:         "patricia",
 		Legend:       "PAT",
 		Description:  "non-blocking Patricia trie with Replace (Shafiei, ICDCS 2013); wait-free Contains",
-		HasReplace:   true,
+		Replace:      ReplaceFull,
 		WaitFreeRead: true,
 		New: func(width uint32) (Set, error) {
 			return NewPatriciaTrie(width)
@@ -102,7 +141,7 @@ var registry = []Implementation{
 		Name:         "spatial",
 		Legend:       "PAT-Z",
 		Description:  "Morton-keyed spatial instantiation of the shared engine (65-bit Z-order keys; atomic point moves via Replace)",
-		HasReplace:   true,
+		Replace:      ReplaceFull,
 		WaitFreeRead: true,
 		New: func(uint32) (Set, error) {
 			// The Morton key space is fixed at 64 bits (the full
@@ -114,7 +153,8 @@ var registry = []Implementation{
 	{
 		Name:         "sharded",
 		Legend:       "PAT-S",
-		Description:  "sharded front-end: 2^s independent engine instances partitioned by the top key bits, for multi-core write scaling (replace is per-shard only, so not advertised)",
+		Description:  "sharded front-end: 2^s independent engine instances partitioned by the top key bits, for multi-core write scaling (replace atomic per shard, refused cross-shard)",
+		Replace:      ReplacePerShard,
 		WaitFreeRead: true,
 		New: func(width uint32) (Set, error) {
 			t, err := sharded.New[struct{}](width, 0)

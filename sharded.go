@@ -107,9 +107,12 @@ func (m *ShardedMap[V]) Contains(k uint64) bool {
 	return m.t.Contains(k)
 }
 
-// Len returns the number of entries; quiescent use only.
+// Len sums the per-shard atomic entry counters: O(shards) loads, no
+// allocation. Exact at quiescence; under concurrent updates each shard
+// lags by at most its in-flight mutations and the sum is not a global
+// snapshot — the same consistency window as All/Ascend.
 func (m *ShardedMap[V]) Len() int {
-	return m.t.Size()
+	return m.t.Len()
 }
 
 // Width returns the key width the map was built with.
@@ -157,3 +160,7 @@ var _ Set = shardedSet{}
 func (s shardedSet) Insert(k uint64) bool   { return s.t.Insert(k) }
 func (s shardedSet) Delete(k uint64) bool   { return s.t.Delete(k) }
 func (s shardedSet) Contains(k uint64) bool { return s.t.Contains(k) }
+
+// Size lets tools (triecli's size command) read the per-shard atomic
+// counters through the set view.
+func (s shardedSet) Size() int { return s.t.Len() }

@@ -83,8 +83,10 @@ func (m *SpatialMap[V]) Move(old, new Point) bool {
 	return m.t.Move(old.X, old.Y, new.X, new.Y)
 }
 
-// Len returns the number of stored points; quiescent use only.
-func (m *SpatialMap[V]) Len() int { return m.t.Size() }
+// Len returns the number of stored points, read from an atomic counter:
+// O(1), allocation-free, exact at quiescence, and at most the number of
+// in-flight mutations stale under concurrency (see Map.Len).
+func (m *SpatialMap[V]) Len() int { return m.t.Len() }
 
 // All iterates over every stored point in Z-order (Morton-code order).
 // The sequence is read-only and safe under concurrent updates: points
