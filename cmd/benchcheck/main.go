@@ -67,6 +67,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchcheck: candidate:", err)
 		return 2
 	}
+	if baseline.GOMAXPROCS != candidate.GOMAXPROCS {
+		// Non-fatal: thread-scaling points measured under different core
+		// budgets are apples to oranges, and the generous -max-drop is
+		// what absorbs the difference. Say so instead of failing — the
+		// baseline was simply recorded on different hardware.
+		fmt.Fprintf(stderr,
+			"benchcheck: warning: GOMAXPROCS differs (baseline %d, candidate %d); throughput points are not directly comparable and only the -max-drop %.0f%% tolerance bridges the gap\n",
+			baseline.GOMAXPROCS, candidate.GOMAXPROCS, *maxDrop)
+	}
 	regs, err := bench.CompareArtifacts(baseline, candidate, bench.CompareOptions{
 		MaxDrop:    *maxDrop / 100,
 		AllocSlack: *allocSlack,

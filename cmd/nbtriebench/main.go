@@ -75,6 +75,7 @@ type options struct {
 	outDir    string
 	smoke     bool
 	noPrefill bool
+	bgsave    bool
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -96,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		outDir     = fs.String("out", ".", "artifact output directory")
 		smoke      = fs.Bool("smoke", false, "run the correctness battery instead of the benchmark (needs a fresh empty server with the default bytes keyer)")
 		noPrefill  = fs.Bool("no-prefill", false, "skip prefilling every other key before measuring")
+		bgsave     = fs.Bool("bgsave", false, "fire BGSAVE every 100ms during every trial (server must run with -dir); measures dump-under-load throughput")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		getPct: *getPct, keyRange: *keyRange, duration: *duration,
 		warmup: *warmup, trials: *trials, seed: *seed, quick: *quick,
 		jsonOut: *jsonOut, outDir: *outDir, smoke: *smoke, noPrefill: *noPrefill,
+		bgsave: *bgsave,
 	}
 	for _, f := range strings.Split(*clientsStr, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -228,6 +231,41 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 		fail  error
 	)
 	deadline := time.Now().Add(d)
+	if opt.bgsave {
+		// The dump-under-load scenario: rotations and snapshot streams
+		// race the measured traffic for the whole trial. BGSAVE replies
+		// are read but not required to succeed ("already in progress" is
+		// routine) — EXCEPT "persistence is disabled", which means the
+		// whole measurement is vacuous and must abort.
+		admin, err := dialClient(opt.addr)
+		if err != nil {
+			return 0, err
+		}
+		defer admin.close()
+		if v, err := admin.do("BGSAVE"); err != nil {
+			return 0, err
+		} else if e := v.Err(); e != nil && strings.Contains(e.Error(), "disabled") {
+			return 0, fmt.Errorf("-bgsave needs a server started with -dir: %w", e)
+		}
+		stopSaver := make(chan struct{})
+		saverDone := make(chan struct{})
+		defer func() { close(stopSaver); <-saverDone }()
+		go func() {
+			defer close(saverDone)
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if _, err := admin.do("BGSAVE"); err != nil {
+						return
+					}
+				case <-stopSaver:
+					return
+				}
+			}
+		}()
+	}
 	for i, c := range clients {
 		wg.Add(1)
 		go func(c *client, seed uint64) {
@@ -290,29 +328,51 @@ func runBench(opt options, stdout io.Writer) error {
 		}
 	}
 
-	seriesName := fmt.Sprintf("get%d-set%d", opt.getPct, 100-opt.getPct)
+	baseName := fmt.Sprintf("get%d-set%d", opt.getPct, 100-opt.getPct)
 	fmt.Fprintf(stdout, "nbtriebench: %s @ %s, pipeline %d, %dB values, key range %d, %d x %v per point\n",
-		seriesName, opt.addr, opt.pipeline, opt.valueSize, opt.keyRange, opt.trials, opt.duration)
-	fmt.Fprintf(stdout, "%8s %14s %8s\n", "clients", "mean ops/s", "±stddev")
+		baseName, opt.addr, opt.pipeline, opt.valueSize, opt.keyRange, opt.trials, opt.duration)
 
-	series := bench.Series{Name: seriesName}
-	for _, nClients := range opt.clients {
-		if opt.warmup > 0 {
-			if _, err := trial(opt, nClients, opt.warmup, opt.seed+500009); err != nil {
-				return err
+	sweep := func(o options, name string) (bench.Series, error) {
+		fmt.Fprintf(stdout, "%s\n%8s %14s %8s\n", name, "clients", "mean ops/s", "±stddev")
+		series := bench.Series{Name: name}
+		for _, nClients := range o.clients {
+			if o.warmup > 0 {
+				if _, err := trial(o, nClients, o.warmup, o.seed+500009); err != nil {
+					return series, err
+				}
 			}
-		}
-		xs := make([]float64, 0, opt.trials)
-		for tr := 0; tr < opt.trials; tr++ {
-			x, err := trial(opt, nClients, opt.duration, opt.seed+uint64(tr)+1000003)
-			if err != nil {
-				return err
+			xs := make([]float64, 0, o.trials)
+			for tr := 0; tr < o.trials; tr++ {
+				x, err := trial(o, nClients, o.duration, o.seed+uint64(tr)+1000003)
+				if err != nil {
+					return series, err
+				}
+				xs = append(xs, x)
 			}
-			xs = append(xs, x)
+			sum := stats.Summarize(xs)
+			series.Points = append(series.Points, bench.Point{Threads: nClients, Summary: sum})
+			fmt.Fprintf(stdout, "%8d %14.0f %7.1f%%\n", nClients, sum.Mean, 100*sum.RelStddev())
 		}
-		sum := stats.Summarize(xs)
-		series.Points = append(series.Points, bench.Point{Threads: nClients, Summary: sum})
-		fmt.Fprintf(stdout, "%8d %14.0f %7.1f%%\n", nClients, sum.Mean, 100*sum.RelStddev())
+		return series, nil
+	}
+
+	plain := opt
+	plain.bgsave = false
+	series, err := sweep(plain, baseName)
+	if err != nil {
+		return err
+	}
+	// With -bgsave, a second sweep runs the identical workload while
+	// BGSAVE cycles fire continuously: the two series side by side in
+	// the artifact are the "dumps never block mutators" evidence, and
+	// benchcheck gates the bgsave series like any other.
+	var bgSeries *bench.Series
+	if opt.bgsave {
+		s, err := sweep(opt, baseName+"+bgsave")
+		if err != nil {
+			return err
+		}
+		bgSeries = &s
 	}
 
 	if opt.jsonOut {
@@ -329,6 +389,9 @@ func runBench(opt options, stdout io.Writer) error {
 		a.Config.ValueSize = opt.valueSize
 		allocs := codecAllocs(opt.valueSize)
 		a.AddSeries(series, &allocs)
+		if bgSeries != nil {
+			a.AddSeries(*bgSeries, nil)
+		}
 		path, err := bench.WriteArtifact(opt.outDir, a)
 		if err != nil {
 			return err

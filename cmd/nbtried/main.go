@@ -20,6 +20,20 @@
 //	-port-file  write the actual listen address to this file once
 //	            listening (for scripts that start on a random port)
 //
+// Durability (all off by default; see DESIGN.md §9):
+//
+//	-dir         data directory; setting it enables persistence.
+//	             Recovery (base dump, then the AOF chain) runs before
+//	             the listener opens, so no client ever sees a
+//	             half-recovered keyspace.
+//	-aof         append every acknowledged mutation to an append-only
+//	             file (requires -dir)
+//	-appendfsync AOF sync policy: always (an acknowledged write
+//	             survives any crash), everysec (≤ ~1s of acked writes
+//	             at risk; the Redis default), or no
+//	-save        SAVE-style background dump every N seconds (0 = only
+//	             on explicit SAVE/BGSAVE commands)
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // live connections are torn down, and the process exits 0.
 package main
@@ -33,7 +47,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"nbtrie/internal/persist"
 	"nbtrie/internal/resp"
 	"nbtrie/internal/server"
 )
@@ -61,6 +77,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxBulk   = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
 		scanCount = fs.Int("scan-count", 10, "SCAN's default page size")
 		portFile  = fs.String("port-file", "", "write the actual listen address here once listening")
+		dir       = fs.String("dir", "", "data directory; enables persistence")
+		aof       = fs.Bool("aof", false, "append acknowledged mutations to an append-only file (requires -dir)")
+		fsyncMode = fs.String("appendfsync", "everysec", "AOF sync policy: always, everysec or no")
+		savePer   = fs.Int("save", 0, "background dump every N seconds (0 = only on SAVE/BGSAVE)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,14 +89,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	policy, err := persist.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	if *aof && *dir == "" {
+		return fmt.Errorf("-aof requires -dir")
+	}
+	if *savePer < 0 {
+		return fmt.Errorf("-save must be >= 0")
+	}
 	srv, err := server.New(server.Config{
 		Keyer:            keyer,
 		Shards:           *shards,
 		Limits:           resp.Limits{MaxBulkLen: *maxBulk},
 		ScanDefaultCount: *scanCount,
+		Persist:          server.PersistConfig{Dir: *dir, AOF: *aof, Fsync: policy},
 	})
 	if err != nil {
 		return err
+	}
+	if *savePer > 0 && *dir != "" {
+		stopSaver := srv.StartPeriodicSave(time.Duration(*savePer) * time.Second)
+		defer stopSaver()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

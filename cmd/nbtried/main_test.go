@@ -85,6 +85,9 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-keyer", "decimal", "-width", "99"},
 		{"-shards", "3"},
 		{"-addr", "not an address"},
+		{"-aof"}, // -aof without -dir
+		{"-appendfsync", "sometimes"},
+		{"-dir", os.DevNull + "/nope", "-save", "-1"},
 	} {
 		if err := run(ctx, args, &out, &errOut); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

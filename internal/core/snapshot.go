@@ -1,0 +1,60 @@
+package core
+
+import (
+	"nbtrie/internal/engine"
+	"nbtrie/internal/keys"
+)
+
+// Snapshot is a read-only point-in-time view of the fixed-width trie,
+// obtained in O(1) from Trie.Snapshot (see internal/engine's snapshot
+// protocol). It is frozen: nothing it can reach changes after Snapshot
+// returns, so all methods are safe for unrestricted concurrent use and
+// always answer with the state at the snapshot's linearization point.
+type Snapshot[V any] struct {
+	t *Trie[V]
+	s *engine.Snapshot[keys.Uint64Key, V]
+}
+
+// Snapshot returns a frozen view of the trie at the moment of the call,
+// in O(1) time and allocation independent of the trie's size.
+func (t *Trie[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{t: t, s: t.e.Snapshot()}
+}
+
+// Len returns the number of keys at the snapshot point (exact: the
+// count is captured inside the snapshot barrier).
+func (s *Snapshot[V]) Len() int { return s.s.Len() }
+
+// Gen returns the snapshot's engine generation (diagnostics/tests).
+func (s *Snapshot[V]) Gen() uint64 { return s.s.Gen() }
+
+// Contains reports whether k was in the set at the snapshot point.
+// Wait-free, allocation-free, like the live trie's Contains.
+func (s *Snapshot[V]) Contains(k uint64) bool {
+	v, ok := s.t.encodeOK(k)
+	return ok && s.s.Contains(v)
+}
+
+// Load returns the value bound to k at the snapshot point.
+func (s *Snapshot[V]) Load(k uint64) (V, bool) {
+	v, ok := s.t.encodeOK(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return s.s.Load(v)
+}
+
+// AscendKV calls fn on every (key, value) pair with key >= from that was
+// live at the snapshot point, in increasing key order, until fn returns
+// false. Unlike the live trie's AscendKV this is a true consistent cut:
+// the structure cannot change mid-walk.
+func (s *Snapshot[V]) AscendKV(from uint64, fn func(k uint64, val V) bool) {
+	v, inRange := s.t.encodeOK(from)
+	if !inRange {
+		return
+	}
+	s.s.AscendKV(v, func(label keys.Uint64Key, val V) bool {
+		return fn(keys.DecodeUint64(label, s.t.width), val)
+	})
+}

@@ -43,6 +43,7 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"nbtrie/internal/keys"
@@ -56,6 +57,18 @@ import (
 type node[K keys.Key[K], V any] struct {
 	label K
 	leaf  bool
+
+	// gen is the snapshot generation the node was created in, immutable
+	// after construction (see snapshot.go). Internal nodes belonging to a
+	// generation older than the current root's must be copied into the
+	// current generation before an update may flag them or swing their
+	// child pointers — that copy-on-write discipline is what freezes the
+	// structure reachable from a snapshot's root. Leaf gens are never
+	// consulted: leaves are structurally immutable, and the one mutation
+	// they can suffer (a general-case replace storing its Flag into the
+	// removed leaf's info) is filtered generationally through the Flag's
+	// pNode[0].gen instead (see Snapshot.removed).
+	gen uint64
 
 	// val is the value payload of a leaf, stored unboxed (zero for
 	// internal nodes; set views instantiate V = struct{}, which occupies
@@ -91,26 +104,28 @@ func newLeafVal[K keys.Key[K], V any](label K, val V) *node[K, V] {
 	return n
 }
 
-// newInternal returns an internal node with the given label and children.
-// The children must already be ordered: left's bit at the label length is 0.
-func newInternal[K keys.Key[K], V any](label K, left, right *node[K, V]) *node[K, V] {
-	n := &node[K, V]{label: label}
+// newInternal returns an internal node with the given label, children and
+// snapshot generation. The children must already be ordered: left's bit at
+// the label length is 0.
+func newInternal[K keys.Key[K], V any](label K, left, right *node[K, V], gen uint64) *node[K, V] {
+	n := &node[K, V]{label: label, gen: gen}
 	n.info.Store(newUnflag[K, V]())
 	n.child[0].Store(left)
 	n.child[1].Store(right)
 	return n
 }
 
-// copyNode returns a fresh copy of n (the paper's "new copy of node",
-// lines 26 and 52). For an internal node the children are read now; the
-// caller must have read n's info field beforehand, which — per Lemma 31 —
-// guarantees the children cannot change between this copy and the child
-// CAS that installs it, so the copy is faithful when it becomes reachable.
-func copyNode[K keys.Key[K], V any](n *node[K, V]) *node[K, V] {
+// copyNode returns a fresh copy of n stamped with the given generation
+// (the paper's "new copy of node", lines 26 and 52). For an internal node
+// the children are read now; the caller must have read n's info field
+// beforehand, which — per Lemma 31 — guarantees the children cannot change
+// between this copy and the child CAS that installs it, so the copy is
+// faithful when it becomes reachable.
+func copyNode[K keys.Key[K], V any](n *node[K, V], gen uint64) *node[K, V] {
 	if n.leaf {
 		return newLeafVal(n.label, n.val)
 	}
-	return newInternal(n.label, n.child[0].Load(), n.child[1].Load())
+	return newInternal(n.label, n.child[0].Load(), n.child[1].Load(), gen)
 }
 
 // descKind discriminates the two Info subtypes of the paper.
@@ -184,7 +199,24 @@ func (d *desc[K, V]) flagged() bool { return d.kind == kindFlag }
 // engine only ever sees full-length encoded keys strictly between the
 // two dummies.
 type Trie[K keys.Key[K], V any] struct {
-	root *node[K, V]
+	// root is swapped wholesale by Snapshot (a fresh copy carrying the
+	// next generation), so it is an atomic pointer; everything below it
+	// is reached through the usual child pointers. Readers may load
+	// either side of a racing swap — both are valid linearizable views.
+	root atomic.Pointer[node[K, V]]
+
+	// snapMu is the snapshot barrier. Every mutating operation holds the
+	// read side for its whole invocation (search, retries, helping);
+	// Snapshot takes the write side just long enough to swap in a fresh
+	// root with a bumped generation and read the entry count. Draining
+	// the read side guarantees no in-flight update — whose flag targets
+	// were validated against the previous generation — can mutate the
+	// structure the snapshot captured after Snapshot returns; updates
+	// that start afterwards see the new generation and copy-on-write any
+	// stale internal node before touching it (see snapshot.go). Reads
+	// never take the lock: Load/Contains/iteration stay CAS- and
+	// lock-free.
+	snapMu sync.RWMutex
 
 	dummyMin, dummyMax K
 
@@ -225,14 +257,19 @@ func WithoutReplace[K keys.Key[K], V any]() Option[K, V] {
 func New[K keys.Key[K], V any](dummyMin, dummyMax K, opts ...Option[K, V]) *Trie[K, V] {
 	var empty K
 	t := &Trie[K, V]{dummyMin: dummyMin, dummyMax: dummyMax}
-	t.root = newInternal(empty,
+	t.root.Store(newInternal(empty,
 		newLeaf[K, V](dummyMin),
-		newLeaf[K, V](dummyMax))
+		newLeaf[K, V](dummyMax), 0))
 	for _, o := range opts {
 		o(t)
 	}
 	return t
 }
+
+// curGen returns the current snapshot generation — the generation of the
+// current root. Mutating operations read it under the snapMu read lock,
+// where it cannot change for the duration of the operation.
+func (t *Trie[K, V]) curGen() uint64 { return t.root.Load().gen }
 
 // searchResult carries the paper's 6-tuple ⟨gp, p, node, gpInfo, pInfo,
 // rmvd⟩ returned by search.
@@ -252,7 +289,7 @@ type searchResult[K keys.Key[K], V any] struct {
 // shared memory, and never allocates beyond what K's own methods do.
 func (t *Trie[K, V]) search(v K) searchResult[K, V] {
 	var r searchResult[K, V]
-	n := t.root
+	n := t.root.Load()
 	for !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
 		r.gp, r.gpInfo = r.p, r.pInfo
 		r.p, r.pInfo = n, n.info.Load()

@@ -22,8 +22,8 @@ func TestHelpBacktracksOnStaleFlag(t *testing.T) {
 	tr.Insert(3)   // encodes with leading 0 bit: left subtree
 	tr.Insert(255) // encodes with leading 1 bit: right subtree
 
-	a := tr.root.child[0].Load()
-	b := tr.root.child[1].Load()
+	a := tr.root.Load().child[0].Load()
+	b := tr.root.Load().child[1].Load()
 	if a.leaf || b.leaf {
 		t.Fatal("test setup: expected internal children")
 	}
@@ -57,7 +57,7 @@ func TestHelpIsIdempotent(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	newNode := tr.makeInternal(copyNode(r.node), newTestLeaf(tr, 9), nodeInfo)
+	newNode := tr.makeInternal(copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
 	if newNode == nil {
 		t.Fatal("setup: makeInternal failed")
 	}
@@ -85,7 +85,7 @@ func TestHelpIsIdempotent(t *testing.T) {
 func TestNewDescDuplicateHandling(t *testing.T) {
 	tr := mustNew(t, 8)
 	tr.Insert(3)
-	n := tr.root.child[0].Load()
+	n := tr.root.Load().child[0].Load()
 	info := n.info.Load()
 
 	// Same node twice with the same oldInfo: deduplicated to one entry.
@@ -137,7 +137,7 @@ func TestNewDescSortsByLabel(t *testing.T) {
 		collect(n.child[0].Load())
 		collect(n.child[1].Load())
 	}
-	collect(tr.root)
+	collect(tr.root.Load())
 	if len(internals) < 3 {
 		t.Fatalf("setup: want >=3 internal nodes, got %d", len(internals))
 	}
@@ -198,7 +198,7 @@ func TestMakeInternalConflictHelps(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	nn := tr.makeInternal(copyNode(r.node), newTestLeaf(tr, 9), nodeInfo)
+	nn := tr.makeInternal(copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
 	d := tr.newDesc(
 		[4]*unode{r.p}, [4]*udesc{r.pInfo}, 1,
 		[2]*unode{r.p}, 1,
@@ -225,7 +225,7 @@ func TestTryDeleteRootChildDefensive(t *testing.T) {
 	tr := mustNew(t, 8)
 	tr.Insert(7)
 
-	dummy := tr.root.child[0].Load()
+	dummy := tr.root.Load().child[0].Load()
 	for !dummy.leaf {
 		dummy = dummy.child[0].Load()
 	}
@@ -233,8 +233,8 @@ func TestTryDeleteRootChildDefensive(t *testing.T) {
 		t.Fatal("setup: leftmost leaf should be the 0^ℓ dummy")
 	}
 	r := searchResult[keys.Uint64Key, any]{
-		p:     tr.root,
-		pInfo: tr.root.info.Load(),
+		p:     tr.root.Load(),
+		pInfo: tr.root.Load().info.Load(),
 		node:  dummy,
 		// gp and gpInfo deliberately nil: the root has no parent.
 	}
@@ -258,7 +258,7 @@ func TestOrderedSkipsLogicallyRemoved(t *testing.T) {
 	tr.Insert(50)
 	leaf := tr.search(tr.enc(50)).node
 	d := &udesc{kind: kindFlag, nPNode: 1}
-	d.pNode[0] = tr.root
+	d.pNode[0] = tr.root.Load()
 	d.oldChild[0] = newTestLeaf(tr, 1) // not a child: "removed"
 	leaf.info.Store(d)
 	if _, ok := tr.Trie.Ceiling(tr.enc(0)); ok {
@@ -281,14 +281,14 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	tr.Insert(3)
 
 	// Swap the root's children: branch bits become wrong.
-	c0, c1 := tr.root.child[0].Load(), tr.root.child[1].Load()
-	tr.root.child[0].Store(c1)
-	tr.root.child[1].Store(c0)
+	c0, c1 := tr.root.Load().child[0].Load(), tr.root.Load().child[1].Load()
+	tr.root.Load().child[0].Store(c1)
+	tr.root.Load().child[1].Store(c0)
 	if tr.Validate() == nil {
 		t.Error("Validate must detect swapped children")
 	}
-	tr.root.child[0].Store(c0)
-	tr.root.child[1].Store(c1)
+	tr.root.Load().child[0].Store(c0)
+	tr.root.Load().child[1].Store(c1)
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("restored trie should validate: %v", err)
 	}

@@ -56,11 +56,12 @@ func (t *Trie[K, V]) Size() int {
 // can add key-space-specific checks (canonical representation, full
 // leaf length, ...); its first error is reported.
 func (t *Trie[K, V]) Validate(extra func(label K, leaf bool) error) error {
-	if t.root.leaf || t.root.label.Len() != 0 {
+	root := t.root.Load()
+	if root.leaf || root.label.Len() != 0 {
 		return fmt.Errorf("root must be an internal node with empty label")
 	}
 	var leaves []K
-	if err := t.validateNode(t.root, extra, &leaves); err != nil {
+	if err := t.validateNode(root, extra, &leaves); err != nil {
 		return err
 	}
 	if len(leaves) < 2 {
@@ -120,7 +121,7 @@ func (t *Trie[K, V]) validateNode(n *node[K, V], extra func(K, bool) error, leav
 // Quiescent use only.
 func (t *Trie[K, V]) Dump(format func(label K, leaf bool) string) string {
 	var sb strings.Builder
-	t.dumpNode(&sb, t.root, format, 0)
+	t.dumpNode(&sb, t.root.Load(), format, 0)
 	return sb.String()
 }
 

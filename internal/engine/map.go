@@ -24,8 +24,10 @@ package engine
 // Store binds the encoded key v to val, inserting the key if absent and
 // overwriting the value if present (lock-free upsert).
 func (t *Trie[K, V]) Store(v K, val V) {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			if t.tryInsert(v, val, r) {
 				t.count.Add(1)
@@ -42,8 +44,10 @@ func (t *Trie[K, V]) Store(v K, val V) {
 // LoadOrStore returns the value bound to v if present (loaded == true);
 // otherwise it stores val and returns it. The load path performs no CAS.
 func (t *Trie[K, V]) LoadOrStore(v K, val V) (actual V, loaded bool) {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return r.node.val, true
 		}
@@ -66,8 +70,10 @@ func valuesEqual[V any](a, b V) bool {
 // value equals old (interface equality; old must be comparable). It
 // returns true iff the swap happened.
 func (t *Trie[K, V]) CompareAndSwap(v K, old, new V) bool {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
@@ -84,8 +90,10 @@ func (t *Trie[K, V]) CompareAndSwap(v K, old, new V) bool {
 // equality; old must be comparable). It returns true iff the key was
 // deleted.
 func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}

@@ -41,7 +41,7 @@ func allAbove[K keys.Key[K], V any](c *node[K, V], v K) bool {
 // are pruned, so resuming an iteration from a midpoint costs one
 // descent, not a full walk.
 func (t *Trie[K, V]) AscendKV(from K, fn func(k K, val V) bool) {
-	t.ascendNode(t.root, from, fn)
+	t.ascendNode(t.root.Load(), from, fn)
 }
 
 func (t *Trie[K, V]) ascendNode(n *node[K, V], v K, fn func(K, V) bool) bool {
@@ -65,7 +65,7 @@ func (t *Trie[K, V]) ascendNode(n *node[K, V], v K, fn func(K, V) bool) bool {
 
 // Ceiling returns the smallest live key >= v, if any.
 func (t *Trie[K, V]) Ceiling(v K) (K, bool) {
-	return t.ceilNode(t.root, v)
+	return t.ceilNode(t.root.Load(), v)
 }
 
 func (t *Trie[K, V]) ceilNode(n *node[K, V], v K) (K, bool) {
@@ -91,7 +91,7 @@ func (t *Trie[K, V]) ceilNode(n *node[K, V], v K) (K, bool) {
 
 // Floor returns the largest live key <= v, if any.
 func (t *Trie[K, V]) Floor(v K) (K, bool) {
-	return t.floorNode(t.root, v)
+	return t.floorNode(t.root.Load(), v)
 }
 
 func (t *Trie[K, V]) floorNode(n *node[K, V], v K) (K, bool) {

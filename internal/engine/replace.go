@@ -22,12 +22,14 @@ func (t *Trie[K, V]) Replace(vd, vi K) bool {
 	if t.skipRmvdCheck {
 		panic("patricia trie: Replace called on a trie built with WithoutReplace")
 	}
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		rd := t.search(vd)
+		rd := t.searchMut(vd)
 		if !keyInTrie(rd.node, vd, rd.rmvd) {
 			return false // old key absent (line 46)
 		}
-		ri := t.search(vi)
+		ri := t.searchMut(vi)
 		if keyInTrie(ri.node, vi, ri.rmvd) {
 			return false // new key already present (line 48)
 		}
@@ -121,7 +123,7 @@ func (t *Trie[K, V]) replaceGeneral(vi K, rd, ri searchResult[K, V], nodeInfoI *
 	// The fresh leaf for the new key inherits the removed leaf's value:
 	// rd.node is immutable, so reading its payload here is consistent
 	// with the leaf the descriptor marks as rmvLeaf.
-	newNodeI := t.makeInternal(copyNode(ri.node), newLeafVal(vi, rd.node.val), nodeInfoI) // lines 52-53
+	newNodeI := t.makeInternal(copyNode(ri.node, t.curGen()), newLeafVal(vi, rd.node.val), nodeInfoI) // lines 52-53
 	if newNodeI == nil {
 		return nil
 	}

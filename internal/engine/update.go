@@ -190,10 +190,11 @@ func (t *Trie[K, V]) makeInternal(n1, n2 *node[K, V], info *desc[K, V]) *node[K,
 		return nil
 	}
 	cp := n1.label.CommonPrefix(n2.label) // shorter than both labels
+	g := t.curGen()
 	if n1.label.Bit(cp.Len()) == 0 {
-		return newInternal(cp, n1, n2)
+		return newInternal(cp, n1, n2, g)
 	}
-	return newInternal(cp, n2, n1)
+	return newInternal(cp, n2, n1, g)
 }
 
 // Insert adds the encoded key v to the set, returning false if it was
@@ -209,8 +210,10 @@ func (t *Trie[K, V]) Insert(v K) bool {
 
 // InsertValue is Insert with a value payload bound to the fresh leaf.
 func (t *Trie[K, V]) InsertValue(v K, val V) bool {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}
@@ -234,7 +237,7 @@ func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
 		return false
 	}
-	newNode := t.makeInternal(copyNode(n), newLeafVal(v, val), nodeInfo)
+	newNode := t.makeInternal(copyNode(n, t.curGen()), newLeafVal(v, val), nodeInfo)
 	if newNode == nil {
 		return false
 	}
@@ -260,8 +263,10 @@ func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 // leaf's sibling; both the grandparent and the parent are flagged, and
 // the parent — which leaves the trie — stays flagged forever.
 func (t *Trie[K, V]) Delete(v K) bool {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
 	for {
-		r := t.search(v)
+		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
 		}

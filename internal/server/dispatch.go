@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"nbtrie"
 	"nbtrie/internal/resp"
 )
 
@@ -51,8 +52,12 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			return
 		}
 		// args[2] is a fresh slice from the RESP reader; storing it
-		// directly is safe (nothing else aliases it).
+		// directly is safe (nothing else aliases it). Map update and
+		// AOF record stay on one side of any dump rotation (the gate).
+		s.gate.RLock()
 		s.db.Store(k, args[2])
+		s.appendMutation(args...)
+		s.gate.RUnlock()
 		w.WriteSimple("OK")
 	case "DEL":
 		if len(args) < 2 {
@@ -66,11 +71,18 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			return
 		}
 		n := int64(0)
+		s.gate.RLock()
 		for _, k := range ks {
 			if s.db.Delete(k) {
 				n++
 			}
 		}
+		if n > 0 {
+			// Replaying a DEL of the keys that were already absent is a
+			// no-op, so the whole command is one record.
+			s.appendMutation(args...)
+		}
+		s.gate.RUnlock()
 		w.WriteInt(n)
 	case "EXISTS":
 		if len(args) < 2 {
@@ -124,9 +136,12 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		// atomic as a whole (the trie has no multi-key transaction), but
 		// the pre-validation above means it either starts with every key
 		// accepted or not at all.
+		s.gate.RLock()
 		for i, k := range ks {
 			s.db.Store(k, args[2+2*i])
 		}
+		s.appendMutation(args...)
+		s.gate.RUnlock()
 		w.WriteSimple("OK")
 	case "DBSIZE":
 		if len(args) != 1 {
@@ -138,6 +153,34 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		s.scan(w, args)
 	case "RENAME":
 		s.rename(w, args)
+	case "SAVE", "BGSAVE":
+		if len(args) != 1 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		if s.pst == nil {
+			w.WriteError("ERR persistence is disabled (start nbtried with -dir)")
+			return
+		}
+		if err := s.pst.save(cmd == "BGSAVE"); err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		if cmd == "BGSAVE" {
+			w.WriteSimple("Background saving started")
+		} else {
+			w.WriteSimple("OK")
+		}
+	case "LASTSAVE":
+		if len(args) != 1 {
+			s.wrongArity(w, cmd)
+			return
+		}
+		if s.pst == nil {
+			w.WriteInt(0)
+			return
+		}
+		w.WriteInt(s.pst.lastSave.Load())
 	case "INFO":
 		if len(args) > 2 {
 			s.wrongArity(w, cmd)
@@ -152,14 +195,26 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 	return false
 }
 
-// scan implements SCAN cursor [COUNT n]: a stateless cursor walk over
-// the trie's ascending key order. The cursor is the decimal trie key
-// the next page starts from — 0 opens the scan, and the server replies
-// 0 when the key space is exhausted. Because the trie iterates in key
-// order and the cursor is a plain resume point, the usual Redis SCAN
-// caveats shrink: every key present for the whole scan is returned
-// exactly once (no duplicates, ever), and keys inserted or deleted
-// concurrently may or may not appear.
+// scanCursor is one open SCAN: a frozen O(1) snapshot of the map plus
+// the trie key the next page starts from.
+type scanCursor struct {
+	snap *nbtrie.ShardedMapSnapshot[[]byte]
+	next uint64
+}
+
+// scan implements SCAN cursor [COUNT n], backed by the engine's O(1)
+// snapshots: SCAN 0 freezes a snapshot and every later page of that
+// cursor walks the SAME frozen keyspace in ascending key order. A full
+// cursor walk is therefore a consistent cut — every key in the snapshot
+// exactly once, no duplicates, no skips, and no concurrent mutation
+// visible mid-scan (strictly stronger than Redis's guarantee; see
+// DESIGN.md §8). The wire cursor is an opaque server-assigned id, not a
+// resume key.
+//
+// Cursors live in a bounded table; the oldest is evicted when it fills,
+// and a SCAN with an unknown/evicted id terminates with cursor 0 and an
+// empty page — the shape Redis clients already handle for an exhausted
+// scan. Snapshots are reclaimed by GC when their cursor is dropped.
 func (s *Server) scan(w *resp.Writer, args [][]byte) {
 	if len(args) != 2 && len(args) != 4 {
 		s.wrongArity(w, "SCAN")
@@ -189,17 +244,55 @@ func (s *Server) scan(w *resp.Writer, args [][]byte) {
 		}
 		count = c
 	}
+
+	var sc *scanCursor
+	if cursor == 0 {
+		sc = &scanCursor{snap: s.db.Snapshot()}
+	} else {
+		s.scanMu.Lock()
+		sc = s.scans[cursor]
+		delete(s.scans, cursor) // re-registered below if the walk continues
+		s.scanMu.Unlock()
+		if sc == nil {
+			// Unknown or evicted: terminate the client's loop cleanly.
+			w.WriteArrayHeader(2)
+			w.WriteBulk([]byte("0"))
+			w.WriteArrayHeader(0)
+			return
+		}
+	}
+
 	keys := make([][]byte, 0, count)
-	next := uint64(0)
-	for k := range s.db.Ascend(cursor) {
+	more := false
+	for k := range sc.snap.Ascend(sc.next) {
 		if len(keys) == count {
-			next = k // the first key of the next page
+			sc.next = k // the first key of the next page
+			more = true
 			break
 		}
 		keys = append(keys, s.keyer.Decode(k))
 	}
+
+	var id uint64
+	if more {
+		s.scanMu.Lock()
+		id = s.scanNext
+		s.scanNext++
+		s.scans[id] = sc
+		if len(s.scans) > s.cfg.MaxScanCursors {
+			oldest := id
+			for other := range s.scans {
+				if other < oldest {
+					oldest = other
+				}
+			}
+			delete(s.scans, oldest)
+		}
+		s.scanMu.Unlock()
+	}
+
 	w.WriteArrayHeader(2)
-	w.WriteBulk(strconv.AppendUint(nil, next, 10))
+	w.WriteBulk(strconv.AppendUint(nil, id, 10))
 	w.WriteArrayHeader(len(keys))
 	for _, key := range keys {
 		w.WriteBulk(key)
@@ -239,7 +332,14 @@ func (s *Server) rename(w *resp.Writer, args [][]byte) {
 		}
 		return
 	}
+	s.gate.RLock()
 	swapped, err := s.db.ReplaceKey(old, new)
+	if swapped {
+		// One AOF record for the atomic move; replay re-expresses it as
+		// load+delete+store, which is safe single-threaded (recovery).
+		s.appendMutation(args...)
+	}
+	s.gate.RUnlock()
 	if err != nil {
 		// ErrCrossShard. -CROSSSHARD mirrors Redis Cluster's -CROSSSLOT:
 		// the operation is well-formed but these two keys cannot be

@@ -1,0 +1,513 @@
+package server
+
+import (
+	"fmt"
+	"iter"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbtrie/internal/persist"
+)
+
+// Durability orchestration: how the server composes internal/persist's
+// dumps, AOF segments and manifest with the map's O(1) snapshots.
+//
+// # The exact-boundary invariant
+//
+// Recovery is "load the base dump, then replay the AOF chain". That is
+// only correct if every acknowledged mutation lands in EXACTLY one of
+// the two — a record that is both in the dump and in a replayed segment
+// is applied twice, and replay is not idempotent across reorderings
+// (replaying an old "RENAME a b" after a newer "SET a v" resurrects b
+// with the wrong value). The server enforces the boundary with one
+// RWMutex, gate: every mutating command holds gate.RLock across its
+// map update AND its AOF append, and a rotation holds gate.Lock while
+// it (a) opens a fresh AOF segment, (b) commits the manifest listing it
+// and (c) takes the map snapshot the dump will stream from. Writers are
+// quiesced for those three steps only — O(shards) work plus three file
+// operations, independent of data size; the dump itself streams from
+// the frozen snapshot with no lock held. Every mutation therefore
+// observes the rotation entirely before it (its map update is in the
+// snapshot, its record in an old segment the next manifest drops) or
+// entirely after (not in the snapshot, record in the new segment).
+//
+// The gate also makes the sharded snapshot's documented weakness moot
+// here: taken under gate.Lock, the per-shard cuts see an identical
+// (quiesced) world, so the composite IS a globally exact cut.
+//
+// # Crash windows
+//
+//   - Mid-dump: the manifest committed in step (b) still names the old
+//     base plus the WHOLE segment chain including the new segment, so a
+//     crash recovers everything acknowledged up to the crash. The
+//     half-written dump is an unreferenced temp file; recovery ignores
+//     and removes it.
+//   - After the dump completes, it is fsynced and renamed, then a
+//     second manifest commit swings base to it and drops the
+//     pre-rotation segments. Both manifest commits are atomic
+//     (temp+fsync+rename+dir-fsync), so recovery sees the old or the
+//     new recipe, never a mix. Old files are deleted only after the
+//     commit that stops referencing them.
+//   - Mid-append: the AOF tail tears. Under appendfsync always a torn
+//     record was never acknowledged (the fsync happens before the reply
+//     flush), so truncating it loses nothing a client was promised.
+//
+// # Acknowledgement ordering
+//
+// Connections buffer replies per pipelined batch and flush when the
+// parser would block (flushBeforeRead). The AOF commit is hooked into
+// that same moment, BEFORE the reply flush: append (buffered, under
+// gate.RLock) → aof.Commit (write syscall; +fsync under always) →
+// reply flush. A client that has seen "+OK" therefore knows the record
+// is at least in the kernel (always: on stable storage) — the classic
+// group-commit pattern, one write+fsync per batch rather than per
+// command.
+
+// PersistConfig enables durability. Zero Dir means disabled.
+type PersistConfig struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// AOF appends every acknowledged mutation to an append-only file.
+	// Without it only explicit SAVE/BGSAVE dumps persist.
+	AOF bool
+	// Fsync is the AOF sync policy (appendfsync).
+	Fsync persist.SyncPolicy
+}
+
+// persister is the server's durability state.
+type persister struct {
+	s      *Server
+	dir    string
+	aofOn  bool
+	policy persist.SyncPolicy
+
+	// mu serializes SAVE/BGSAVE/rotation bookkeeping and Close; it is
+	// never held while streaming a dump.
+	mu       sync.Mutex
+	aof      *persist.AOF
+	manifest persist.Manifest
+	seq      uint64 // highest sequence number in use
+
+	bgActive   atomic.Bool
+	lastSave   atomic.Int64 // unix seconds of the last completed dump
+	saveStatus atomic.Value // string: "ok" or the last dump error
+	aofStatus  atomic.Value // string: "ok" or the last append error
+	bgWG       sync.WaitGroup
+}
+
+// openPersister recovers dir's state into s.db (dump, then AOF chain,
+// truncating a torn tail) and arranges for new appends; called from New
+// before any listener exists, so recovery sees no concurrency.
+func openPersister(s *Server, cfg PersistConfig) (*persister, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &persister{s: s, dir: cfg.Dir, aofOn: cfg.AOF, policy: cfg.Fsync}
+	p.saveStatus.Store("ok")
+	p.aofStatus.Store("ok")
+
+	m, ok, err := persist.ReadManifest(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := p.recover(m); err != nil {
+			return nil, err
+		}
+		p.manifest = m
+	}
+	p.removeUnreferenced()
+
+	if p.aofOn {
+		// Appends go to a fresh segment committed into the manifest
+		// before the first record can land in it, so a crash at any
+		// point finds every segment it needs listed.
+		p.seq++
+		name := persist.IncrName(p.seq)
+		p.manifest.Incrs = append(p.manifest.Incrs, name)
+		if err := persist.WriteManifest(p.dir, p.manifest); err != nil {
+			return nil, err
+		}
+		a, err := persist.OpenAOF(filepath.Join(p.dir, name), p.policy)
+		if err != nil {
+			return nil, err
+		}
+		p.aof = a
+	}
+	return p, nil
+}
+
+// recover loads the manifest's recipe into the (empty) map.
+func (p *persister) recover(m persist.Manifest) error {
+	if m.Base != "" {
+		if n, ok := persist.SeqOf(m.Base); ok && n > p.seq {
+			p.seq = n
+		}
+		err := persist.LoadDump(p.dir, m.Base, func(k, v []byte) error {
+			return p.s.applyRecord([][]byte{[]byte("SET"), k, v})
+		})
+		if err != nil {
+			return fmt.Errorf("server: loading base dump %s: %w", m.Base, err)
+		}
+	}
+	for _, name := range m.Incrs {
+		if n, ok := persist.SeqOf(name); ok && n > p.seq {
+			p.seq = n
+		}
+		_, truncated, err := persist.ReplayFile(
+			filepath.Join(p.dir, name), p.s.cfg.Limits, p.s.applyRecord)
+		if err != nil {
+			return fmt.Errorf("server: replaying %s: %w", name, err)
+		}
+		if truncated {
+			fmt.Fprintf(os.Stderr, "nbtried: truncated torn tail of %s (crash artifact; the partial record was never acknowledged)\n", name)
+		}
+	}
+	return nil
+}
+
+// removeUnreferenced deletes dump/segment-shaped files the manifest
+// does not name — half-written temp files and stale bases/segments a
+// crash interrupted the cleanup of.
+func (p *persister) removeUnreferenced() {
+	referenced := map[string]bool{persist.ManifestName: true}
+	if p.manifest.Base != "" {
+		referenced[p.manifest.Base] = true
+	}
+	for _, n := range p.manifest.Incrs {
+		referenced[n] = true
+	}
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !referenced[e.Name()] {
+			os.Remove(filepath.Join(p.dir, e.Name()))
+		}
+	}
+}
+
+// applyRecord replays one AOF/dump record against the map. It is the
+// replay-side mirror of the dispatch mutations, minus replies and
+// re-appending; it runs single-threaded (recovery) so the multi-step
+// RENAME needs no atomicity.
+func (s *Server) applyRecord(args [][]byte) error {
+	if len(args) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	switch string(toUpper(args[0])) {
+	case "SET":
+		if len(args) != 3 {
+			return fmt.Errorf("SET record with %d args", len(args))
+		}
+		k, err := s.keyer.Encode(args[1])
+		if err != nil {
+			return err
+		}
+		s.db.Store(k, args[2])
+	case "DEL":
+		if len(args) < 2 {
+			return fmt.Errorf("DEL record with %d args", len(args))
+		}
+		for _, key := range args[1:] {
+			k, err := s.keyer.Encode(key)
+			if err != nil {
+				return err
+			}
+			s.db.Delete(k)
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return fmt.Errorf("MSET record with %d args", len(args))
+		}
+		for i := 1; i < len(args); i += 2 {
+			k, err := s.keyer.Encode(args[i])
+			if err != nil {
+				return err
+			}
+			s.db.Store(k, args[i+1])
+		}
+	case "RENAME":
+		if len(args) != 3 {
+			return fmt.Errorf("RENAME record with %d args", len(args))
+		}
+		old, err := s.keyer.Encode(args[1])
+		if err != nil {
+			return err
+		}
+		new, err := s.keyer.Encode(args[2])
+		if err != nil {
+			return err
+		}
+		if old == new {
+			return nil
+		}
+		if v, ok := s.db.Load(old); ok {
+			s.db.Delete(old)
+			s.db.Store(new, v)
+		}
+	default:
+		return fmt.Errorf("unknown record command %q", args[0])
+	}
+	return nil
+}
+
+// appendMutation records one acknowledged mutation. Callers hold
+// gate.RLock across the map update and this call (the exact-boundary
+// invariant). A write error degrades to in-memory service and is
+// surfaced through INFO rather than failing client commands.
+func (s *Server) appendMutation(args ...[]byte) {
+	p := s.pst
+	if p == nil || !p.aofOn {
+		return
+	}
+	if err := p.aof.Append(args...); err != nil {
+		p.aofStatus.CompareAndSwap("ok", err.Error())
+	}
+}
+
+// commitAOF is the batch-boundary hook: everything appended since the
+// last commit reaches the file (and stable storage, under always)
+// before the replies for the batch are flushed.
+func (s *Server) commitAOF() {
+	p := s.pst
+	if p == nil || !p.aofOn {
+		return
+	}
+	if err := p.aof.Commit(); err != nil {
+		p.aofStatus.CompareAndSwap("ok", err.Error())
+	}
+}
+
+// save runs a dump cycle. background=false is SAVE: the dump streams
+// before save returns. background=true is BGSAVE: save returns once the
+// snapshot is taken and a goroutine streams the dump. In both modes
+// mutators are quiesced only for the rotation instant.
+func (p *persister) save(background bool) error {
+	p.mu.Lock()
+	if p.bgActive.Load() {
+		p.mu.Unlock()
+		return fmt.Errorf("a background save is already in progress")
+	}
+
+	// Rotation, under the write gate: fresh segment, conservative
+	// manifest (old base + whole chain + fresh segment), snapshot.
+	dumpSeq := p.seq + 1
+	var newSeg *persist.AOF
+	var err error
+	prev := p.manifest
+
+	p.s.gate.Lock()
+	if p.aofOn {
+		segName := persist.IncrName(dumpSeq)
+		newSeg, err = persist.OpenAOF(filepath.Join(p.dir, segName), p.policy)
+		if err != nil {
+			p.s.gate.Unlock()
+			p.mu.Unlock()
+			return err
+		}
+		next := persist.Manifest{Base: prev.Base, Incrs: append(append([]string{}, prev.Incrs...), segName)}
+		if err := persist.WriteManifest(p.dir, next); err != nil {
+			p.s.gate.Unlock()
+			p.mu.Unlock()
+			newSeg.Close()
+			os.Remove(filepath.Join(p.dir, segName))
+			return err
+		}
+		p.manifest = next
+	}
+	p.seq = dumpSeq
+	snap := p.s.db.Snapshot() // globally exact: writers are quiesced by the gate
+	oldSeg := p.aof
+	if p.aofOn {
+		p.aof = newSeg
+	}
+	p.s.gate.Unlock()
+
+	if oldSeg != nil {
+		// Every record in the old segment is covered by the snapshot;
+		// seal it so its bytes are durable before the new base could
+		// ever replace it in the recipe.
+		oldSeg.Close()
+	}
+
+	doDump := func() error {
+		defer p.bgActive.Store(false)
+		err := p.writeDumpAndCommit(snap, dumpSeq)
+		if err != nil {
+			p.saveStatus.Store(err.Error())
+			return err
+		}
+		p.saveStatus.Store("ok")
+		p.lastSave.Store(time.Now().Unix())
+		return nil
+	}
+	// bgActive is set before mu is released, so a racing SAVE/BGSAVE is
+	// refused from this instant until the dump commits; the dump itself
+	// runs lock-free (writeDumpAndCommit retakes mu only to swing the
+	// manifest).
+	p.bgActive.Store(true)
+	p.bgWG.Add(1)
+	p.mu.Unlock()
+	if !background {
+		defer p.bgWG.Done()
+		return doDump()
+	}
+	go func() {
+		defer p.bgWG.Done()
+		doDump()
+	}()
+	return nil
+}
+
+// writeDumpAndCommit streams the snapshot into base-<seq>, swings the
+// manifest to it and removes the files the new recipe dropped.
+func (p *persister) writeDumpAndCommit(snap snapshotIter, seq uint64) error {
+	baseName := persist.BaseName(seq)
+	err := persist.SaveDump(p.dir, baseName, func(fn func(k, v []byte) bool) {
+		for k, v := range snap.All() {
+			if !fn(p.s.keyer.Decode(k), v) {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.manifest
+	next := persist.Manifest{Base: baseName}
+	if p.aofOn {
+		// The segment opened by this cycle's rotation — and any opened
+		// by later rotations while a BGSAVE streamed — hold exactly the
+		// post-snapshot records.
+		next.Incrs = segmentsAtOrAfter(old.Incrs, seq)
+	}
+	if err := persist.WriteManifest(p.dir, next); err != nil {
+		return err
+	}
+	p.manifest = next
+
+	drop := map[string]bool{}
+	if old.Base != "" && old.Base != baseName {
+		drop[old.Base] = true
+	}
+	for _, n := range old.Incrs {
+		drop[n] = true
+	}
+	for _, n := range next.Incrs {
+		delete(drop, n)
+	}
+	for n := range drop {
+		os.Remove(filepath.Join(p.dir, n))
+	}
+	return nil
+}
+
+// segmentsAtOrAfter filters the chain to segments with sequence >= seq.
+func segmentsAtOrAfter(chain []string, seq uint64) []string {
+	var out []string
+	for _, n := range chain {
+		if s, ok := persist.SeqOf(n); ok && s >= seq {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// snapshotIter is the slice of ShardedMapSnapshot the dump needs;
+// narrowing it keeps writeDumpAndCommit testable.
+type snapshotIter interface {
+	All() iter.Seq2[uint64, []byte]
+}
+
+// StartPeriodicSave triggers a BGSAVE-equivalent dump cycle every
+// period (the daemon's -save flag). A cycle that finds another save in
+// flight is skipped, not queued. The returned stop function halts the
+// ticker and waits for its goroutine; call it before Close. With
+// persistence disabled it is a no-op.
+func (s *Server) StartPeriodicSave(period time.Duration) (stop func()) {
+	if s.pst == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := s.pst.save(true); err == nil {
+					continue
+				}
+				// "already in progress" or an I/O failure: either way the
+				// next tick retries; failures also land in saveStatus.
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() { close(quit); <-done }
+}
+
+// close seals the persister: waits for an in-flight background dump and
+// syncs+closes the current segment. Called after every connection
+// goroutine has drained, so no append can race it.
+func (p *persister) close() {
+	p.bgWG.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.aof != nil {
+		p.aof.Close()
+		p.aof = nil
+	}
+}
+
+// infoPersistence renders INFO's persistence section.
+func (p *persister) info() string {
+	aofEnabled := 0
+	var aofSize int64
+	segs := 0
+	if p.aofOn {
+		aofEnabled = 1
+		p.mu.Lock()
+		if p.aof != nil {
+			aofSize = p.aof.Size()
+		}
+		segs = len(p.manifest.Incrs)
+		p.mu.Unlock()
+	}
+	bg := 0
+	if p.bgActive.Load() {
+		bg = 1
+	}
+	return fmt.Sprintf(
+		"\r\n# Persistence\r\n"+
+			"persistence_dir:%s\r\n"+
+			"aof_enabled:%d\r\n"+
+			"aof_fsync:%s\r\n"+
+			"aof_current_size:%d\r\n"+
+			"aof_segments:%d\r\n"+
+			"aof_last_write_status:%s\r\n"+
+			"rdb_bgsave_in_progress:%d\r\n"+
+			"rdb_last_save_time:%d\r\n"+
+			"rdb_last_bgsave_status:%s\r\n",
+		p.dir,
+		aofEnabled,
+		p.policy,
+		aofSize,
+		segs,
+		p.aofStatus.Load(),
+		bg,
+		p.lastSave.Load(),
+		p.saveStatus.Load(),
+	)
+}

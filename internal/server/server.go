@@ -67,6 +67,13 @@ type Config struct {
 	// ScanDefaultCount is SCAN's page size when no COUNT is given;
 	// 0 means 10 (Redis's default).
 	ScanDefaultCount int
+	// Persist enables durability (see persist.go); zero Dir disables it.
+	Persist PersistConfig
+	// MaxScanCursors caps the live snapshot-backed SCAN cursor table;
+	// 0 means 128. When full, the oldest cursor is evicted (its SCAN
+	// then terminates early with cursor 0, which clients must already
+	// tolerate — Redis cursors expire too).
+	MaxScanCursors int
 }
 
 // Server owns the map and the listener lifecycle. Create with New,
@@ -84,6 +91,18 @@ type Server struct {
 	closed bool
 
 	wg sync.WaitGroup
+
+	// gate is the persistence boundary (see persist.go): mutating
+	// commands hold RLock across map update + AOF append; a dump
+	// rotation holds Lock for its O(shards) instant. With persistence
+	// off it is an uncontended RLock — a few nanoseconds per mutation.
+	gate sync.RWMutex
+	pst  *persister // nil when persistence is disabled
+
+	// Snapshot-backed SCAN cursor table (see scan in dispatch.go).
+	scanMu   sync.Mutex
+	scans    map[uint64]*scanCursor
+	scanNext uint64
 
 	totalConns atomic.Int64
 	totalCmds  atomic.Int64
@@ -105,17 +124,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ScanDefaultCount > cfg.Limits.MaxArrayLen {
 		cfg.ScanDefaultCount = cfg.Limits.MaxArrayLen
 	}
+	if cfg.MaxScanCursors <= 0 {
+		cfg.MaxScanCursors = 128
+	}
 	db, err := nbtrie.NewShardedMap[[]byte](cfg.Keyer.Width(), cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:   cfg,
-		keyer: cfg.Keyer,
-		db:    db,
-		start: time.Now(),
-		conns: make(map[net.Conn]struct{}),
-	}, nil
+	s := &Server{
+		cfg:      cfg,
+		keyer:    cfg.Keyer,
+		db:       db,
+		start:    time.Now(),
+		conns:    make(map[net.Conn]struct{}),
+		scans:    make(map[uint64]*scanCursor),
+		scanNext: 1,
+	}
+	if cfg.Persist.Dir != "" {
+		// Recovery runs to completion before New returns — and so
+		// before any listener can exist: no client ever observes a
+		// partially recovered keyspace. Corruption (as opposed to a
+		// torn AOF tail) refuses to boot rather than silently serving
+		// a subset of committed data.
+		p, err := openPersister(s, cfg.Persist)
+		if err != nil {
+			return nil, err
+		}
+		s.pst = p
+	}
+	return s, nil
 }
 
 // DB exposes the backing map (tests and embedders).
@@ -199,6 +236,11 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// Every connection goroutine has drained: no append can race the
+	// persister's shutdown (wait for an in-flight BGSAVE, seal the AOF).
+	if s.pst != nil {
+		s.pst.close()
+	}
 	return err
 }
 
@@ -227,13 +269,21 @@ func (s *Server) connectedClients() int {
 // flushes before blocking. A simple "flush when the read buffer is
 // empty" check cannot express that (the buffer is non-empty, yet the
 // parser is about to block).
+//
+// The same moment is the durability batch boundary: the AOF commit
+// (write; +fsync under appendfsync always) runs strictly BEFORE the
+// reply flush, so no client ever reads an acknowledgement whose record
+// is not at least handed to the kernel — group commit, one
+// write(+fsync) per pipelined batch rather than per command.
 type flushBeforeRead struct {
 	c net.Conn
+	s *Server
 	w *resp.Writer
 }
 
 func (f flushBeforeRead) Read(p []byte) (int, error) {
 	if f.w.Buffered() > 0 {
+		f.s.commitAOF()
 		if err := f.w.Flush(); err != nil {
 			return 0, err
 		}
@@ -251,18 +301,20 @@ func (s *Server) handle(c net.Conn) {
 	// by the flushBeforeRead hook the moment the parser needs more
 	// bytes from the socket: one write syscall per batch, and never a
 	// withheld reply while the connection blocks reading.
-	rr := resp.NewRequestReader(bufio.NewReaderSize(flushBeforeRead{c: c, w: w}, 16<<10), s.cfg.Limits)
+	rr := resp.NewRequestReader(bufio.NewReaderSize(flushBeforeRead{c: c, s: s, w: w}, 16<<10), s.cfg.Limits)
 	for {
 		args, err := rr.ReadCommand()
 		if err != nil {
 			if resp.IsProtocolError(err) {
 				w.WriteError("ERR protocol error: " + err.Error())
+				s.commitAOF()
 				w.Flush()
 			}
 			return
 		}
 		s.totalCmds.Add(1)
 		if quit := s.dispatch(w, args); quit {
+			s.commitAOF()
 			w.Flush()
 			return
 		}
@@ -271,6 +323,10 @@ func (s *Server) handle(c net.Conn) {
 
 // infoText renders the INFO reply.
 func (s *Server) infoText() string {
+	persistence := "\r\n# Persistence\r\npersistence_dir:\r\naof_enabled:0\r\n"
+	if s.pst != nil {
+		persistence = s.pst.info()
+	}
 	return fmt.Sprintf(
 		"# Server\r\n"+
 			"nbtried_version:%s\r\n"+
@@ -284,6 +340,7 @@ func (s *Server) infoText() string {
 			"\r\n# Stats\r\n"+
 			"total_connections_received:%d\r\n"+
 			"total_commands_processed:%d\r\n"+
+			"%s"+
 			"\r\n# Keyspace\r\n"+
 			"db0:keys=%d\r\n",
 		Version,
@@ -294,6 +351,7 @@ func (s *Server) infoText() string {
 		s.connectedClients(),
 		s.totalConns.Load(),
 		s.totalCmds.Load(),
+		persistence,
 		s.db.Len(),
 	)
 }

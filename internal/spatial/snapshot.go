@@ -1,0 +1,62 @@
+package spatial
+
+import (
+	"nbtrie/internal/engine"
+	"nbtrie/internal/keys"
+)
+
+// Snapshot is a read-only point-in-time view of the spatial trie,
+// obtained in O(1) from Trie.Snapshot. Frozen after creation: all
+// methods are safe for unrestricted concurrent use and answer with the
+// state at the snapshot's linearization point — in particular InRect
+// over a snapshot sees no point twice, at two positions, or not at all,
+// even while concurrent Moves relocate points in the live trie.
+type Snapshot[V any] struct {
+	s *engine.Snapshot[keys.MortonKey, V]
+}
+
+// Snapshot returns a frozen view of the trie at the moment of the call,
+// in O(1) time and allocation independent of the trie's size.
+func (t *Trie[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{s: t.e.Snapshot()}
+}
+
+// Len returns the number of stored points at the snapshot point (exact).
+func (s *Snapshot[V]) Len() int { return s.s.Len() }
+
+// Contains reports whether a point was stored at (x, y) at the snapshot
+// point. Wait-free, allocation-free.
+func (s *Snapshot[V]) Contains(x, y uint32) bool { return s.s.Contains(enc(x, y)) }
+
+// Load returns the value stored at (x, y) at the snapshot point.
+func (s *Snapshot[V]) Load(x, y uint32) (V, bool) { return s.s.Load(enc(x, y)) }
+
+// AscendMorton calls fn on every point live at the snapshot point with
+// Morton code >= from, in Z-order, until fn returns false. A true
+// consistent cut.
+func (s *Snapshot[V]) AscendMorton(from uint64, fn func(m uint64, x, y uint32, val V) bool) {
+	s.s.AscendKV(keys.EncodeMorton(from), func(label keys.MortonKey, val V) bool {
+		m := keys.DecodeMorton(label)
+		x, y := keys.Deinterleave2(m)
+		return fn(m, x, y, val)
+	})
+}
+
+// InRect calls fn on every snapshot point inside the axis-aligned
+// rectangle [minX, maxX] × [minY, maxY], in Z-order, until fn returns
+// false (the same one-interval pruned scan as the live trie's InRect).
+func (s *Snapshot[V]) InRect(minX, minY, maxX, maxY uint32, fn func(x, y uint32, val V) bool) {
+	if minX > maxX || minY > maxY {
+		return
+	}
+	zMax := keys.Interleave2(maxX, maxY)
+	s.AscendMorton(keys.Interleave2(minX, minY), func(m uint64, x, y uint32, val V) bool {
+		if m > zMax {
+			return false
+		}
+		if x < minX || x > maxX || y < minY || y > maxY {
+			return true
+		}
+		return fn(x, y, val)
+	})
+}

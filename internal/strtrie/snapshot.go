@@ -1,0 +1,54 @@
+package strtrie
+
+import (
+	"nbtrie/internal/engine"
+	"nbtrie/internal/keys"
+)
+
+// Snapshot is a read-only point-in-time view of the byte-string trie,
+// obtained in O(1) from Trie.Snapshot. Frozen after creation: all
+// methods are safe for unrestricted concurrent use and answer with the
+// state at the snapshot's linearization point.
+type Snapshot[V any] struct {
+	s *engine.Snapshot[keys.Bitstring, V]
+}
+
+// Snapshot returns a frozen view of the trie at the moment of the call,
+// in O(1) time and allocation independent of the trie's size.
+func (t *Trie[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{s: t.e.Snapshot()}
+}
+
+// Len returns the number of keys at the snapshot point (exact).
+func (s *Snapshot[V]) Len() int { return s.s.Len() }
+
+// Contains reports whether k was in the set at the snapshot point.
+func (s *Snapshot[V]) Contains(k []byte) bool { return s.s.Contains(encode(k)) }
+
+// Load returns the value bound to k at the snapshot point.
+func (s *Snapshot[V]) Load(k []byte) (V, bool) { return s.s.Load(encode(k)) }
+
+// AllKV calls fn on every (key, value) pair live at the snapshot point,
+// in encoded-key order, until fn returns false. A true consistent cut:
+// the structure cannot change mid-walk.
+func (s *Snapshot[V]) AllKV(fn func(k []byte, val V) bool) {
+	s.s.AscendKV(keys.Bitstring{}, func(label keys.Bitstring, val V) bool {
+		k, ok := keys.DecodeString(label)
+		if !ok {
+			return true // defensive: only dummies fail to decode
+		}
+		return fn(k, val)
+	})
+}
+
+// AscendKV is AllKV starting at the encoding of from; from must be
+// non-empty like every trie key.
+func (s *Snapshot[V]) AscendKV(from []byte, fn func(k []byte, val V) bool) {
+	s.s.AscendKV(encode(from), func(label keys.Bitstring, val V) bool {
+		k, ok := keys.DecodeString(label)
+		if !ok {
+			return true
+		}
+		return fn(k, val)
+	})
+}

@@ -147,6 +147,13 @@ func (m *ShardedMap[V]) Ascend(from uint64) iter.Seq2[uint64, V] {
 	}
 }
 
+// Validate checks every shard's structural invariants — the paper's
+// proof invariants plus per-instantiation label checks. Quiescent use
+// only (tests, diagnostics, post-recovery verification).
+func (m *ShardedMap[V]) Validate() error {
+	return m.t.Validate()
+}
+
 // shardedSet adapts the sharded trie to the registry's Set interface.
 // It deliberately does not implement ReplaceSet: the sharded trie's
 // replace is atomic only within a shard, and a partial Replace cannot
