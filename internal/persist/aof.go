@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -203,15 +204,27 @@ func (a *AOF) Close() error {
 	return closeErr
 }
 
+// ApplyError wraps an error returned by the replay callback — the
+// record was structurally sound; APPLYING it failed. Callers use it
+// (via errors.As) to keep "the AOF is damaged" and "a well-formed
+// record could not be applied" as distinct diagnoses; reporting an
+// apply failure as file corruption would send an operator chasing the
+// wrong problem.
+type ApplyError struct{ Err error }
+
+func (e *ApplyError) Error() string { return "applying record: " + e.Err.Error() }
+func (e *ApplyError) Unwrap() error { return e.Err }
+
 // Replay parses RESP command records from r, calling fn for each in
 // order. It returns the byte offset just past the last complete record
 // (valid), torn = true when the stream ends mid-record — the expected
 // shape of a crash-truncated tail, whose partial record was never
 // acknowledged and is safely discarded by truncating the file to valid
 // — and a non-nil error only for real corruption (a structurally
-// invalid byte sequence before the tail) or an error returned by fn.
-// Replay never panics on arbitrary input; FuzzAOFReplay holds it to
-// that.
+// invalid byte sequence before the tail) or for a failure from fn,
+// which is wrapped in *ApplyError so the two causes stay
+// distinguishable. Replay never panics on arbitrary input;
+// FuzzAOFReplay holds it to that.
 func Replay(r io.Reader, lim resp.Limits, fn func(args [][]byte) error) (valid int64, torn bool, err error) {
 	cr := &countingReader{r: r}
 	br := bufio.NewReader(cr)
@@ -222,7 +235,7 @@ func Replay(r io.Reader, lim resp.Limits, fn func(args [][]byte) error) (valid i
 		case err == nil:
 			valid = cr.n - int64(br.Buffered())
 			if err := fn(args); err != nil {
-				return valid, false, err
+				return valid, false, &ApplyError{Err: err}
 			}
 		case err == io.EOF:
 			return valid, false, nil // clean end between records
@@ -252,6 +265,12 @@ func ReplayFile(path string, lim resp.Limits, fn func(args [][]byte) error) (rec
 	})
 	f.Close()
 	if err != nil {
+		// An apply failure is the caller's record rejecting, not file
+		// damage; only structural errors get the corruption wording.
+		var ae *ApplyError
+		if errors.As(err, &ae) {
+			return records, false, fmt.Errorf("persist: aof %s: record ending at offset %d failed to apply: %w", path, valid, ae.Err)
+		}
 		return records, false, fmt.Errorf("persist: aof %s invalid at offset %d: %w", path, valid, err)
 	}
 	if torn {

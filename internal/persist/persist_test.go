@@ -3,9 +3,11 @@ package persist
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nbtrie/internal/resp"
@@ -316,3 +318,57 @@ func FuzzAOFReplay(f *testing.F) {
 }
 
 func newBufWriter(w *bytes.Buffer) *bufio.Writer { return bufio.NewWriter(w) }
+
+// TestReplayDistinguishesApplyErrors: an error from the replay callback
+// is an apply failure wrapped in *ApplyError, never reported in the
+// corruption wording — misdiagnosing a rejected record as file damage
+// would send recovery (and the operator) down the wrong path.
+func TestReplayDistinguishesApplyErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := resp.NewWriter(newBufWriter(&buf))
+	w.WriteCommand([]byte("SET"), []byte("a"), []byte("1"))
+	w.WriteCommand([]byte("SET"), []byte("b"), []byte("2"))
+	w.Flush()
+
+	boom := errors.New("boom: record rejected")
+	_, torn, err := Replay(bytes.NewReader(buf.Bytes()), resp.Limits{}, func(args [][]byte) error {
+		if string(args[1]) == "b" {
+			return boom
+		}
+		return nil
+	})
+	if torn {
+		t.Fatal("apply failure misreported as torn tail")
+	}
+	var ae *ApplyError
+	if !errors.As(err, &ae) || !errors.Is(err, boom) {
+		t.Fatalf("fn error not wrapped as ApplyError: %v", err)
+	}
+
+	// File-level wording: apply failures say so; structural damage keeps
+	// the corruption message.
+	dir := t.TempDir()
+	path := filepath.Join(dir, IncrName(3))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayFile(path, resp.Limits{}, func([][]byte) error { return boom })
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "failed to apply") {
+		t.Fatalf("apply failure wording: %v", err)
+	}
+	if strings.Contains(err.Error(), "invalid at offset") {
+		t.Fatalf("apply failure misworded as corruption: %v", err)
+	}
+
+	damaged := append([]byte{'!'}, buf.Bytes()...)
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayFile(path, resp.Limits{}, func([][]byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "invalid at offset") {
+		t.Fatalf("corruption wording: %v", err)
+	}
+	if errors.As(err, &ae) {
+		t.Fatalf("corruption misreported as apply failure: %v", err)
+	}
+}

@@ -47,6 +47,10 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			s.wrongArity(w, cmd)
 			return
 		}
+		if s.persistDegraded() {
+			s.misconf(w)
+			return
+		}
 		k, ok := s.encodeKey(w, args[1])
 		if !ok {
 			return
@@ -62,6 +66,10 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 	case "DEL":
 		if len(args) < 2 {
 			s.wrongArity(w, cmd)
+			return
+		}
+		if s.persistDegraded() {
+			s.misconf(w)
 			return
 		}
 		// Validate every key before the first delete: an invalid key
@@ -122,6 +130,10 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
 			s.wrongArity(w, cmd)
+			return
+		}
+		if s.persistDegraded() {
+			s.misconf(w)
 			return
 		}
 		ks := make([]uint64, 0, (len(args)-1)/2)
@@ -311,6 +323,13 @@ func (s *Server) scan(w *resp.Writer, args [][]byte) {
 func (s *Server) rename(w *resp.Writer, args [][]byte) {
 	if len(args) != 3 {
 		s.wrongArity(w, "RENAME")
+		return
+	}
+	// Refuse like every other mutation while the AOF is degraded; the
+	// rename-to-self fast path below mutates nothing but gets the same
+	// refusal for predictability.
+	if s.persistDegraded() {
+		s.misconf(w)
 		return
 	}
 	old, ok := s.encodeKey(w, args[1])

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nbtrie/internal/persist"
+	"nbtrie/internal/resp"
 )
 
 // Durability orchestration: how the server composes internal/persist's
@@ -25,14 +26,20 @@ import (
 // with the wrong value). The server enforces the boundary with one
 // RWMutex, gate: every mutating command holds gate.RLock across its
 // map update AND its AOF append, and a rotation holds gate.Lock while
-// it (a) opens a fresh AOF segment, (b) commits the manifest listing it
-// and (c) takes the map snapshot the dump will stream from. Writers are
-// quiesced for those three steps only — O(shards) work plus three file
-// operations, independent of data size; the dump itself streams from
-// the frozen snapshot with no lock held. Every mutation therefore
-// observes the rotation entirely before it (its map update is in the
-// snapshot, its record in an old segment the next manifest drops) or
+// it (a) opens a fresh AOF segment, (b) commits the manifest listing
+// it, (c) takes the map snapshot the dump will stream from and (d)
+// seals the old segment (flush + fsync + close). Writers are quiesced
+// for those four steps only — O(shards) work plus a handful of file
+// operations whose cost is bounded by one batch's buffered appends,
+// independent of data size; the dump itself streams from the frozen
+// snapshot with no lock held. Every mutation therefore observes the
+// rotation entirely before it (its map update is in the snapshot, its
+// record durable in an old segment the next manifest drops) or
 // entirely after (not in the snapshot, record in the new segment).
+// Step (d) inside the gate is load-bearing: batch commits
+// (commitAOF) also run under gate.RLock against whatever segment is
+// current, so a pre-swap append can only be acknowledged after either
+// its own segment's commit or the rotation's seal has made it durable.
 //
 // The gate also makes the sharded snapshot's documented weakness moot
 // here: taken under gate.Lock, the per-shard cuts see an identical
@@ -60,11 +67,15 @@ import (
 // Connections buffer replies per pipelined batch and flush when the
 // parser would block (flushBeforeRead). The AOF commit is hooked into
 // that same moment, BEFORE the reply flush: append (buffered, under
-// gate.RLock) → aof.Commit (write syscall; +fsync under always) →
-// reply flush. A client that has seen "+OK" therefore knows the record
-// is at least in the kernel (always: on stable storage) — the classic
-// group-commit pattern, one write+fsync per batch rather than per
-// command.
+// gate.RLock) → aof.Commit (write syscall; +fsync under always, itself
+// under gate.RLock — see commitAOF) → reply flush. A client that has
+// seen "+OK" therefore knows the record is at least in the kernel
+// (always: on stable storage) — the classic group-commit pattern, one
+// write+fsync per batch rather than per command. When the commit
+// FAILS, the batch's replies are never flushed: the connection drops,
+// the AOF degrades (stderr + INFO), and dispatch refuses further
+// mutations with -MISCONF — a failed disk can delay or kill client
+// traffic but can never turn into a false acknowledgement.
 
 // PersistConfig enables durability. Zero Dir means disabled.
 type PersistConfig struct {
@@ -258,29 +269,70 @@ func (s *Server) applyRecord(args [][]byte) error {
 
 // appendMutation records one acknowledged mutation. Callers hold
 // gate.RLock across the map update and this call (the exact-boundary
-// invariant). A write error degrades to in-memory service and is
-// surfaced through INFO rather than failing client commands.
+// invariant); that RLock is also what makes reading p.aof safe, since
+// rotations swap it under gate.Lock.
 func (s *Server) appendMutation(args ...[]byte) {
 	p := s.pst
 	if p == nil || !p.aofOn {
 		return
 	}
 	if err := p.aof.Append(args...); err != nil {
-		p.aofStatus.CompareAndSwap("ok", err.Error())
+		p.degradeAOF(err)
 	}
 }
 
 // commitAOF is the batch-boundary hook: everything appended since the
 // last commit reaches the file (and stable storage, under always)
-// before the replies for the batch are flushed.
-func (s *Server) commitAOF() {
+// before the replies for the batch are flushed. It holds gate.RLock so
+// the p.aof read is ordered against rotations: a rotation seals the
+// previous segment before releasing the gate, so the segment committed
+// here either is the one this batch appended to, or post-dates a seal
+// that already made those appends durable — a post-swap commit can
+// never acknowledge records still buffered in the pre-swap segment.
+//
+// A false return means the commit failed and the batch's replies MUST
+// NOT be flushed: they would acknowledge writes that never became
+// durable. Callers drop the connection instead.
+func (s *Server) commitAOF() (ok bool) {
 	p := s.pst
 	if p == nil || !p.aofOn {
-		return
+		return true
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if p.aof == nil {
+		return true
 	}
 	if err := p.aof.Commit(); err != nil {
-		p.aofStatus.CompareAndSwap("ok", err.Error())
+		p.degradeAOF(err)
+		return false
 	}
+	return true
+}
+
+// degradeAOF records the first AOF write error. The INFO status flips
+// from "ok", one loud line goes to stderr, and from then on dispatch
+// refuses every mutating command with -MISCONF (persistDegraded below):
+// the server never keeps silently acking writes it can no longer make
+// durable. Reads keep working; recovery is operator action + restart.
+func (p *persister) degradeAOF(err error) {
+	if p.aofStatus.CompareAndSwap("ok", err.Error()) {
+		fmt.Fprintf(os.Stderr, "nbtried: AOF write failed; refusing further mutations (-MISCONF) until restart: %v\n", err)
+	}
+}
+
+// persistDegraded reports whether the AOF has recorded a write error.
+func (s *Server) persistDegraded() bool {
+	p := s.pst
+	return p != nil && p.aofOn && p.aofStatus.Load() != "ok"
+}
+
+// misconf answers the Redis-style refusal for mutations while the AOF
+// is broken.
+func (s *Server) misconf(w *resp.Writer) {
+	w.WriteError(fmt.Sprintf(
+		"MISCONF AOF write failed (%s); mutating commands are disabled so acknowledged writes stay durable — fix the data directory and restart",
+		s.pst.aofStatus.Load()))
 }
 
 // save runs a dump cycle. background=false is SAVE: the dump streams
@@ -326,14 +378,18 @@ func (p *persister) save(background bool) error {
 	if p.aofOn {
 		p.aof = newSeg
 	}
-	p.s.gate.Unlock()
-
 	if oldSeg != nil {
-		// Every record in the old segment is covered by the snapshot;
-		// seal it so its bytes are durable before the new base could
-		// ever replace it in the recipe.
+		// Seal (flush + fsync + close) the old segment BEFORE releasing
+		// the gate. commitAOF runs under gate.RLock and commits whatever
+		// p.aof points to, so a batch appended pre-swap can be committed
+		// — and its replies acknowledged — against the NEW segment only.
+		// Sealing inside the gate makes those pre-swap records durable
+		// before any such acknowledgement is possible; sealing after the
+		// unlock would leave a window where a crash loses acked bytes
+		// still sitting in the old segment's write buffer.
 		oldSeg.Close()
 	}
+	p.s.gate.Unlock()
 
 	doDump := func() error {
 		defer p.bgActive.Store(false)
@@ -465,6 +521,12 @@ func (p *persister) close() {
 	p.bgWG.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// gate.Lock keeps the p.aof write ordered with commitAOF's
+	// gate.RLock reads (same mu→gate order as save's rotation); by the
+	// time close runs the connections are drained, so this is
+	// belt-and-braces for the race detector, not a live contention.
+	p.s.gate.Lock()
+	defer p.s.gate.Unlock()
 	if p.aof != nil {
 		p.aof.Close()
 		p.aof = nil

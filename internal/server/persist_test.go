@@ -345,3 +345,32 @@ func TestPersistShardCountChange(t *testing.T) {
 	c2.mustBulk("write", "GET", "tail")
 	c2.mustInt(65, "DBSIZE")
 }
+
+// TestPersistDegradedRefusesMutations: after an AOF write error the
+// server must refuse every mutating command with -MISCONF (never
+// silently ack writes it can no longer make durable) while reads keep
+// serving, and INFO must surface the failure.
+func TestPersistDegradedRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	s, addr := startServer(t, persistCfg(dir))
+	c := dial(t, addr)
+	c.mustSimple("OK", "SET", "pre", "1")
+	c.mustSimple("OK", "SET", "src", "v")
+
+	s.pst.degradeAOF(fmt.Errorf("disk on fire"))
+
+	c.mustErrContain("MISCONF", "SET", "post", "2")
+	c.mustErrContain("MISCONF", "DEL", "pre")
+	c.mustErrContain("MISCONF", "MSET", "a", "1", "b", "2")
+	c.mustErrContain("MISCONF", "RENAME", "src", "dst")
+	// Reads stay up, and no refused mutation leaked into the map.
+	c.mustBulk("1", "GET", "pre")
+	c.mustBulk("v", "GET", "src")
+	c.mustNull("GET", "post")
+	c.mustInt(2, "DBSIZE")
+
+	info := c.do("INFO")
+	if info.Kind != resp.TypeBulk || !strings.Contains(string(info.Str), "aof_last_write_status:disk on fire") {
+		t.Fatalf("INFO does not surface the AOF failure:\n%s", info.Str)
+	}
+}

@@ -281,9 +281,19 @@ type flushBeforeRead struct {
 	w *resp.Writer
 }
 
+// errAOFCommitFailed tears down a connection whose batch commit failed
+// before its replies could falsely acknowledge the writes.
+var errAOFCommitFailed = errors.New("server: aof commit failed; dropping connection without acknowledging the batch")
+
 func (f flushBeforeRead) Read(p []byte) (int, error) {
 	if f.w.Buffered() > 0 {
-		f.s.commitAOF()
+		if !f.s.commitAOF() {
+			// The batch's records never became durable; flushing its
+			// replies would be false acknowledgement. Poisoning the read
+			// drops the connection with the replies unsent — the client
+			// observes an error, not an ack.
+			return 0, errAOFCommitFailed
+		}
 		if err := f.w.Flush(); err != nil {
 			return 0, err
 		}
@@ -307,15 +317,19 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil {
 			if resp.IsProtocolError(err) {
 				w.WriteError("ERR protocol error: " + err.Error())
-				s.commitAOF()
-				w.Flush()
+				if s.commitAOF() {
+					w.Flush()
+				}
 			}
 			return
 		}
 		s.totalCmds.Add(1)
 		if quit := s.dispatch(w, args); quit {
-			s.commitAOF()
-			w.Flush()
+			// Same ordering as flushBeforeRead: a failed commit means the
+			// buffered replies must die with the connection, unflushed.
+			if s.commitAOF() {
+				w.Flush()
+			}
 			return
 		}
 	}
