@@ -40,6 +40,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,6 +49,7 @@ import (
 
 	"nbtrie/internal/bench"
 	"nbtrie/internal/resp"
+	"nbtrie/internal/server"
 	"nbtrie/internal/stats"
 	"nbtrie/internal/workload"
 )
@@ -76,6 +78,8 @@ type options struct {
 	smoke     bool
 	noPrefill bool
 	bgsave    bool
+	suffix    string
+	appendOut bool
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -98,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		smoke      = fs.Bool("smoke", false, "run the correctness battery instead of the benchmark (needs a fresh empty server with the default bytes keyer)")
 		noPrefill  = fs.Bool("no-prefill", false, "skip prefilling every other key before measuring")
 		bgsave     = fs.Bool("bgsave", false, "fire BGSAVE every 100ms during every trial (server must run with -dir); measures dump-under-load throughput")
+		suffix     = fs.String("series-suffix", "", "appended to every series name (e.g. \"-affine\" when benchmarking a -dispatch=affine server)")
+		appendFl   = fs.Bool("append", false, "with -json: merge series into an existing artifact instead of overwriting it (same-name series are replaced)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		getPct: *getPct, keyRange: *keyRange, duration: *duration,
 		warmup: *warmup, trials: *trials, seed: *seed, quick: *quick,
 		jsonOut: *jsonOut, outDir: *outDir, smoke: *smoke, noPrefill: *noPrefill,
-		bgsave: *bgsave,
+		bgsave: *bgsave, suffix: *suffix, appendOut: *appendFl,
 	}
 	for _, f := range strings.Split(*clientsStr, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -211,14 +217,18 @@ func drain(c *client, n int) error {
 }
 
 // trial runs nClients pipelined connections for d and returns aggregate
-// completed commands per second.
-func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float64, error) {
+// completed commands per second plus per-command latency samples in
+// microseconds. Latency is measured client-side per pipelined batch —
+// flush to last reply parsed — divided by the pipeline depth: the
+// amortized per-command cost a pipelining client actually experiences,
+// not the isolated round-trip time of an unpipelined command.
+func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float64, []float64, error) {
 	mix := workload.Mix{FindPct: opt.getPct, InsertPct: 100 - opt.getPct}
 	clients := make([]*client, nClients)
 	for i := range clients {
 		c, err := dialClient(opt.addr)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		defer c.close()
 		clients[i] = c
@@ -228,6 +238,7 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		total int64
+		lats  []float64
 		fail  error
 	)
 	deadline := time.Now().Add(d)
@@ -239,13 +250,13 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 		// whole measurement is vacuous and must abort.
 		admin, err := dialClient(opt.addr)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		defer admin.close()
 		if v, err := admin.do("BGSAVE"); err != nil {
-			return 0, err
+			return 0, nil, err
 		} else if e := v.Err(); e != nil && strings.Contains(e.Error(), "disabled") {
-			return 0, fmt.Errorf("-bgsave needs a server started with -dir: %w", e)
+			return 0, nil, fmt.Errorf("-bgsave needs a server started with -dir: %w", e)
 		}
 		stopSaver := make(chan struct{})
 		saverDone := make(chan struct{})
@@ -272,6 +283,7 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 			defer wg.Done()
 			g := workload.NewGenerator(mix, opt.keyRange, seed)
 			n := int64(0)
+			samples := make([]float64, 0, 4096)
 			var err error
 			for time.Now().Before(deadline) {
 				// One pipelined batch: write opt.pipeline commands,
@@ -285,13 +297,17 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 						c.w.WriteCommandString("SET", key, val)
 					}
 				}
+				batchStart := time.Now()
 				if err = drain(c, opt.pipeline); err != nil {
 					break
 				}
+				samples = append(samples,
+					time.Since(batchStart).Seconds()*1e6/float64(opt.pipeline))
 				n += int64(opt.pipeline)
 			}
 			mu.Lock()
 			total += n
+			lats = append(lats, samples...)
 			if err != nil && fail == nil {
 				fail = err
 			}
@@ -302,12 +318,29 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 	wg.Wait()
 	elapsed := time.Since(start)
 	if fail != nil {
-		return 0, fail
+		return 0, nil, fail
 	}
 	if elapsed <= 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
-	return float64(total) / elapsed.Seconds(), nil
+	return float64(total) / elapsed.Seconds(), lats, nil
+}
+
+// probeDispatchMode asks the server how it dispatches (the INFO
+// "dispatch:" line), so the in-process alloc probe measures the same
+// path the throughput numbers came from. Unknown/old servers report
+// "conn" — the default path.
+func probeDispatchMode(c *client) string {
+	v, err := c.do("INFO")
+	if err != nil || v.Kind != resp.TypeBulk {
+		return "conn"
+	}
+	for _, line := range strings.Split(string(v.Str), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "dispatch:"); ok {
+			return rest
+		}
+	}
+	return "conn"
 }
 
 func runBench(opt options, stdout io.Writer) error {
@@ -320,6 +353,7 @@ func runBench(opt options, stdout io.Writer) error {
 		probe.close()
 		return fmt.Errorf("server at %s did not answer PING (%v, %v)", opt.addr, v, err)
 	}
+	dispatchMode := probeDispatchMode(probe)
 	probe.close()
 
 	if !opt.noPrefill {
@@ -328,30 +362,38 @@ func runBench(opt options, stdout io.Writer) error {
 		}
 	}
 
-	baseName := fmt.Sprintf("get%d-set%d", opt.getPct, 100-opt.getPct)
-	fmt.Fprintf(stdout, "nbtriebench: %s @ %s, pipeline %d, %dB values, key range %d, %d x %v per point\n",
-		baseName, opt.addr, opt.pipeline, opt.valueSize, opt.keyRange, opt.trials, opt.duration)
+	baseName := fmt.Sprintf("get%d-set%d%s", opt.getPct, 100-opt.getPct, opt.suffix)
+	fmt.Fprintf(stdout, "nbtriebench: %s @ %s (dispatch=%s), pipeline %d, %dB values, key range %d, %d x %v per point\n",
+		baseName, opt.addr, dispatchMode, opt.pipeline, opt.valueSize, opt.keyRange, opt.trials, opt.duration)
 
 	sweep := func(o options, name string) (bench.Series, error) {
-		fmt.Fprintf(stdout, "%s\n%8s %14s %8s\n", name, "clients", "mean ops/s", "±stddev")
+		fmt.Fprintf(stdout, "%s\n%8s %14s %8s %10s %10s\n", name, "clients", "mean ops/s", "±stddev", "p50 µs", "p99 µs")
 		series := bench.Series{Name: name}
 		for _, nClients := range o.clients {
 			if o.warmup > 0 {
-				if _, err := trial(o, nClients, o.warmup, o.seed+500009); err != nil {
+				if _, _, err := trial(o, nClients, o.warmup, o.seed+500009); err != nil {
 					return series, err
 				}
 			}
 			xs := make([]float64, 0, o.trials)
+			var lats []float64 // pooled across trials of this point
 			for tr := 0; tr < o.trials; tr++ {
-				x, err := trial(o, nClients, o.duration, o.seed+uint64(tr)+1000003)
+				x, ls, err := trial(o, nClients, o.duration, o.seed+uint64(tr)+1000003)
 				if err != nil {
 					return series, err
 				}
 				xs = append(xs, x)
+				lats = append(lats, ls...)
 			}
 			sum := stats.Summarize(xs)
-			series.Points = append(series.Points, bench.Point{Threads: nClients, Summary: sum})
-			fmt.Fprintf(stdout, "%8d %14.0f %7.1f%%\n", nClients, sum.Mean, 100*sum.RelStddev())
+			p50 := stats.Percentile(lats, 50)
+			p99 := stats.Percentile(lats, 99)
+			series.Points = append(series.Points, bench.Point{
+				Threads: nClients, Summary: sum,
+				P50LatencyUS: p50, P99LatencyUS: p99,
+			})
+			fmt.Fprintf(stdout, "%8d %14.0f %7.1f%% %10.1f %10.1f\n",
+				nClients, sum.Mean, 100*sum.RelStddev(), p50, p99)
 		}
 		return series, nil
 	}
@@ -387,10 +429,49 @@ func runBench(opt options, stdout io.Writer) error {
 		a := bench.NewArtifact("server", "nbtried RESP server: pipelined GET/SET over loopback TCP", cfg, 0, opt.quick)
 		a.Config.PipelineDepth = opt.pipeline
 		a.Config.ValueSize = opt.valueSize
+		a.Machine = bench.HostMachine()
 		allocs := codecAllocs(opt.valueSize)
 		a.AddSeries(series, &allocs)
+		// The server-side dispatch pins ride on the main series. The probe
+		// runs in-process against the same dispatch mode the server
+		// reported, so the artifact records the path that produced the
+		// throughput numbers above.
+		if sp, err := server.MeasureServerPathAllocs(dispatchMode, opt.valueSize); err == nil {
+			a.Series[len(a.Series)-1].ServerAllocsPerOp = &bench.ServerAllocsProfile{
+				Get: sp.Get, Set: sp.Set, SetCodec: sp.SetCodec,
+				Del: sp.Del, Exists: sp.Exists, MGet: sp.MGet,
+			}
+		} else {
+			fmt.Fprintf(stdout, "warning: server-path alloc probe failed: %v\n", err)
+		}
 		if bgSeries != nil {
 			a.AddSeries(*bgSeries, nil)
+		}
+		// -append folds this run's series into an existing artifact (the
+		// two-mode BENCH_server.json workflow: one daemon per dispatch
+		// mode, two nbtriebench runs, one file). Same-name series are
+		// replaced; everything else in the existing artifact is kept.
+		if opt.appendOut {
+			existingPath := filepath.Join(opt.outDir, bench.ArtifactFilename("server"))
+			if existing, err := bench.ReadArtifact(existingPath); err == nil {
+				for _, s := range a.Series {
+					replaced := false
+					for i := range existing.Series {
+						if existing.Series[i].Name == s.Name {
+							existing.Series[i] = s
+							replaced = true
+							break
+						}
+					}
+					if !replaced {
+						existing.Series = append(existing.Series, s)
+					}
+				}
+				existing.Machine = a.Machine
+				a = existing
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("-append: %w", err)
+			}
 		}
 		path, err := bench.WriteArtifact(opt.outDir, a)
 		if err != nil {

@@ -28,15 +28,22 @@ import (
 // traffic so kills also land mid-rotation and mid-dump. After the last
 // cycle the data directory is opened in-process to run the trie's
 // structural Validate over the recovered state.
+//
+// The battery runs once per dispatch mode: affine moves the
+// store+append critical section from connection goroutines into shard
+// workers, and the zero-acked-write-loss promise must hold identically
+// on that path.
 func TestCrashRecoveryBattery(t *testing.T) {
+	cycles := 50
 	if testing.Short() {
-		t.Run("battery", func(t *testing.T) { crashBattery(t, 6) })
-		return
+		cycles = 6
 	}
-	crashBattery(t, 50)
+	for _, dispatch := range []string{"conn", "affine"} {
+		t.Run(dispatch, func(t *testing.T) { crashBattery(t, cycles, dispatch) })
+	}
 }
 
-func crashBattery(t *testing.T, cycles int) {
+func crashBattery(t *testing.T, cycles int, dispatch string) {
 	bin := buildDaemon(t)
 	dataDir := t.TempDir()
 	portFile := filepath.Join(t.TempDir(), "port")
@@ -49,6 +56,7 @@ func crashBattery(t *testing.T, cycles int) {
 		os.Remove(portFile)
 		cmd := exec.Command(bin,
 			"-addr", "127.0.0.1:0", "-port-file", portFile,
+			"-dispatch", dispatch,
 			"-dir", dataDir, "-aof", "-appendfsync", "always")
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

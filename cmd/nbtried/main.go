@@ -17,6 +17,10 @@
 //	-shards     shard count for the backing map (0 = GOMAXPROCS-based)
 //	-max-bulk   largest accepted bulk string (keys and values), bytes
 //	-scan-count SCAN's default page size
+//	-dispatch   request dispatch mode: "conn" (each connection executes
+//	            its own commands; the default) or "affine" (single-key
+//	            commands are routed to per-shard worker goroutines —
+//	            see DESIGN.md §10)
 //	-port-file  write the actual listen address to this file once
 //	            listening (for scripts that start on a random port)
 //
@@ -76,6 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shards    = fs.Int("shards", 0, "shard count (0 = default, else a power of two in [1, 256])")
 		maxBulk   = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
 		scanCount = fs.Int("scan-count", 10, "SCAN's default page size")
+		dispatch  = fs.String("dispatch", "conn", "dispatch mode: conn or affine")
 		portFile  = fs.String("port-file", "", "write the actual listen address here once listening")
 		dir       = fs.String("dir", "", "data directory; enables persistence")
 		aof       = fs.Bool("aof", false, "append acknowledged mutations to an append-only file (requires -dir)")
@@ -104,6 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Shards:           *shards,
 		Limits:           resp.Limits{MaxBulkLen: *maxBulk},
 		ScanDefaultCount: *scanCount,
+		Dispatch:         *dispatch,
 		Persist:          server.PersistConfig{Dir: *dir, AOF: *aof, Fsync: policy},
 	})
 	if err != nil {

@@ -100,19 +100,58 @@ type ArtifactConfig struct {
 	ValueSize     int `json:"value_size,omitempty"`
 }
 
-// ArtifactPoint is one (threads, throughput) measurement.
+// ArtifactPoint is one (threads, throughput) measurement. The latency
+// percentiles are additive (cmd/nbtriebench measures them client-side
+// per pipelined batch, divided by the pipeline depth); they are omitted
+// by producers that do not measure latency, and absent from artifacts
+// written before they existed — consumers must treat zero as "not
+// measured", which is also why benchcheck does not gate on them.
 type ArtifactPoint struct {
 	Threads         int     `json:"threads"`
 	MeanOpsPerSec   float64 `json:"mean_ops_per_sec"`
 	StddevOpsPerSec float64 `json:"stddev_ops_per_sec"`
+	P50LatencyUS    float64 `json:"p50_latency_us,omitempty"`
+	P99LatencyUS    float64 `json:"p99_latency_us,omitempty"`
+}
+
+// ServerAllocsProfile pins the SERVER-side dispatch path (wire parse →
+// command dispatch → reply encode), measured in-process by
+// cmd/nbtriebench via internal/server's probe — the numbers the wire
+// hides from a client-side profile. SetCodec excludes the engine's own
+// store-path allocations (those are pinned by the library artifacts);
+// the other ops run their full path, engine included, because it is
+// allocation-free.
+type ServerAllocsProfile struct {
+	Get      float64 `json:"get"`
+	Set      float64 `json:"set"` // full path, engine included
+	SetCodec float64 `json:"set_codec"`
+	Del      float64 `json:"del"`
+	Exists   float64 `json:"exists"`
+	MGet     float64 `json:"mget"`
 }
 
 // ArtifactSeries is one line of a figure: an implementation's sweep plus
-// its allocation profile.
+// its allocation profile. ServerAllocsPerOp is additive (server
+// artifacts only); benchcheck gates it only when the baseline has it.
 type ArtifactSeries struct {
-	Name        string          `json:"name"`
-	Points      []ArtifactPoint `json:"points"`
-	AllocsPerOp *AllocsProfile  `json:"allocs_per_op,omitempty"`
+	Name              string               `json:"name"`
+	Points            []ArtifactPoint      `json:"points"`
+	AllocsPerOp       *AllocsProfile       `json:"allocs_per_op,omitempty"`
+	ServerAllocsPerOp *ServerAllocsProfile `json:"server_allocs_per_op,omitempty"`
+}
+
+// Machine records the shape of the host that produced an artifact —
+// enough to judge whether two artifacts are comparable at all.
+// Additive: library artifacts omit it (nil), old artifacts parse fine.
+type Machine struct {
+	NumCPU int    `json:"num_cpu"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+}
+
+// HostMachine describes the current host.
+func HostMachine() *Machine {
+	return &Machine{NumCPU: runtime.NumCPU(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 }
 
 // Artifact is the full BENCH_<figure>.json document.
@@ -122,6 +161,7 @@ type Artifact struct {
 	Title      string           `json:"title"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Quick      bool             `json:"quick"`
+	Machine    *Machine         `json:"machine,omitempty"`
 	Config     ArtifactConfig   `json:"config"`
 	Series     []ArtifactSeries `json:"series"`
 }
@@ -155,6 +195,8 @@ func (a *Artifact) AddSeries(s Series, allocs *AllocsProfile) {
 			Threads:         p.Threads,
 			MeanOpsPerSec:   p.Summary.Mean,
 			StddevOpsPerSec: p.Summary.Stddev,
+			P50LatencyUS:    p.P50LatencyUS,
+			P99LatencyUS:    p.P99LatencyUS,
 		})
 	}
 	a.Series = append(a.Series, as)

@@ -165,10 +165,14 @@ func RunExperiment(factory func() Set, cfg Config) (stats.Summary, error) {
 	return stats.Summarize(xs), nil
 }
 
-// Point is one (threads, throughput) measurement of a series.
+// Point is one (threads, throughput) measurement of a series. The
+// latency percentiles are optional (zero = not measured): only
+// cmd/nbtriebench's client-measured per-batch sampling fills them.
 type Point struct {
-	Threads int
-	Summary stats.Summary
+	Threads      int
+	Summary      stats.Summary
+	P50LatencyUS float64
+	P99LatencyUS float64
 }
 
 // Series is one line of a figure: an implementation swept over thread

@@ -88,6 +88,7 @@ func CompareArtifacts(baseline, candidate Artifact, opt CompareOptions) ([]Regre
 		}
 		regs = append(regs, compareThroughput(base, cand, opt.MaxDrop)...)
 		regs = append(regs, compareAllocs(base, cand, opt.AllocSlack)...)
+		regs = append(regs, compareServerAllocs(base, cand, opt.AllocSlack)...)
 	}
 	return regs, nil
 }
@@ -144,6 +145,49 @@ func compareAllocs(base, cand ArtifactSeries, slack float64) []Regression {
 				Metric: fmt.Sprintf("allocs/op (%s)", op.name),
 				Old:    op.old, New: op.new,
 				Message: fmt.Sprintf("%s: %s allocs/op rose %.2f -> %.2f (slack %.2f)",
+					base.Name, op.name, op.old, op.new, slack),
+			})
+		}
+	}
+	return regs
+}
+
+// compareServerAllocs gates the server-side dispatch pins the same way
+// compareAllocs gates the client codec — but only when the baseline has
+// them, so pre-existing artifacts (and library figures, which never
+// measure the server path) pass untouched. Latency percentiles are
+// deliberately NOT gated: they are throughput's noisy cousin, recorded
+// for inspection, not regression-tested.
+func compareServerAllocs(base, cand ArtifactSeries, slack float64) []Regression {
+	if base.ServerAllocsPerOp == nil {
+		return nil
+	}
+	if cand.ServerAllocsPerOp == nil {
+		return []Regression{{
+			Series: base.Name, Metric: "server allocs/op",
+			Message: fmt.Sprintf("%s: server_allocs_per_op missing from candidate (baseline pins it)", base.Name),
+		}}
+	}
+	b, c := base.ServerAllocsPerOp, cand.ServerAllocsPerOp
+	ops := []struct {
+		name     string
+		old, new float64
+	}{
+		{"get", b.Get, c.Get},
+		{"set", b.Set, c.Set},
+		{"set_codec", b.SetCodec, c.SetCodec},
+		{"del", b.Del, c.Del},
+		{"exists", b.Exists, c.Exists},
+		{"mget", b.MGet, c.MGet},
+	}
+	var regs []Regression
+	for _, op := range ops {
+		if op.new > op.old+slack {
+			regs = append(regs, Regression{
+				Series: base.Name,
+				Metric: fmt.Sprintf("server allocs/op (%s)", op.name),
+				Old:    op.old, New: op.new,
+				Message: fmt.Sprintf("%s: server %s allocs/op rose %.2f -> %.2f (slack %.2f)",
 					base.Name, op.name, op.old, op.new, slack),
 			})
 		}

@@ -143,3 +143,56 @@ func TestReadArtifactRoundTripAndSchemaGate(t *testing.T) {
 		t.Error("missing file must error")
 	}
 }
+
+// TestCompareArtifactsServerAllocs: the server-path pins gate like the
+// client codec's, but only when the baseline carries them — an old
+// baseline without the field never fails a candidate that has it.
+func TestCompareArtifactsServerAllocs(t *testing.T) {
+	withSrv := func(name string, srv *ServerAllocsProfile) ArtifactSeries {
+		s := mkSeries(name, map[int]float64{1: 1000}, nil)
+		s.ServerAllocsPerOp = srv
+		return s
+	}
+	opt := CompareOptions{MaxDrop: 0.25, AllocSlack: 0.25}
+
+	// Old baseline (no server pins) vs new candidate (with pins and
+	// latency fields): additive fields must pass untouched.
+	base := mkArtifact("server", mkSeries("get90-set10", map[int]float64{1: 1000}, nil))
+	cand := mkArtifact("server", withSrv("get90-set10", &ServerAllocsProfile{Set: 5, SetCodec: 1}))
+	cand.Series[0].Points[0].P50LatencyUS = 80
+	cand.Series[0].Points[0].P99LatencyUS = 400
+	if regs, err := CompareArtifacts(base, cand, opt); err != nil || len(regs) != 0 {
+		t.Fatalf("old baseline vs pinned candidate: regs=%v err=%v", regs, err)
+	}
+
+	// Pinned baseline vs rising candidate: each risen op is a regression.
+	base = mkArtifact("server", withSrv("get90-set10", &ServerAllocsProfile{Get: 0, Set: 5, SetCodec: 1}))
+	cand = mkArtifact("server", withSrv("get90-set10", &ServerAllocsProfile{Get: 2, Set: 5, SetCodec: 3}))
+	regs, err := CompareArtifacts(base, cand, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want 2 server-alloc regressions, got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.Metric, "server allocs/op") {
+			t.Errorf("unexpected metric %q", r.Metric)
+		}
+	}
+
+	// Pinned baseline vs candidate that dropped the profile entirely.
+	cand = mkArtifact("server", withSrv("get90-set10", nil))
+	if regs, _ := CompareArtifacts(base, cand, opt); len(regs) != 1 || !strings.Contains(regs[0].Message, "missing") {
+		t.Fatalf("dropped profile must regress, got %v", regs)
+	}
+
+	// Latency-only change never regresses (not gated).
+	base = mkArtifact("server", mkSeries("get90-set10", map[int]float64{1: 1000}, nil))
+	base.Series[0].Points[0].P99LatencyUS = 100
+	cand = mkArtifact("server", mkSeries("get90-set10", map[int]float64{1: 1000}, nil))
+	cand.Series[0].Points[0].P99LatencyUS = 9999
+	if regs, _ := CompareArtifacts(base, cand, opt); len(regs) != 0 {
+		t.Fatalf("latency must not gate, got %v", regs)
+	}
+}

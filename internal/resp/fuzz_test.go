@@ -36,10 +36,29 @@ func FuzzRESP(f *testing.F) {
 	lim := Limits{MaxArrayLen: 16, MaxBulkLen: 512}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Server side: parse a stream of commands to exhaustion.
+		// Server side: parse a stream of commands to exhaustion, with
+		// the arena reader shadowing the allocating one — the two modes
+		// must accept exactly the same streams and produce identical
+		// arguments, or the server's fast path silently diverges from
+		// the codec every other consumer uses.
 		rr := NewRequestReader(bufio.NewReader(bytes.NewReader(data)), lim)
+		shadow := NewRequestReader(bufio.NewReader(bytes.NewReader(data)), lim)
 		for i := 0; i < 64; i++ {
 			args, err := rr.ReadCommand()
+			arenaArgs, arenaErr := shadow.ReadCommandReuse()
+			if (err == nil) != (arenaErr == nil) {
+				t.Fatalf("reader modes disagree: ReadCommand err %v, ReadCommandReuse err %v", err, arenaErr)
+			}
+			if err == nil {
+				if len(arenaArgs) != len(args) {
+					t.Fatalf("reader modes disagree on arg count: %q vs %q", args, arenaArgs)
+				}
+				for j := range args {
+					if !bytes.Equal(args[j], arenaArgs[j]) {
+						t.Fatalf("reader modes disagree on arg %d: %q vs %q", j, args[j], arenaArgs[j])
+					}
+				}
+			}
 			if err != nil {
 				break
 			}

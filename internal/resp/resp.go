@@ -26,9 +26,12 @@ package resp
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"slices"
 	"strconv"
 )
 
@@ -117,9 +120,11 @@ func readLine(r *bufio.Reader, maxLen int) ([]byte, error) {
 
 // parseLen parses the decimal length payload of a *, $ or : line.
 // Only canonical forms are accepted — bare digits with no sign and no
-// leading zeros, exactly like Redis; ParseInt alone would also take
+// leading zeros, exactly like Redis; strconv alone would also take
 // "+2" and "007". -1 is allowed only where the caller says so (null
-// bulk / null array), and only spelled exactly "-1".
+// bulk / null array), and only spelled exactly "-1". Parsed by hand:
+// this runs once per request element, and a string(b) conversion for
+// strconv would put an allocation on the hot path.
 func parseLen(b []byte, allowNeg bool) (int64, error) {
 	if allowNeg && len(b) == 2 && b[0] == '-' && b[1] == '1' {
 		return -1, nil
@@ -127,14 +132,15 @@ func parseLen(b []byte, allowNeg bool) (int64, error) {
 	if len(b) == 0 || (len(b) > 1 && b[0] == '0') {
 		return 0, protoErrf("bad length %q", b)
 	}
+	var n int64
 	for _, c := range b {
 		if c < '0' || c > '9' {
 			return 0, protoErrf("bad length %q", b)
 		}
-	}
-	n, err := strconv.ParseInt(string(b), 10, 64)
-	if err != nil {
-		return 0, protoErrf("bad length %q", b)
+		if n > (math.MaxInt64-9)/10 {
+			return 0, protoErrf("bad length %q", b)
+		}
+		n = n*10 + int64(c-'0')
 	}
 	return n, nil
 }
@@ -142,10 +148,38 @@ func parseLen(b []byte, allowNeg bool) (int64, error) {
 // RequestReader parses client requests from a connection. It is the
 // server half of the codec: every request is an array of bulk strings
 // or the connection is toast.
+//
+// It offers two parsing modes. ReadCommand allocates fresh slices per
+// command — the right call for clients, tools and replay code that
+// keep arguments around. ReadCommandReuse parses into a per-reader
+// arena that the next call overwrites, so a long-lived connection
+// parses commands with zero steady-state allocations; values that must
+// outlive the command (a SET payload headed into the map) are copied
+// out explicitly with Detach.
 type RequestReader struct {
 	r   *bufio.Reader
 	lim Limits
+
+	// Arena state for ReadCommandReuse: one grown-on-demand scratch
+	// buffer holding every bulk payload of the current command, a span
+	// table into it, and the reusable [][]byte handed to the caller.
+	// All three retain their capacity across commands.
+	arena []byte
+	spans []bulkSpan
+	args  [][]byte
 }
+
+// bulkSpan locates one argument inside the arena. Offsets, not
+// subslices, are recorded during the parse: the arena may be
+// reallocated while later bulks of the same command grow it, and
+// offsets survive that move where pointers would dangle.
+type bulkSpan struct{ off, n int }
+
+// arenaRetainMax caps the arena capacity kept across commands. One
+// pathological multi-megabyte command should not pin that much memory
+// to an idle connection forever; past the cap the arena is dropped and
+// the next command re-grows from scratch.
+const arenaRetainMax = 1 << 20
 
 // NewRequestReader wraps r. Zero fields of lim take DefaultLimits.
 func NewRequestReader(r *bufio.Reader, lim Limits) *RequestReader {
@@ -228,6 +262,97 @@ func (rr *RequestReader) readBulk() ([]byte, error) {
 	}
 	return buf[:ln:ln], nil
 }
+
+// ReadCommandReuse reads one complete command like ReadCommand, but
+// the returned slice and every argument in it are only valid until the
+// next ReadCommand/ReadCommandReuse call: arguments point into a
+// per-reader arena the next command overwrites, and the [][]byte
+// header is reused too. After the arena and span tables have grown to
+// a workload's steady state, parsing allocates nothing at all. Callers
+// that need an argument to survive the command copy it out with
+// Detach; everything handed onward synchronously (map lookups, reply
+// writes, AOF appends that buffer immediately) can use the arguments
+// in place.
+func (rr *RequestReader) ReadCommandReuse() ([][]byte, error) {
+	first, err := rr.r.ReadByte()
+	if err != nil {
+		return nil, err // io.EOF here = clean disconnect between commands
+	}
+	if first != TypeArray {
+		return nil, protoErrf("expected '*' (multibulk request), got %q; inline commands are not supported", first)
+	}
+	header, err := readLine(rr.r, maxLineDecl)
+	if err != nil {
+		return nil, eofToUnexpected(err)
+	}
+	n, err := parseLen(header, false)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, protoErrf("empty command array")
+	}
+	if n > int64(rr.lim.MaxArrayLen) {
+		return nil, protoErrf("request of %d elements exceeds limit %d", n, rr.lim.MaxArrayLen)
+	}
+	if cap(rr.arena) > arenaRetainMax {
+		rr.arena = nil
+	}
+	rr.arena = rr.arena[:0]
+	rr.spans = rr.spans[:0]
+	for i := int64(0); i < n; i++ {
+		if err := rr.readBulkArena(); err != nil {
+			return nil, err
+		}
+	}
+	// Materialize the argument slices only now, from the arena's final
+	// backing array: a mid-command grow can no longer move anything.
+	rr.args = rr.args[:0]
+	for _, sp := range rr.spans {
+		rr.args = append(rr.args, rr.arena[sp.off:sp.off+sp.n:sp.off+sp.n])
+	}
+	return rr.args, nil
+}
+
+// readBulkArena reads one $-prefixed bulk string of a request into the
+// arena, recording its span.
+func (rr *RequestReader) readBulkArena() error {
+	marker, err := rr.r.ReadByte()
+	if err != nil {
+		return eofToUnexpected(err)
+	}
+	if marker != TypeBulk {
+		return protoErrf("expected '$' (bulk string) in request, got %q", marker)
+	}
+	header, err := readLine(rr.r, maxLineDecl)
+	if err != nil {
+		return eofToUnexpected(err)
+	}
+	ln, err := parseLen(header, false)
+	if err != nil {
+		return err
+	}
+	if ln > int64(rr.lim.MaxBulkLen) {
+		return protoErrf("bulk of %d bytes exceeds limit %d", ln, rr.lim.MaxBulkLen)
+	}
+	off := len(rr.arena)
+	need := off + int(ln) + 2 // payload + trailing CRLF
+	rr.arena = slices.Grow(rr.arena, int(ln)+2)[:need]
+	if _, err := io.ReadFull(rr.r, rr.arena[off:need]); err != nil {
+		return eofToUnexpected(err)
+	}
+	if rr.arena[need-2] != '\r' || rr.arena[need-1] != '\n' {
+		return protoErrf("bulk payload not terminated by CRLF")
+	}
+	rr.spans = append(rr.spans, bulkSpan{off: off, n: int(ln)})
+	return nil
+}
+
+// Detach copies an argument returned by ReadCommandReuse out of the
+// arena so it survives the next command — the one allocation a stored
+// SET value costs. It is a bytes.Clone with a name that marks arena
+// escapes at the call site.
+func Detach(b []byte) []byte { return bytes.Clone(b) }
 
 // eofToUnexpected turns a mid-command EOF into io.ErrUnexpectedEOF so
 // only a clean between-commands disconnect reads as io.EOF.

@@ -1,0 +1,297 @@
+// Shard-affine dispatch (-dispatch=affine): instead of every connection
+// goroutine calling into whatever shard its key happens to hash to —
+// which puts all cores on all shards and makes contending writers share
+// cache lines — each shard gets ONE worker goroutine fed by a buffered
+// request ring, and connection goroutines become routers. A shard's
+// trie is then mutated by exactly one goroutine in the steady state, so
+// its hot nodes stay in one core's cache and the engine's CAS loops
+// stop retrying (the lock-free engine is still there, unchanged — it is
+// what makes mixing affine workers with inline fallback commands and
+// SCAN snapshots safe without any new locking).
+//
+// # Protocol
+//
+// The connection goroutine classifies each parsed command:
+//
+//   - Single-key GET / SET / DEL / EXISTS with a representable key is
+//     routed: an op slot from the connection's fixed ring records the
+//     command and is LINKED onto a per-shard chain the connection is
+//     assembling, and the connection moves on to the NEXT pipelined
+//     command. Nothing crosses a goroutine boundary yet.
+//   - Everything else (multi-key commands, SCAN, INFO, errors, ...)
+//     runs inline on the connection goroutine — but only after a drain
+//     barrier (below), so its effects and its reply are ordered after
+//     every routed op.
+//
+// Replies must leave in command order, so routed replies are deferred:
+// the connection drains at each of exactly three moments — the ring is
+// full, an inline command needs to run, or the parser is about to block
+// on the socket (flushBeforeRead, which is also the batch's AOF-commit
+// + flush boundary). A drain hands each touched shard its whole chain
+// in ONE channel send, waits for all of them (one WaitGroup per
+// connection, one Done per chain), then writes the replies in ring
+// order. A pipelined burst of routable commands therefore costs one
+// send + one wake-up per touched shard per burst — not per command —
+// which is what keeps the router/worker hand-off cheaper than the work
+// it carries even for sub-microsecond GETs.
+//
+// # Ordering
+//
+// Per-key ordering is the channel's FIFO: same key → same shard → same
+// ring, and the single worker executes ring order. Cross-key ordering
+// within a connection is NOT preserved between routed ops (GET a may
+// execute after a later SET b), which is invisible to the client: each
+// reply still carries its own command's result, and any command that
+// could observe cross-key ordering (MGET, MSET, SCAN, RENAME) runs
+// inline behind the drain barrier. Linearizability per key is the
+// engine's own guarantee, unchanged.
+//
+// # Durability
+//
+// Workers preserve the PR 6 exact-boundary invariant verbatim: a worker
+// holds gate.RLock across map-update + AOF-append for each mutating op,
+// so a dump rotation still quiesces every mutator (conn-inline AND
+// affine workers) at one instant. Two consequences:
+//
+//   - The op must own bytes that survive until the worker runs: the SET
+//     value is detached at routing time (the same single copy conn mode
+//     pays), and the AOF key is re-rendered from the trie key with
+//     Keyer.DecodeAppend into per-op scratch — valid because keyers are
+//     bijective on their image, and allocation-free once warm.
+//   - Reply release still implies durability: routed replies are
+//     written only after drain, drain happens-before the batch flush,
+//     and the flush reaches the socket through commitBeforeWrite's
+//     commitAOF. An append that failed leaves the AOF's buffered writer
+//     with a sticky error, the commit fails, and the batch's replies —
+//     including any "+OK" a worker queued — die unflushed with the
+//     connection.
+package server
+
+import (
+	"sync"
+
+	"nbtrie/internal/resp"
+)
+
+// affineBurstMax is the per-connection op ring size: the most routed
+// commands in flight before the connection must reassemble replies.
+// Big enough to cover a deep pipelined burst, small enough that the
+// ring (and its reply data) stays cache-resident.
+const affineBurstMax = 64
+
+// affineRingDepth is each shard channel's buffer, in CHAINS (each entry
+// is one connection's whole per-shard chain for one drain window, so a
+// connection occupies at most one entry per shard at a time): enough
+// for many connections to burst without blocking the routers.
+const affineRingDepth = 4 * affineBurstMax
+
+// wgBarrier is the per-connection completion barrier workers signal on.
+type wgBarrier = sync.WaitGroup
+
+const (
+	opGet = iota
+	opSet
+	opDel
+	opExists
+)
+
+var (
+	cmdSET = []byte("SET")
+	cmdDEL = []byte("DEL")
+)
+
+// affineOp is one routed command. Slots live in a fixed per-connection
+// ring (stable addresses) and are reused burst after burst; keyBuf and
+// argsBuf are per-slot scratch, so a warm steady state routes GET/DEL/
+// EXISTS with zero allocations and SET with the value's one Detach.
+type affineOp struct {
+	kind  int
+	k     uint64
+	val   []byte // detached SET value (op owns it until the map does)
+	v     []byte // GET result
+	found bool
+	next  *affineOp // same connection, same shard, same drain window
+
+	keyBuf  []byte    // worker scratch: wire key re-rendered for the AOF
+	argsBuf [3][]byte // worker scratch: AOF record headers
+	done    *wgBarrier
+}
+
+// affineDispatcher owns the per-shard workers and their rings.
+type affineDispatcher struct {
+	s     *Server
+	chans []chan *affineOp
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newAffineDispatcher(s *Server) *affineDispatcher {
+	d := &affineDispatcher{s: s, chans: make([]chan *affineOp, s.db.Shards())}
+	for i := range d.chans {
+		d.chans[i] = make(chan *affineOp, affineRingDepth)
+		d.wg.Add(1)
+		go d.run(d.chans[i])
+	}
+	return d
+}
+
+// stop closes the rings and waits for the workers. Callers guarantee no
+// router is live (Server.Close waits for the connection goroutines
+// first), so closing cannot race a send.
+func (d *affineDispatcher) stop() {
+	d.once.Do(func() {
+		for _, ch := range d.chans {
+			close(ch)
+		}
+		d.wg.Wait()
+	})
+}
+
+// run is one shard's worker loop: the only goroutine that mutates this
+// shard in the steady state (inline fallback commands still can — the
+// engine is lock-free, affinity is a performance property, not a
+// correctness one).
+func (d *affineDispatcher) run(ch chan *affineOp) {
+	defer d.wg.Done()
+	s := d.s
+	for head := range ch {
+		// Each receive is one connection's chain for one drain window,
+		// executed in routing order (per-key FIFO). The single Done after
+		// the walk publishes every op's results at once: the worker's
+		// writes happen-before the Done in program order, and the router
+		// reads them only after wg.Wait.
+		for op := head; op != nil; op = op.next {
+			switch op.kind {
+			case opGet:
+				op.v, op.found = s.db.Load(op.k)
+			case opExists:
+				op.found = s.db.Contains(op.k)
+			case opSet:
+				// Same gate discipline as conn-mode dispatch: map update and
+				// AOF record on one side of any rotation.
+				s.gate.RLock()
+				s.db.Store(op.k, op.val)
+				op.keyBuf = s.keyer.DecodeAppend(op.keyBuf[:0], op.k)
+				op.argsBuf[0], op.argsBuf[1], op.argsBuf[2] = cmdSET, op.keyBuf, op.val
+				s.appendMutation(op.argsBuf[:3]...)
+				s.gate.RUnlock()
+			case opDel:
+				s.gate.RLock()
+				op.found = s.db.Delete(op.k)
+				if op.found {
+					op.keyBuf = s.keyer.DecodeAppend(op.keyBuf[:0], op.k)
+					op.argsBuf[0], op.argsBuf[1] = cmdDEL, op.keyBuf
+					s.appendMutation(op.argsBuf[:2]...)
+				}
+				s.gate.RUnlock()
+			}
+		}
+		head.done.Done()
+	}
+}
+
+// route classifies the upcased command word and, when it is a routable
+// single-key command, fills an op slot and links it onto the owning
+// shard's chain (handed to the worker at the next drain). false means
+// the caller must drain and dispatch inline — either the command is not
+// routable, or it needs an error/misconf reply that inline dispatch
+// produces identically.
+func (ss *session) route(cmd []byte, args [][]byte) bool {
+	var kind int
+	switch string(cmd) {
+	case "GET":
+		if len(args) != 2 {
+			return false
+		}
+		kind = opGet
+	case "EXISTS":
+		if len(args) != 2 {
+			return false
+		}
+		kind = opExists
+	case "SET":
+		if len(args) != 3 {
+			return false
+		}
+		kind = opSet
+	case "DEL":
+		if len(args) != 2 {
+			return false
+		}
+		kind = opDel
+	default:
+		return false
+	}
+	s := ss.s
+	if (kind == opSet || kind == opDel) && s.persistDegraded() {
+		return false // inline path answers -MISCONF
+	}
+	k, err := s.keyer.Encode(args[1])
+	if err != nil {
+		return false // inline path answers the key error
+	}
+	shard, ok := s.db.ShardOf(k)
+	if !ok {
+		return false
+	}
+	if ss.pend == len(ss.ops) {
+		ss.drain()
+	}
+	op := &ss.ops[ss.pend]
+	ss.pend++
+	op.kind, op.k = kind, k
+	op.val, op.v, op.found = nil, nil, false
+	op.next = nil
+	if kind == opSet {
+		// The arena slice dies with this command; the op must own the
+		// value until the worker hands it to the map.
+		op.val = resp.Detach(args[2])
+	}
+	if tail := ss.tails[shard]; tail != nil {
+		tail.next = op
+	} else {
+		ss.heads[shard] = op
+		ss.touched = append(ss.touched, shard)
+	}
+	ss.tails[shard] = op
+	return true
+}
+
+// drain is the reassembly barrier: hand every touched shard its chain
+// (one send each), wait for all of them, then write the replies in
+// command order. No-op outside affine mode.
+func (ss *session) drain() {
+	if ss.pend == 0 {
+		return
+	}
+	for _, shard := range ss.touched {
+		ss.wg.Add(1)
+		ss.s.aff.chans[shard] <- ss.heads[shard]
+		ss.heads[shard], ss.tails[shard] = nil, nil
+	}
+	ss.touched = ss.touched[:0]
+	ss.wg.Wait()
+	for i := 0; i < ss.pend; i++ {
+		op := &ss.ops[i]
+		switch op.kind {
+		case opGet:
+			if op.found {
+				ss.w.WriteBulk(op.v)
+			} else {
+				ss.w.WriteNull()
+			}
+		case opSet:
+			ss.w.WriteSimple("OK")
+		case opDel, opExists:
+			if op.found {
+				ss.w.WriteInt(1)
+			} else {
+				ss.w.WriteInt(0)
+			}
+		}
+		// Drop value references so the ring does not pin dead values
+		// until the slot's next reuse; scratch buffers stay.
+		op.val, op.v = nil, nil
+	}
+	ss.pend = 0
+}

@@ -9,13 +9,72 @@ import (
 	"nbtrie/internal/resp"
 )
 
-// dispatch answers one command into w (the caller flushes). It returns
-// true when the connection should close (QUIT). Unknown commands and
-// arity/key errors are ordinary RESP errors: the connection survives,
-// only protocol-level framing errors are fatal (handled by the caller).
-func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
-	cmd := string(toUpper(args[0]))
-	switch cmd {
+// session is one connection's dispatch state: the reply writer plus the
+// scratch buffers that make the steady-state hot path allocation-free.
+// Arguments arrive as views into the connection's RESP arena
+// (ReadCommandReuse) and are valid only for the current command; the
+// ONLY bytes dispatch copies out of the arena are SET/MSET values
+// headed into the map (resp.Detach — exactly one allocation each, the
+// value's own backing array). Everything else — command word, keys,
+// reply bytes — is consumed before the next command overwrites it.
+type session struct {
+	s *Server
+	w *resp.Writer
+
+	ks     []uint64 // encodeKeys scratch, reused across commands
+	cmdBuf []byte   // upper's scratch: the upcased command word
+
+	// Affine-mode state (nil/empty in conn mode): a fixed ring of op
+	// slots with stable addresses, ss.ops[:pend] routed and not yet
+	// answered, the per-shard chains being assembled for the current
+	// drain window, and the barrier the workers signal completion on.
+	// See affine.go.
+	ops     []affineOp
+	pend    int
+	tails   []*affineOp // per shard: chain tail (head is tail's first link)
+	heads   []*affineOp // per shard: chain head, nil when no pending ops
+	touched []int       // shards with a non-empty chain, in first-use order
+	wg      wgBarrier
+}
+
+func newSession(s *Server, w *resp.Writer) *session {
+	ss := &session{s: s, w: w}
+	if s.aff != nil {
+		ss.ops = make([]affineOp, affineBurstMax)
+		for i := range ss.ops {
+			ss.ops[i].done = &ss.wg
+		}
+		n := s.db.Shards()
+		ss.heads = make([]*affineOp, n)
+		ss.tails = make([]*affineOp, n)
+		ss.touched = make([]int, 0, n)
+	}
+	return ss
+}
+
+// dispatch answers one command into ss.w (the caller flushes). It
+// returns true when the connection should close (QUIT). Unknown
+// commands and arity/key errors are ordinary RESP errors: the
+// connection survives, only protocol-level framing errors are fatal
+// (handled by the caller).
+func (ss *session) dispatch(args [][]byte) (quit bool) {
+	s, w := ss.s, ss.w
+	// Upcase into session scratch (args[0] must stay intact: the
+	// unknown-command error echoes it as typed), then switch directly
+	// on the []byte→string conversions: both are allocation-free once
+	// the scratch is warm, and the compiler elides the conversion copy
+	// when the string is only compared.
+	cmd := ss.upper(args[0])
+	if s.aff != nil {
+		if ss.route(cmd, args) {
+			return false
+		}
+		// Not routable: run inline, AFTER every routed op has finished,
+		// so per-key ordering and reply ordering both hold (see
+		// affine.go for the protocol).
+		ss.drain()
+	}
+	switch string(cmd) {
 	case "PING":
 		switch len(args) {
 		case 1:
@@ -23,17 +82,17 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		case 2:
 			w.WriteBulk(args[1])
 		default:
-			s.wrongArity(w, cmd)
+			ss.wrongArity("PING")
 		}
 	case "QUIT":
 		w.WriteSimple("OK")
 		return true
 	case "GET":
 		if len(args) != 2 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("GET")
 			return
 		}
-		k, ok := s.encodeKey(w, args[1])
+		k, ok := ss.encodeKey(args[1])
 		if !ok {
 			return
 		}
@@ -44,28 +103,32 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		}
 	case "SET":
 		if len(args) != 3 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("SET")
 			return
 		}
 		if s.persistDegraded() {
 			s.misconf(w)
 			return
 		}
-		k, ok := s.encodeKey(w, args[1])
+		k, ok := ss.encodeKey(args[1])
 		if !ok {
 			return
 		}
-		// args[2] is a fresh slice from the RESP reader; storing it
-		// directly is safe (nothing else aliases it). Map update and
-		// AOF record stay on one side of any dump rotation (the gate).
+		// args[2] is arena-backed and dies with this command; Detach
+		// copies out the one slice that outlives it (the stored value).
+		// Map update and AOF record stay on one side of any dump
+		// rotation (the gate); the AOF append itself copies args into
+		// its own buffer synchronously, so arena-backed keys are safe to
+		// pass through.
+		v := resp.Detach(args[2])
 		s.gate.RLock()
-		s.db.Store(k, args[2])
+		s.db.Store(k, v)
 		s.appendMutation(args...)
 		s.gate.RUnlock()
 		w.WriteSimple("OK")
 	case "DEL":
 		if len(args) < 2 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("DEL")
 			return
 		}
 		if s.persistDegraded() {
@@ -74,7 +137,7 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		}
 		// Validate every key before the first delete: an invalid key
 		// mid-batch must fail the command without having half-applied it.
-		ks, ok := s.encodeKeys(w, args[1:])
+		ks, ok := ss.encodeKeys(args[1:])
 		if !ok {
 			return
 		}
@@ -94,10 +157,10 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		w.WriteInt(n)
 	case "EXISTS":
 		if len(args) < 2 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("EXISTS")
 			return
 		}
-		ks, ok := s.encodeKeys(w, args[1:])
+		ks, ok := ss.encodeKeys(args[1:])
 		if !ok {
 			return
 		}
@@ -110,15 +173,17 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		w.WriteInt(n)
 	case "MGET":
 		if len(args) < 2 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("MGET")
 			return
 		}
 		// Validate every key before emitting the array header: a key
 		// error halfway through an array reply would corrupt the stream.
-		ks, ok := s.encodeKeys(w, args[1:])
+		ks, ok := ss.encodeKeys(args[1:])
 		if !ok {
 			return
 		}
+		// Replies go straight into the connection writer — no
+		// intermediate value slice; the stored values are never copied.
 		w.WriteArrayHeader(len(ks))
 		for _, k := range ks {
 			if v, found := s.db.Load(k); found {
@@ -129,27 +194,29 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		}
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("MSET")
 			return
 		}
 		if s.persistDegraded() {
 			s.misconf(w)
 			return
 		}
-		ks := make([]uint64, 0, (len(args)-1)/2)
+		ks := ss.ks[:0]
 		for i := 1; i < len(args); i += 2 {
-			k, ok := s.encodeKey(w, args[i])
+			k, ok := ss.encodeKey(args[i])
 			if !ok {
 				return
 			}
 			ks = append(ks, k)
 		}
+		ss.ks = ks
 		// Each Store is individually linearizable; the batch is not
 		// atomic as a whole (the trie has no multi-key transaction), but
 		// the pre-validation above means it either starts with every key
-		// accepted or not at all.
+		// accepted or not at all. Values outlive the arena: detach each.
 		s.gate.RLock()
 		for i, k := range ks {
+			args[2+2*i] = resp.Detach(args[2+2*i])
 			s.db.Store(k, args[2+2*i])
 		}
 		s.appendMutation(args...)
@@ -157,35 +224,36 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		w.WriteSimple("OK")
 	case "DBSIZE":
 		if len(args) != 1 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("DBSIZE")
 			return
 		}
 		w.WriteInt(int64(s.db.Len()))
 	case "SCAN":
-		s.scan(w, args)
+		ss.scan(args)
 	case "RENAME":
-		s.rename(w, args)
+		ss.rename(args)
 	case "SAVE", "BGSAVE":
 		if len(args) != 1 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity(string(args[0]))
 			return
 		}
 		if s.pst == nil {
 			w.WriteError("ERR persistence is disabled (start nbtried with -dir)")
 			return
 		}
-		if err := s.pst.save(cmd == "BGSAVE"); err != nil {
+		bg := string(args[0]) == "BGSAVE"
+		if err := s.pst.save(bg); err != nil {
 			w.WriteError("ERR " + err.Error())
 			return
 		}
-		if cmd == "BGSAVE" {
+		if bg {
 			w.WriteSimple("Background saving started")
 		} else {
 			w.WriteSimple("OK")
 		}
 	case "LASTSAVE":
 		if len(args) != 1 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("LASTSAVE")
 			return
 		}
 		if s.pst == nil {
@@ -195,7 +263,7 @@ func (s *Server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 		w.WriteInt(s.pst.lastSave.Load())
 	case "INFO":
 		if len(args) > 2 {
-			s.wrongArity(w, cmd)
+			ss.wrongArity("INFO")
 			return
 		}
 		w.WriteBulkString(s.infoText())
@@ -227,9 +295,10 @@ type scanCursor struct {
 // and a SCAN with an unknown/evicted id terminates with cursor 0 and an
 // empty page — the shape Redis clients already handle for an exhausted
 // scan. Snapshots are reclaimed by GC when their cursor is dropped.
-func (s *Server) scan(w *resp.Writer, args [][]byte) {
+func (ss *session) scan(args [][]byte) {
+	s, w := ss.s, ss.w
 	if len(args) != 2 && len(args) != 4 {
-		s.wrongArity(w, "SCAN")
+		ss.wrongArity("SCAN")
 		return
 	}
 	cursor, err := strconv.ParseUint(string(args[1]), 10, 64)
@@ -239,7 +308,9 @@ func (s *Server) scan(w *resp.Writer, args [][]byte) {
 	}
 	count := s.cfg.ScanDefaultCount
 	if len(args) == 4 {
-		if string(toUpper(args[2])) != "COUNT" {
+		// Reusing the command-word scratch is safe here: dispatch's
+		// switch has already consumed it by the time an arm runs.
+		if string(ss.upper(args[2])) != "COUNT" {
 			w.WriteError(fmt.Sprintf("ERR syntax error: expected COUNT, got %q", args[2]))
 			return
 		}
@@ -320,9 +391,10 @@ func (s *Server) scan(w *resp.Writer, args [][]byte) {
 // an error, not an overwrite: Replace is insert-if-absent by
 // definition, and silently deleting the destination first would need a
 // second linearization point.
-func (s *Server) rename(w *resp.Writer, args [][]byte) {
+func (ss *session) rename(args [][]byte) {
+	s, w := ss.s, ss.w
 	if len(args) != 3 {
-		s.wrongArity(w, "RENAME")
+		ss.wrongArity("RENAME")
 		return
 	}
 	// Refuse like every other mutation while the AOF is degraded; the
@@ -332,11 +404,11 @@ func (s *Server) rename(w *resp.Writer, args [][]byte) {
 		s.misconf(w)
 		return
 	}
-	old, ok := s.encodeKey(w, args[1])
+	old, ok := ss.encodeKey(args[1])
 	if !ok {
 		return
 	}
-	new, ok := s.encodeKey(w, args[2])
+	new, ok := ss.encodeKey(args[2])
 	if !ok {
 		return
 	}
@@ -385,38 +457,61 @@ func (s *Server) rename(w *resp.Writer, args [][]byte) {
 
 // encodeKey maps a wire key through the keyer, answering a RESP error
 // and returning ok=false when the key is not representable.
-func (s *Server) encodeKey(w *resp.Writer, key []byte) (uint64, bool) {
-	k, err := s.keyer.Encode(key)
+func (ss *session) encodeKey(key []byte) (uint64, bool) {
+	k, err := ss.s.keyer.Encode(key)
 	if err != nil {
-		w.WriteError("ERR " + err.Error())
+		ss.w.WriteError("ERR " + err.Error())
 		return 0, false
 	}
 	return k, true
 }
 
-// encodeKeys maps a batch of wire keys, failing the whole command on
-// the first unrepresentable one *before* the caller acts on any — so a
-// multi-key command is never half-applied and never emits a partial
-// array reply.
-func (s *Server) encodeKeys(w *resp.Writer, keys [][]byte) ([]uint64, bool) {
-	ks := make([]uint64, 0, len(keys))
+// encodeKeys maps a batch of wire keys into the session's reusable
+// scratch, failing the whole command on the first unrepresentable one
+// *before* the caller acts on any — so a multi-key command is never
+// half-applied and never emits a partial array reply. The returned
+// slice is valid until the next encodeKeys/MSET on this session.
+func (ss *session) encodeKeys(keys [][]byte) ([]uint64, bool) {
+	ks := ss.ks[:0]
 	for _, key := range keys {
-		k, ok := s.encodeKey(w, key)
+		k, ok := ss.encodeKey(key)
 		if !ok {
 			return nil, false
 		}
 		ks = append(ks, k)
 	}
+	ss.ks = ks
 	return ks, true
 }
 
 // wrongArity is the standard Redis arity error.
-func (s *Server) wrongArity(w *resp.Writer, cmd string) {
-	w.WriteError(fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd))
+func (ss *session) wrongArity(cmd string) {
+	ss.w.WriteError(fmt.Sprintf("ERR wrong number of arguments for '%s' command", cmd))
 }
 
-// toUpper upper-cases ASCII in place-ish (fresh slice only when
-// needed); command words are short so this stays cheap.
+// upper returns b upper-cased into the session's reused scratch —
+// allocation-free once the scratch has grown to the longest command
+// word, and it leaves b intact (error replies echo the command as the
+// client typed it). The returned slice is valid until the next call.
+func (ss *session) upper(b []byte) []byte {
+	ss.cmdBuf = append(ss.cmdBuf[:0], b...)
+	upperInPlace(ss.cmdBuf)
+	return ss.cmdBuf
+}
+
+// upperInPlace upper-cases ASCII in place (only ever applied to the
+// session-owned scratch, never to caller bytes).
+func upperInPlace(b []byte) {
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - ('a' - 'A')
+		}
+	}
+}
+
+// toUpper returns an upper-cased copy only when needed; replay-side
+// callers (applyRecord) that must not mutate shared test fixtures keep
+// using it.
 func toUpper(b []byte) []byte {
 	if i := bytes.IndexFunc(b, func(r rune) bool { return 'a' <= r && r <= 'z' }); i < 0 {
 		return b

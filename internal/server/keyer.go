@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -33,6 +34,11 @@ type Keyer interface {
 	// key. It is only defined on Encode's image; the server only calls
 	// it on keys read back out of the trie.
 	Decode(k uint64) []byte
+	// DecodeAppend appends the wire form of k to dst and returns the
+	// extended slice, so hot paths (SCAN replies, AOF re-rendering in
+	// affine dispatch) can reuse one scratch buffer instead of
+	// allocating per key. Same domain restriction as Decode.
+	DecodeAppend(dst []byte, k uint64) []byte
 }
 
 // NewKeyer resolves a keyer by name: "bytes" (BytesKeyer) or "decimal"
@@ -79,9 +85,15 @@ func (d DecimalKeyer) Encode(key []byte) (uint64, error) {
 			return 0, fmt.Errorf("decimal keyer: key %q is not a decimal integer", key)
 		}
 	}
-	n, err := strconv.ParseUint(string(key), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("decimal keyer: key %q out of range", key)
+	// Accumulate manually: strconv.ParseUint(string(key), ...) would
+	// heap-allocate the string conversion on every command.
+	var n uint64
+	for _, c := range key {
+		dig := uint64(c - '0')
+		if n > (math.MaxUint64-dig)/10 {
+			return 0, fmt.Errorf("decimal keyer: key %q out of range", key)
+		}
+		n = n*10 + dig
 	}
 	if n >= uint64(1)<<d.KeyWidth {
 		return 0, fmt.Errorf("decimal keyer: key %q outside [0, 2^%d)", key, d.KeyWidth)
@@ -92,6 +104,11 @@ func (d DecimalKeyer) Encode(key []byte) (uint64, error) {
 // Decode implements Keyer.
 func (DecimalKeyer) Decode(k uint64) []byte {
 	return strconv.AppendUint(nil, k, 10)
+}
+
+// DecodeAppend implements Keyer.
+func (DecimalKeyer) DecodeAppend(dst []byte, k uint64) []byte {
+	return strconv.AppendUint(dst, k, 10)
 }
 
 // BytesKeyer maps short binary keys — 1 to 7 arbitrary bytes, NULs and
@@ -136,12 +153,16 @@ func (BytesKeyer) Encode(key []byte) (uint64, error) {
 }
 
 // Decode implements Keyer.
-func (BytesKeyer) Decode(k uint64) []byte {
+func (b BytesKeyer) Decode(k uint64) []byte {
+	return b.DecodeAppend(nil, k)
+}
+
+// DecodeAppend implements Keyer.
+func (BytesKeyer) DecodeAppend(dst []byte, k uint64) []byte {
 	n := int(k & 7)
 	v := k >> 3
-	out := make([]byte, n)
 	for i := 0; i < n; i++ {
-		out[i] = byte(v >> (8 * uint(BytesKeyerMaxLen-1-i)))
+		dst = append(dst, byte(v>>(8*uint(BytesKeyerMaxLen-1-i))))
 	}
-	return out
+	return dst
 }

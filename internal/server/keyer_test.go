@@ -102,6 +102,61 @@ func TestBytesKeyerExhaustiveShort(t *testing.T) {
 	}
 }
 
+// TestDecodeAppend: DecodeAppend must agree with Decode and extend the
+// caller's buffer in place, and the Encode/DecodeAppend pair must be
+// allocation-free once scratch is warm — the server's affine dispatch
+// re-renders AOF keys with it on every mutation.
+func TestDecodeAppend(t *testing.T) {
+	b := BytesKeyer{}
+	d := DecimalKeyer{KeyWidth: 63}
+	scratch := append([]byte(nil), "prefix:"...)
+	for _, key := range [][]byte{[]byte("a"), []byte("abcdefg"), {0, 1, 2}} {
+		k, err := b.Encode(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.DecodeAppend(scratch, k)
+		if !bytes.Equal(got, append(append([]byte(nil), scratch...), key...)) {
+			t.Errorf("DecodeAppend(%q, Encode(%q)) = %q", scratch, key, got)
+		}
+	}
+	for _, key := range []string{"0", "42", "9223372036854775807"} {
+		k, err := d.Encode([]byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.DecodeAppend(nil, k); string(got) != key {
+			t.Errorf("decimal DecodeAppend = %q, want %q", got, key)
+		}
+	}
+
+	wire := []byte("key:123")
+	buf := make([]byte, 0, 16)
+	if allocs := testing.AllocsPerRun(100, func() {
+		k, err := b.Encode(wire)
+		if err != nil {
+			panic(err)
+		}
+		if buf = b.DecodeAppend(buf[:0], k); len(buf) != len(wire) {
+			panic("lost bytes")
+		}
+	}); allocs != 0 {
+		t.Errorf("bytes Encode+DecodeAppend allocates %.1f/op, pinned at 0", allocs)
+	}
+	num := []byte("123456789")
+	if allocs := testing.AllocsPerRun(100, func() {
+		k, err := d.Encode(num)
+		if err != nil {
+			panic(err)
+		}
+		if buf = d.DecodeAppend(buf[:0], k); len(buf) != len(num) {
+			panic("lost bytes")
+		}
+	}); allocs != 0 {
+		t.Errorf("decimal Encode+DecodeAppend allocates %.1f/op, pinned at 0", allocs)
+	}
+}
+
 func TestNewKeyer(t *testing.T) {
 	for _, name := range []string{"bytes", "decimal"} {
 		k, err := NewKeyer(name)

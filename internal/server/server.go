@@ -74,6 +74,12 @@ type Config struct {
 	// then terminates early with cursor 0, which clients must already
 	// tolerate — Redis cursors expire too).
 	MaxScanCursors int
+	// Dispatch selects the dispatch model: "conn" (default; each
+	// connection goroutine calls straight into the trie) or "affine"
+	// (single-key commands are routed to per-shard worker loops so
+	// writers on different shards never share cache lines; see
+	// affine.go and DESIGN.md §10).
+	Dispatch string
 }
 
 // Server owns the map and the listener lifecycle. Create with New,
@@ -98,6 +104,10 @@ type Server struct {
 	// off it is an uncontended RLock — a few nanoseconds per mutation.
 	gate sync.RWMutex
 	pst  *persister // nil when persistence is disabled
+
+	// aff is the shard-affine dispatcher (nil in conn mode): per-shard
+	// worker goroutines fed by request rings (see affine.go).
+	aff *affineDispatcher
 
 	// Snapshot-backed SCAN cursor table (see scan in dispatch.go).
 	scanMu   sync.Mutex
@@ -127,6 +137,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxScanCursors <= 0 {
 		cfg.MaxScanCursors = 128
 	}
+	switch cfg.Dispatch {
+	case "":
+		cfg.Dispatch = "conn"
+	case "conn", "affine":
+	default:
+		return nil, fmt.Errorf("server: unknown dispatch mode %q (want conn or affine)", cfg.Dispatch)
+	}
 	db, err := nbtrie.NewShardedMap[[]byte](cfg.Keyer.Width(), cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -151,6 +168,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.pst = p
+	}
+	if cfg.Dispatch == "affine" {
+		// Workers start after recovery: the first routed op must see the
+		// fully recovered keyspace, and recovery itself stays
+		// single-threaded.
+		s.aff = newAffineDispatcher(s)
 	}
 	return s, nil
 }
@@ -236,8 +259,13 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
-	// Every connection goroutine has drained: no append can race the
-	// persister's shutdown (wait for an in-flight BGSAVE, seal the AOF).
+	// Every connection goroutine has drained, so no more ops can be
+	// routed: the affine workers stop first (they may still be draining
+	// appends), and only then is the persister sealed — same "no append
+	// can race the shutdown" order as conn mode.
+	if s.aff != nil {
+		s.aff.stop()
+	}
 	if s.pst != nil {
 		s.pst.close()
 	}
@@ -259,77 +287,112 @@ func (s *Server) connectedClients() int {
 	return len(s.conns)
 }
 
-// flushBeforeRead interposes on the connection's read side: any read
-// that goes to the socket — which is exactly when the request parser
-// has exhausted its buffer and is about to block — first flushes the
-// pending replies. This is what makes the pipelining model deadlock
-// free in every case: a client that sent N complete commands plus a
-// *partial* (N+1)-th and then waits for replies before sending the
-// rest still gets its N replies, because the parser's next fill
-// flushes before blocking. A simple "flush when the read buffer is
-// empty" check cannot express that (the buffer is non-empty, yet the
-// parser is about to block).
-//
-// The same moment is the durability batch boundary: the AOF commit
-// (write; +fsync under appendfsync always) runs strictly BEFORE the
-// reply flush, so no client ever reads an acknowledgement whose record
-// is not at least handed to the kernel — group commit, one
-// write(+fsync) per pipelined batch rather than per command.
-type flushBeforeRead struct {
+// commitBeforeWrite interposes on the connection's WRITE side: every
+// byte headed for the socket first forces the AOF batch commit. This is
+// the durability half of the batching contract, placed where it cannot
+// be bypassed: the explicit batch flush (flushBeforeRead below) reaches
+// the socket through here, and so does bufio's IMPLICIT write-through
+// when a single reply larger than the write buffer overflows it — a
+// path a commit hook on the flush call alone would miss, creating a
+// window where a client reads "+OK" whose record is still in the AOF's
+// user-space buffer. A failed commit poisons the write instead: the
+// batch's replies die unsent (bufio errors are sticky), the connection
+// drops, and the client observes an error, never a false ack.
+type commitBeforeWrite struct {
 	c net.Conn
 	s *Server
-	w *resp.Writer
 }
 
 // errAOFCommitFailed tears down a connection whose batch commit failed
 // before its replies could falsely acknowledge the writes.
 var errAOFCommitFailed = errors.New("server: aof commit failed; dropping connection without acknowledging the batch")
 
+func (cw commitBeforeWrite) Write(p []byte) (int, error) {
+	if !cw.s.commitAOF() {
+		return 0, errAOFCommitFailed
+	}
+	return cw.c.Write(p)
+}
+
+// flushBeforeRead interposes on the connection's read side: any read
+// that goes to the socket — which is exactly when the request parser
+// has exhausted its buffer and is about to block — first drains any
+// in-flight affine ops and flushes the pending replies. This is what
+// makes the pipelining model deadlock free in every case: a client
+// that sent N complete commands plus a *partial* (N+1)-th and then
+// waits for replies before sending the rest still gets its N replies,
+// because the parser's next fill flushes before blocking. A simple
+// "flush when the read buffer is empty" check cannot express that (the
+// buffer is non-empty, yet the parser is about to block).
+//
+// The same moment is the durability batch boundary: the flush reaches
+// the socket through commitBeforeWrite, so the AOF commit (write;
+// +fsync under appendfsync always) runs strictly BEFORE the replies —
+// group commit, one write(+fsync) per pipelined batch rather than per
+// command.
+type flushBeforeRead struct {
+	c  net.Conn
+	ss *session
+}
+
 func (f flushBeforeRead) Read(p []byte) (int, error) {
-	if f.w.Buffered() > 0 {
-		if !f.s.commitAOF() {
-			// The batch's records never became durable; flushing its
-			// replies would be false acknowledgement. Poisoning the read
-			// drops the connection with the replies unsent — the client
-			// observes an error, not an ack.
-			return 0, errAOFCommitFailed
-		}
-		if err := f.w.Flush(); err != nil {
+	f.ss.drain()
+	if f.ss.w.Buffered() > 0 {
+		if err := f.ss.w.Flush(); err != nil {
 			return 0, err
 		}
 	}
 	return f.c.Read(p)
 }
 
+// replyFlushThreshold bounds how many reply bytes accumulate before the
+// connection loop forces a flush mid-burst, so a long pipelined batch
+// of fat replies is streamed in bounded chunks instead of stalling the
+// client until the parser blocks. (A single oversized reply is already
+// handled below this layer: it overflows bufio straight through
+// commitBeforeWrite.)
+const replyFlushThreshold = 12 << 10
+
 // handle runs one connection's read-dispatch-write loop. Protocol
 // errors are answered (best effort) and then kill the connection, like
 // Redis: after a framing error the stream offset cannot be trusted.
 func (s *Server) handle(c net.Conn) {
 	defer s.dropConn(c)
-	w := resp.NewWriter(bufio.NewWriterSize(c, 16<<10))
+	w := resp.NewWriter(bufio.NewWriterSize(commitBeforeWrite{c: c, s: s}, 16<<10))
+	ss := newSession(s, w)
 	// Replies accumulate in w across a pipelined batch and are flushed
 	// by the flushBeforeRead hook the moment the parser needs more
 	// bytes from the socket: one write syscall per batch, and never a
-	// withheld reply while the connection blocks reading.
-	rr := resp.NewRequestReader(bufio.NewReaderSize(flushBeforeRead{c: c, s: s, w: w}, 16<<10), s.cfg.Limits)
+	// withheld reply while the connection blocks reading. The reader
+	// reuses a per-connection arena (ReadCommandReuse): argument slices
+	// are valid only until the next ReadCommandReuse call, and dispatch
+	// copies out (resp.Detach) exactly the bytes that outlive the
+	// command — SET/MSET values headed into the map.
+	rr := resp.NewRequestReader(bufio.NewReaderSize(flushBeforeRead{c: c, ss: ss}, 16<<10), s.cfg.Limits)
 	for {
-		args, err := rr.ReadCommand()
+		args, err := rr.ReadCommandReuse()
 		if err != nil {
+			// Routed ops may still be in flight when the parser fails
+			// without touching the socket (malformed bytes mid-buffer);
+			// their replies precede the error on the wire.
+			ss.drain()
 			if resp.IsProtocolError(err) {
 				w.WriteError("ERR protocol error: " + err.Error())
-				if s.commitAOF() {
-					w.Flush()
-				}
+				w.Flush()
 			}
 			return
 		}
 		s.totalCmds.Add(1)
-		if quit := s.dispatch(w, args); quit {
-			// Same ordering as flushBeforeRead: a failed commit means the
-			// buffered replies must die with the connection, unflushed.
-			if s.commitAOF() {
-				w.Flush()
+		quit := ss.dispatch(args)
+		if w.Buffered() >= replyFlushThreshold {
+			if err := w.Flush(); err != nil {
+				// Commit failure (or a dead socket): the batch's remaining
+				// replies must not be acknowledged either.
+				return
 			}
+		}
+		if quit {
+			w.Flush()
 			return
 		}
 	}
@@ -348,6 +411,7 @@ func (s *Server) infoText() string {
 			"keyer:%s\r\n"+
 			"key_width_bits:%d\r\n"+
 			"shards:%d\r\n"+
+			"dispatch:%s\r\n"+
 			"uptime_in_seconds:%d\r\n"+
 			"\r\n# Clients\r\n"+
 			"connected_clients:%d\r\n"+
@@ -361,6 +425,7 @@ func (s *Server) infoText() string {
 		s.keyer.Name(),
 		s.keyer.Width(),
 		s.db.Shards(),
+		s.cfg.Dispatch,
 		int64(time.Since(s.start).Seconds()),
 		s.connectedClients(),
 		s.totalConns.Load(),

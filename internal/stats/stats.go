@@ -3,7 +3,10 @@
 // repeated trials.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Summary describes a sample of trial measurements.
 type Summary struct {
@@ -49,4 +52,31 @@ func (s Summary) RelStddev() float64 {
 		return 0
 	}
 	return s.Stddev / s.Mean
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between closest ranks — the convention most
+// latency dashboards use, so a reported p99 here matches what an
+// operator would compute from the same sample. xs is not modified; an
+// empty sample reports 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }

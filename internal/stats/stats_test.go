@@ -65,3 +65,31 @@ func TestRelStddev(t *testing.T) {
 		t.Errorf("RelStddev of zero mean = %v", got)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty sample p50 = %v", got)
+	}
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {-5, 10}, {200, 40},
+		{50, 25},   // interpolated midpoint
+		{25, 17.5}, // between ranks
+		{99, 39.7}, // near the top
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, tc.p, got, tc.want)
+		}
+	}
+	// Input must not be mutated (the caller's trial sample is reused).
+	if xs[0] != 40 || xs[3] != 20 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+	one := []float64{7}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile(one, p); got != 7 {
+			t.Errorf("single-sample Percentile(%v) = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# escape-smoke.sh [logfile] — escape-analysis smoke over the RESP fast
+# path. Runs go vet over the hot-path packages, then rebuilds them with
+# -gcflags=-m and records every value the compiler moves to the heap.
+#
+# The log is a diagnostic artifact, not a gate: the allocation *counts*
+# on the pinned paths are enforced deterministically by
+# internal/resp/alloc_test.go and internal/server/alloc_test.go, while
+# the -m output explains WHERE a regression came from when one of those
+# pins fails — and its phrasing changes between compiler releases, so
+# gating CI on it would break on every Go bump. The script therefore
+# always exits 0.
+#
+# A throwaway GOCACHE forces a real recompile: Go's build cache is
+# content-addressed, so a warm cache would silently produce an empty
+# log.
+
+out="${1:-escape-smoke.log}"
+pkgs="./internal/resp ./internal/server"
+
+{
+    echo "# escape-analysis smoke: $(go version)"
+    echo
+    echo "## go vet $pkgs"
+    if go vet $pkgs 2>&1; then
+        echo "vet: clean"
+    else
+        echo "vet: FAILED (see above; the blocking vet step catches this too)"
+    fi
+    echo
+    echo "## heap escapes on the hot path (go build -gcflags=-m)"
+    GOCACHE="$(mktemp -d)" go build -gcflags='-m' $pkgs 2>&1 |
+        grep -E 'escapes to heap|moved to heap' |
+        sort | uniq -c | sort -rn
+    echo
+    echo "(counts are per-site; sites in cold paths — setup, errors,"
+    echo "admin commands — are expected and harmless. The steady-state"
+    echo "loop is pinned by the alloc tests, not by this list.)"
+} >"$out" 2>&1
+
+echo "wrote $out ($(wc -l <"$out") lines)"
+exit 0
