@@ -142,6 +142,25 @@ func widthFor(keyRange uint64) uint32 {
 	return max(1, uint32(bits.Len64(keyRange-1)))
 }
 
+// fitWidth adapts a figure-level width to one implementation: a k-ary
+// trie resolving s = log2(fanout) bits per digit wants its width rounded
+// up to a whole number of digits, so the auto-fit minimal width (-width
+// 0) never hands it a truncated top digit (e.g. width 59 at fanout 16
+// becomes 60). Binary implementations and non-power-of-two fanouts pass
+// through unchanged; implementations that ignore width are unaffected by
+// construction. The result is capped at the key layer's 63-bit maximum,
+// where a last partial digit is unavoidable and handled by the engine.
+func fitWidth(width uint32, fanout int) uint32 {
+	if fanout <= 2 || bits.OnesCount(uint(fanout)) != 1 {
+		return width
+	}
+	s := uint32(bits.TrailingZeros(uint(fanout)))
+	if r := width % s; r != 0 {
+		width += s - r
+	}
+	return min(width, 63)
+}
+
 // runJSONExperiment runs one figure and writes its BENCH_<figure>.json
 // artifact: the throughput sweep of every series plus a single-threaded
 // allocs/op profile per implementation.
@@ -155,6 +174,7 @@ func runJSONExperiment(e experiment, cfg bench.Config, ths []int, width uint32, 
 		if err != nil {
 			return err
 		}
+		series.Fanout = f.fanout
 		allocs := bench.MeasureAllocs(f.mk, cfg.KeyRange)
 		a.AddSeries(series, &allocs)
 	}
@@ -214,30 +234,33 @@ func selectExperiments(fig string) ([]experiment, error) {
 // factories returns the implementations of one figure by enumerating
 // the registry, which already lists them in the paper's legend order.
 // Figures with replace operations keep only replace-capable entries.
-func factories(e experiment, width uint32) []struct {
-	name string
-	mk   func() bench.Set
-} {
-	var out []struct {
-		name string
-		mk   func() bench.Set
-	}
+func factories(e experiment, width uint32) []factory {
+	var out []factory
 	for _, im := range nbtrie.AllImplementations() {
 		if e.replaceOnly && im.Replace != nbtrie.ReplaceFull {
 			continue
 		}
-		out = append(out, struct {
-			name string
-			mk   func() bench.Set
-		}{im.Legend, func() bench.Set {
-			s, err := im.New(width)
-			if err != nil {
-				panic(err)
-			}
-			return s
-		}})
+		w := fitWidth(width, im.Fanout)
+		mk := im.New
+		out = append(out, factory{
+			name:   im.Legend,
+			fanout: im.Fanout,
+			mk: func() bench.Set {
+				s, err := mk(w)
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+		})
 	}
 	return out
+}
+
+type factory struct {
+	name   string
+	fanout int
+	mk     func() bench.Set
 }
 
 func runExperiment(e experiment, cfg bench.Config, ths []int, width uint32, csv bool) error {
@@ -246,7 +269,7 @@ func runExperiment(e experiment, cfg bench.Config, ths []int, width uint32, csv 
 	}
 	if !csv {
 		fmt.Println(e.title)
-		fmt.Printf("%-8s", "threads")
+		fmt.Printf("%-16s", "threads")
 		for _, th := range ths {
 			fmt.Printf("%16d", th)
 		}
@@ -264,7 +287,9 @@ func runExperiment(e experiment, cfg bench.Config, ths []int, width uint32, csv 
 			}
 			continue
 		}
-		fmt.Printf("%-8s", series.Name)
+		// The label carries the registry's fanout so the table never
+		// implies a binary structure it isn't measuring.
+		fmt.Printf("%-16s", fmt.Sprintf("%s [fanout:%d]", series.Name, f.fanout))
 		for _, p := range series.Points {
 			fmt.Printf("%13s ±%.0f%%", formatOps(p.Summary.Mean), 100*p.Summary.RelStddev())
 		}

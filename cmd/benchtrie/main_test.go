@@ -52,6 +52,35 @@ func TestWidthFor(t *testing.T) {
 	}
 }
 
+// TestFitWidthDigitGranularity pins the -width 0 auto-fit fix for k-ary
+// implementations: the minimal covering width rounds up to a whole
+// number of s-bit digits (s = log2 fanout), so a fanout-16 trie asked
+// for 59 bits gets 60 rather than a truncated top digit. Binary and
+// non-power-of-two fanouts pass through; 63 is the hard cap.
+func TestFitWidthDigitGranularity(t *testing.T) {
+	cases := []struct {
+		width  uint32
+		fanout int
+		want   uint32
+	}{
+		{59, 16, 60}, // the regression: s=4 rounds 59 up
+		{60, 16, 60},
+		{7, 16, 8},
+		{59, 2, 59},  // binary: unchanged
+		{59, 0, 59},  // unset fanout: unchanged
+		{10, 4, 10},  // s=2, already aligned
+		{11, 4, 12},  // s=2 rounds up
+		{59, 32, 60}, // s=5
+		{62, 16, 63}, // cap: 64 is out of the key layer's range
+		{59, 3, 59},  // non-power-of-two fanout: unchanged
+	}
+	for _, c := range cases {
+		if got := fitWidth(c.width, c.fanout); got != c.want {
+			t.Errorf("fitWidth(%d, %d) = %d, want %d", c.width, c.fanout, got, c.want)
+		}
+	}
+}
+
 func TestFormatOps(t *testing.T) {
 	cases := map[float64]string{
 		12:        "12 op/s",

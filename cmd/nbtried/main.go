@@ -15,6 +15,10 @@
 //	-width      key width in bits for the decimal keyer (default 63;
 //	            the bytes keyer is fixed at 59)
 //	-shards     shard count for the backing map (0 = GOMAXPROCS-based)
+//	-span       trie digit width in bits: each internal node resolves
+//	            span key bits through 2^span children (1 = the paper's
+//	            binary nodes; 4 packs a node into one cache line and
+//	            quarters the trie depth)
 //	-max-bulk   largest accepted bulk string (keys and values), bytes
 //	-scan-count SCAN's default page size
 //	-dispatch   request dispatch mode: "conn" (each connection executes
@@ -78,6 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		keyerName = fs.String("keyer", "bytes", "wire-key mapping: bytes or decimal")
 		width     = fs.Uint("width", 63, "key width in bits for the decimal keyer (the bytes keyer is fixed at 59)")
 		shards    = fs.Int("shards", 0, "shard count (0 = default, else a power of two in [1, 256])")
+		span      = fs.Uint("span", 1, "trie digit width in bits, in [1, 6]: nodes have 2^span children")
 		maxBulk   = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
 		scanCount = fs.Int("scan-count", 10, "SCAN's default page size")
 		dispatch  = fs.String("dispatch", "conn", "dispatch mode: conn or affine")
@@ -107,6 +112,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	srv, err := server.New(server.Config{
 		Keyer:            keyer,
 		Shards:           *shards,
+		Span:             uint32(*span),
 		Limits:           resp.Limits{MaxBulkLen: *maxBulk},
 		ScanDefaultCount: *scanCount,
 		Dispatch:         *dispatch,
@@ -129,8 +135,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(stdout, "nbtried %s listening on %s (keyer=%s width=%d shards=%d)\n",
-		server.Version, ln.Addr(), keyer.Name(), keyer.Width(), srv.DB().Shards())
+	fmt.Fprintf(stdout, "nbtried %s listening on %s (keyer=%s width=%d shards=%d span=%d)\n",
+		server.Version, ln.Addr(), keyer.Name(), keyer.Width(), srv.DB().Shards(), *span)
 
 	// A cancelled context (signal, test shutdown) closes the server,
 	// which unblocks Serve with a nil error: the graceful path.

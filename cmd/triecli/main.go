@@ -201,7 +201,7 @@ func exec(s nbtrie.Set, out io.Writer, line string, width uint32) bool {
 			if im.Replace != nbtrie.ReplaceNone {
 				replace = " [replace:" + im.Replace.String() + "]"
 			}
-			fmt.Fprintf(out, "%-10s %-6s%s %s\n", im.Name, im.Legend, replace, im.Description)
+			fmt.Fprintf(out, "%-12s %-6s [fanout:%d]%s %s\n", im.Name, im.Legend, im.Fanout, replace, im.Description)
 		}
 	case "quit", "exit":
 		return true

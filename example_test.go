@@ -135,4 +135,5 @@ func ExampleNewSet() {
 	// ctrie true
 	// spatial true
 	// sharded true
+	// karypatricia true
 }

@@ -19,6 +19,7 @@ func main() {
 	type impl struct {
 		name    string
 		replace nbtrie.ReplaceScope
+		fanout  int
 		mk      func() bench.Set
 	}
 	// Width 17 is the smallest covering the key range below — minimal on
@@ -26,7 +27,7 @@ func main() {
 	// so slack width would funnel every key into its first shard.
 	var impls []impl
 	for _, im := range nbtrie.AllImplementations() {
-		impls = append(impls, impl{im.Legend, im.Replace, func() bench.Set {
+		impls = append(impls, impl{im.Legend, im.Replace, im.Fanout, func() bench.Set {
 			s, err := im.New(17)
 			if err != nil {
 				log.Fatal(err)
@@ -46,13 +47,13 @@ func main() {
 	}
 	fmt.Printf("workload %v, key range %d, %d goroutines, %d trials x %v\n\n",
 		cfg.Mix, cfg.KeyRange, cfg.Threads, cfg.Trials, cfg.Duration)
-	fmt.Printf("%-6s %14s %8s  %s\n", "impl", "mean ops/s", "±stddev", "replace")
+	fmt.Printf("%-6s %6s %14s %8s  %s\n", "impl", "fanout", "mean ops/s", "±stddev", "replace")
 
 	for _, im := range impls {
 		sum, err := bench.RunExperiment(im.mk, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6s %14.0f %7.1f%%  %s\n", im.name, sum.Mean, 100*sum.RelStddev(), im.replace)
+		fmt.Printf("%-6s %6d %14.0f %7.1f%%  %s\n", im.name, im.fanout, sum.Mean, 100*sum.RelStddev(), im.replace)
 	}
 }

@@ -134,7 +134,11 @@ type ServerAllocsProfile struct {
 // its allocation profile. ServerAllocsPerOp is additive (server
 // artifacts only); benchcheck gates it only when the baseline has it.
 type ArtifactSeries struct {
-	Name              string               `json:"name"`
+	Name string `json:"name"`
+	// Fanout is the implementation's branching factor (omitted in
+	// artifacts from before series carried it, and for callers that do
+	// not set it). Informational: benchcheck matches series by Name.
+	Fanout            int                  `json:"fanout,omitempty"`
 	Points            []ArtifactPoint      `json:"points"`
 	AllocsPerOp       *AllocsProfile       `json:"allocs_per_op,omitempty"`
 	ServerAllocsPerOp *ServerAllocsProfile `json:"server_allocs_per_op,omitempty"`
@@ -189,7 +193,7 @@ func NewArtifact(figure, title string, cfg Config, width uint32, quick bool) Art
 
 // AddSeries appends one implementation's results to the artifact.
 func (a *Artifact) AddSeries(s Series, allocs *AllocsProfile) {
-	as := ArtifactSeries{Name: s.Name, AllocsPerOp: allocs}
+	as := ArtifactSeries{Name: s.Name, Fanout: s.Fanout, AllocsPerOp: allocs}
 	for _, p := range s.Points {
 		as.Points = append(as.Points, ArtifactPoint{
 			Threads:         p.Threads,

@@ -176,9 +176,12 @@ type Point struct {
 }
 
 // Series is one line of a figure: an implementation swept over thread
-// counts.
+// counts. Fanout is the implementation's branching factor from the
+// registry (0 when the caller does not set it), carried into artifacts
+// so series are self-describing instead of assumed binary.
 type Series struct {
 	Name   string
+	Fanout int
 	Points []Point
 }
 

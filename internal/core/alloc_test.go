@@ -23,6 +23,18 @@ const (
 	// deleteAllocBudget: the Flag descriptor and the unflag-CAS Unflag
 	// (the sibling is re-linked, not rebuilt).
 	deleteAllocBudget = 2
+
+	// The span-4 (k-ary) budgets. A wide internal node costs one extra
+	// allocation (its 16-slot child array), and the slot-oriented paths
+	// rebuild a node where the binary trie re-links: an insert is either
+	// a slot fill (parent copy: node + ext + unflag; fresh leaf +
+	// unflag; descriptor + final Unflag = 7) or a leaf displacement
+	// (binary shape + ext on the joining node = 9); a delete is either a
+	// contraction (2, as binary) or a slot clear (parent copy + desc +
+	// Unflag = 5). The pins take each path's worst case; depth-per-level
+	// is what the wider nodes buy. See DESIGN.md §11 for the full table.
+	karyInsertAllocBudget = 9
+	karyDeleteAllocBudget = 5
 )
 
 func TestContainsIsAllocationFree(t *testing.T) {
@@ -103,6 +115,58 @@ func TestUpdateAllocationBudgets(t *testing.T) {
 		d++
 	}); n > deleteAllocBudget {
 		t.Errorf("uncontended delete allocates %v objects, budget %d", n, deleteAllocBudget)
+	}
+}
+
+// TestKaryAllocationBudgets is the span-4 twin: the read path must stay
+// allocation-free (the k-ary win is depth, never read-path garbage), and
+// the update paths get the wider budgets documented above.
+func TestKaryAllocationBudgets(t *testing.T) {
+	tr, err := New(30, WithSpan[int](4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1024; k++ {
+		tr.Store(k, int(k))
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if v, ok := tr.Load(512); !ok || v != 512 {
+			t.Fatal("Load(512) wrong")
+		}
+		if tr.Contains(1 << 25) {
+			t.Fatal("Contains false positive")
+		}
+	}); n != 0 {
+		t.Errorf("span-4 read path allocates %v objects per call, want 0", n)
+	}
+
+	k := uint64(1 << 20)
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Store(k, 100000+int(k)) {
+			t.Fatal("insert Store failed")
+		}
+		k++
+	}); n > karyInsertAllocBudget {
+		t.Errorf("uncontended span-4 insert allocates %v objects, budget %d", n, karyInsertAllocBudget)
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Store(512, 100000) {
+			t.Fatal("overwrite Store failed")
+		}
+	}); n > overwriteAllocBudget {
+		t.Errorf("uncontended span-4 overwrite allocates %v objects, budget %d", n, overwriteAllocBudget)
+	}
+
+	d := uint64(1 << 20)
+	if n := testing.AllocsPerRun(500, func() {
+		if !tr.Delete(d) {
+			t.Fatal("Delete failed")
+		}
+		d++
+	}); n > karyDeleteAllocBudget {
+		t.Errorf("uncontended span-4 delete allocates %v objects, budget %d", n, karyDeleteAllocBudget)
 	}
 }
 

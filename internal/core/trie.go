@@ -36,6 +36,7 @@ import (
 type Trie[V any] struct {
 	width uint32
 	klen  uint32
+	span  uint32
 	e     *engine.Trie[keys.Uint64Key, V]
 }
 
@@ -44,6 +45,7 @@ type Option[V any] func(*options)
 
 type options struct {
 	withoutReplace bool
+	span           uint32
 }
 
 // WithoutReplace applies the paper's Section V optimization ("we
@@ -52,6 +54,23 @@ type options struct {
 // Replace on a trie built with this option panics.
 func WithoutReplace[V any]() Option[V] {
 	return func(o *options) { o.withoutReplace = true }
+}
+
+// WithSpan sets the digit width s in bits: internal nodes carry 2^s
+// child slots (a span-4 node's 16 pointers pack into two cache lines)
+// and every level of the trie resolves s key bits, cutting expected
+// depth s-fold at the cost of wider node copies on the update paths. s
+// must be in [1, 6]; 1 — the default — is the paper's binary trie.
+// Fixed-width keys all share one length, so every span satisfies the
+// engine's digit-soundness constraint, including widths where the
+// bottom digit is partial. All guarantees are unchanged: wait-free
+// allocation-free reads, lock-free updates, atomic Replace, O(1)
+// snapshots.
+func WithSpan[V any](s uint32) Option[V] {
+	if s < 1 || s > 6 {
+		panic("patricia trie: span must be in [1, 6]")
+	}
+	return func(o *options) { o.span = s }
 }
 
 // New returns an empty trie over keys in [0, 2^width). Width must be in
@@ -68,15 +87,27 @@ func New[V any](width uint32, opts ...Option[V]) (*Trie[V], error) {
 	if o.withoutReplace {
 		eopts = append(eopts, engine.WithoutReplace[keys.Uint64Key, V]())
 	}
+	span := o.span
+	if span == 0 {
+		span = 1
+	}
+	if span > 1 {
+		eopts = append(eopts, engine.WithSpan[keys.Uint64Key, V](span))
+	}
 	return &Trie[V]{
 		width: width,
 		klen:  keys.KeyLen(width),
+		span:  span,
 		e:     engine.New[keys.Uint64Key, V](keys.Uint64DummyMin(width), keys.Uint64DummyMax(width), eopts...),
 	}, nil
 }
 
 // Width returns the user-key width in bits.
 func (t *Trie[V]) Width() uint32 { return t.width }
+
+// Span returns the digit width s: each internal node resolves s key
+// bits through 2^s child slots. 1 unless set with WithSpan.
+func (t *Trie[V]) Span() uint32 { return t.span }
 
 // encodeOK maps a user key into the internal key space, reporting false
 // for keys outside [0, 2^width). Out-of-range keys are never members of

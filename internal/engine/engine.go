@@ -86,8 +86,54 @@ type node[K keys.Key[K], V any] struct {
 	// repeat and flag CASes cannot suffer ABA.
 	info atomic.Pointer[desc[K, V]]
 
-	// child holds the left (0) and right (1) children of an internal node.
+	// child holds the left (0) and right (1) children of a binary
+	// internal node (trie span 1, the paper's layout). Keeping the two
+	// slots inline — rather than always using ext — keeps a binary
+	// internal node to one allocation, preserving the pinned allocs/op
+	// budgets of the s=1 instantiations exactly.
 	child [2]atomic.Pointer[node[K, V]]
+
+	// ext holds the 2^s child slots of a wide internal node (trie span
+	// s > 1), nil for binary nodes and leaves; a node self-describes its
+	// fanout through it. Unoccupied slots are nil. Empty slots are never
+	// CASed in place — nil repeats as an expected value, which would
+	// re-open the ABA window — so filling or clearing a slot always
+	// builds a fresh copy of the whole node and swings the parent's (or
+	// the root) pointer instead; see copyNodeSet.
+	ext []atomic.Pointer[node[K, V]]
+}
+
+// fanout returns the number of child slots of an internal node.
+func (n *node[K, V]) fanout() int {
+	if n.ext != nil {
+		return len(n.ext)
+	}
+	return 2
+}
+
+// kid returns the i-th child slot.
+func (n *node[K, V]) kid(i int) *atomic.Pointer[node[K, V]] {
+	if n.ext != nil {
+		return &n.ext[i]
+	}
+	return &n.child[i]
+}
+
+// census counts n's non-nil children and returns the last one found
+// outside slot skip (the lone sibling when the count is 2). Like every
+// child read feeding a copy or contraction, the result is certified by
+// the flag CAS on n: a torn census implies n's info changed and the
+// attempt dies at flagging (Lemma 31).
+func (n *node[K, V]) census(skip int) (live int, sib *node[K, V]) {
+	for j := 0; j < n.fanout(); j++ {
+		if c := n.kid(j).Load(); c != nil {
+			live++
+			if j != skip {
+				sib = c
+			}
+		}
+	}
+	return live, sib
 }
 
 // newLeaf returns a leaf node with the given full-length label, a zero
@@ -115,17 +161,51 @@ func newInternal[K keys.Key[K], V any](label K, left, right *node[K, V], gen uin
 	return n
 }
 
+// newNode returns an empty internal node of the trie's fanout with the
+// given label and generation; the caller stores the children.
+func (t *Trie[K, V]) newNode(label K, gen uint64) *node[K, V] {
+	n := &node[K, V]{label: label, gen: gen}
+	n.info.Store(newUnflag[K, V]())
+	if t.span > 1 {
+		n.ext = make([]atomic.Pointer[node[K, V]], 1<<t.span)
+	}
+	return n
+}
+
 // copyNode returns a fresh copy of n stamped with the given generation
 // (the paper's "new copy of node", lines 26 and 52). For an internal node
 // the children are read now; the caller must have read n's info field
 // beforehand, which — per Lemma 31 — guarantees the children cannot change
 // between this copy and the child CAS that installs it, so the copy is
 // faithful when it becomes reachable.
-func copyNode[K keys.Key[K], V any](n *node[K, V], gen uint64) *node[K, V] {
+func (t *Trie[K, V]) copyNode(n *node[K, V], gen uint64) *node[K, V] {
+	return t.copyNodeSet(n, gen, -1, nil, -1, nil)
+}
+
+// copyNodeSet is copyNode with up to two slot overrides applied to the
+// copy: slot slotA receives a (clearing the slot when a is nil), likewise
+// slotB/b; a slot of -1 means no override. It is the single constructor
+// behind every wide-node mutation — slot fills, slot clears, and the
+// fused replace cases — so the fresh-copy-per-update discipline that
+// keeps child CASes ABA-free has one implementation to audit. The same
+// Lemma 31 contract as copyNode applies: the caller must have captured
+// n's info before calling and must flag n with that capture, so a torn
+// copy can never be installed.
+func (t *Trie[K, V]) copyNodeSet(n *node[K, V], gen uint64, slotA int, a *node[K, V], slotB int, b *node[K, V]) *node[K, V] {
 	if n.leaf {
 		return newLeafVal(n.label, n.val)
 	}
-	return newInternal(n.label, n.child[0].Load(), n.child[1].Load(), gen)
+	c := t.newNode(n.label, gen)
+	for j := 0; j < n.fanout(); j++ {
+		c.kid(j).Store(n.kid(j).Load())
+	}
+	if slotA >= 0 {
+		c.kid(slotA).Store(a)
+	}
+	if slotB >= 0 {
+		c.kid(slotB).Store(b)
+	}
+	return c
 }
 
 // descKind discriminates the two Info subtypes of the paper.
@@ -238,6 +318,23 @@ type Trie[K keys.Key[K], V any] struct {
 	// leaf info fields for logical removal. Replace must not be used on
 	// such a trie.
 	skipRmvdCheck bool
+
+	// span is the digit width s in bits: internal nodes have 2^span
+	// child slots and every level of the trie resolves span key bits,
+	// cutting expected depth span-fold. span 1 is exactly the paper's
+	// binary trie. Internal labels are always a whole number of digits
+	// long (CommonDigitPrefix floors to a digit boundary); the digit at
+	// the very bottom of a key whose length is not a multiple of span is
+	// partial, occupying only the low 2^r slots of its node.
+	//
+	// Soundness constraint on instantiations: digit extraction must
+	// assign distinct slots to distinct keys under a shared node, which
+	// holds when all keys have one fixed length (core, spatial) or all
+	// lengths are multiples of span. Variable-length Bitstring keys
+	// (lengths 16n+2) violate it for span 4 — a 2-bit tail digit "11"
+	// and a 4-bit digit "0011" would share slot 3 — so strtrie stays at
+	// span 1.
+	span uint32
 }
 
 // Option configures a Trie.
@@ -251,19 +348,46 @@ func WithoutReplace[K keys.Key[K], V any]() Option[K, V] {
 	return func(t *Trie[K, V]) { t.skipRmvdCheck = true }
 }
 
+// WithSpan sets the digit width s: internal nodes grow 2^s child slots
+// (a span-4 node's 16 pointers fill two cache lines) and every level
+// resolves s key bits. s must be in [1, 6]; 1 is the paper's binary
+// trie. See the span field for the key-length soundness constraint.
+func WithSpan[K keys.Key[K], V any](s uint32) Option[K, V] {
+	if s < 1 || s > 6 {
+		panic("engine: span must be in [1, 6]")
+	}
+	return func(t *Trie[K, V]) { t.span = s }
+}
+
 // New returns an empty trie anchored by the two dummy leaves, which must
 // bound every encoded key the instantiation will ever pass in. The zero
 // value of K must be the empty string; it labels the root.
 func New[K keys.Key[K], V any](dummyMin, dummyMax K, opts ...Option[K, V]) *Trie[K, V] {
 	var empty K
-	t := &Trie[K, V]{dummyMin: dummyMin, dummyMax: dummyMax}
-	t.root.Store(newInternal(empty,
-		newLeaf[K, V](dummyMin),
-		newLeaf[K, V](dummyMax), 0))
+	t := &Trie[K, V]{dummyMin: dummyMin, dummyMax: dummyMax, span: 1}
 	for _, o := range opts {
 		o(t)
 	}
+	// The root is built after the options so it gets the configured
+	// fanout. The dummies always occupy distinct slots: their first bits
+	// differ, so their first digits do too.
+	r := t.newNode(empty, 0)
+	r.kid(t.slotOf(dummyMin, 0)).Store(newLeaf[K, V](dummyMin))
+	r.kid(t.slotOf(dummyMax, 0)).Store(newLeaf[K, V](dummyMax))
+	t.root.Store(r)
 	return t
+}
+
+// slotOf returns the child-slot index the key v selects at an internal
+// node whose label is pos bits long. pos is always a whole number of
+// digits (internal labels are digit-aligned) and pos < v.Len(). The
+// span-1 branch keeps the binary instantiations on the one-shift Bit
+// path rather than paying Digit's division by a non-constant.
+func (t *Trie[K, V]) slotOf(v K, pos uint32) int {
+	if t.span == 1 {
+		return v.Bit(pos)
+	}
+	return v.Digit(pos/t.span, t.span)
 }
 
 // curGen returns the current snapshot generation — the generation of the
@@ -290,14 +414,17 @@ type searchResult[K keys.Key[K], V any] struct {
 func (t *Trie[K, V]) search(v K) searchResult[K, V] {
 	var r searchResult[K, V]
 	n := t.root.Load()
-	for !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
+	for n != nil && !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
 		r.gp, r.gpInfo = r.p, r.pInfo
 		r.p, r.pInfo = n, n.info.Load()
-		n = r.p.child[v.Bit(r.p.label.Len())].Load()
+		n = r.p.kid(t.slotOf(v, r.p.label.Len())).Load()
 	}
+	// r.node == nil means the descent hit an empty slot of r.p (wide
+	// nodes only): the key is absent, and an insert fills the slot by
+	// replacing r.p wholesale under r.gp.
 	r.node = n
-	if n.leaf && !t.skipRmvdCheck {
-		r.rmvd = logicallyRemoved(n.info.Load())
+	if n != nil && n.leaf && !t.skipRmvdCheck {
+		r.rmvd = t.logicallyRemoved(n.info.Load())
 	}
 	return r
 }
@@ -305,18 +432,28 @@ func (t *Trie[K, V]) search(v K) searchResult[K, V] {
 // logicallyRemoved implements lines 122-124: a leaf whose info field holds
 // the Flag of a general-case replace is logically removed once that
 // replace's first child CAS has happened, which is detectable by the old
-// child no longer being a child of pNode[0] (Lemma 41).
-func logicallyRemoved[K keys.Key[K], V any](i *desc[K, V]) bool {
+// child no longer being a child of pNode[0] (Lemma 41). A nil pNode[0] is
+// the root-CAS sentinel: the replace's insert half replaced the root node
+// itself, so the check is against the trie's root pointer.
+func (t *Trie[K, V]) logicallyRemoved(i *desc[K, V]) bool {
 	if !i.flagged() {
 		return false
 	}
 	p, old := i.pNode[0], i.oldChild[0]
-	return p.child[0].Load() != old && p.child[1].Load() != old
+	if p == nil {
+		return t.root.Load() != old
+	}
+	for j := 0; j < p.fanout(); j++ {
+		if p.kid(j).Load() == old {
+			return false
+		}
+	}
+	return true
 }
 
-// keyInTrie implements lines 125-126.
+// keyInTrie implements lines 125-126. A nil n (empty slot) is absent.
 func keyInTrie[K keys.Key[K], V any](n *node[K, V], v K, rmvd bool) bool {
-	return n.leaf && n.label.Equal(v) && !rmvd
+	return n != nil && n.leaf && n.label.Equal(v) && !rmvd
 }
 
 // Contains reports whether the encoded key v is in the set. It only

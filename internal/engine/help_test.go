@@ -57,7 +57,7 @@ func TestHelpIsIdempotent(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	newNode := tr.makeInternal(copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
+	newNode := tr.makeInternal(tr.copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
 	if newNode == nil {
 		t.Fatal("setup: makeInternal failed")
 	}
@@ -166,7 +166,7 @@ func TestLogicallyRemovedPredicate(t *testing.T) {
 	tr.Insert(5)
 	leaf5 := tr.search(tr.enc(5)).node
 
-	if logicallyRemoved(leaf5.info.Load()) {
+	if tr.logicallyRemoved(leaf5.info.Load()) {
 		t.Error("unflagged leaf must not be logically removed")
 	}
 	// Fabricate a replace-style flag whose pNode still points at
@@ -175,12 +175,12 @@ func TestLogicallyRemovedPredicate(t *testing.T) {
 	d := &udesc{kind: kindFlag, nPNode: 1}
 	d.pNode[0] = p
 	d.oldChild[0] = leaf5
-	if logicallyRemoved(d) {
+	if tr.logicallyRemoved(d) {
 		t.Error("leaf still linked under pNode[0] is not removed")
 	}
 	// Once oldChild is no longer a child of pNode[0], it is removed.
 	d.oldChild[0] = newTestLeaf(tr, 9)
-	if !logicallyRemoved(d) {
+	if !tr.logicallyRemoved(d) {
 		t.Error("leaf unlinked from pNode[0] must report removed")
 	}
 }
@@ -198,7 +198,7 @@ func TestMakeInternalConflictHelps(t *testing.T) {
 	tr.Insert(7)
 	r := tr.search(tr.enc(9))
 	nodeInfo := r.node.info.Load()
-	nn := tr.makeInternal(copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
+	nn := tr.makeInternal(tr.copyNode(r.node, tr.curGen()), newTestLeaf(tr, 9), nodeInfo)
 	d := tr.newDesc(
 		[4]*unode{r.p}, [4]*udesc{r.pInfo}, 1,
 		[2]*unode{r.p}, 1,

@@ -42,11 +42,14 @@ func (t *Trie[K, V]) Size() int {
 
 // Validate checks the structural invariants of the trie and returns the
 // first violation found, or nil. It must be called at quiescence (no
-// concurrent updates). Checked invariants, from the paper's proof:
+// concurrent updates). Checked invariants, from the paper's proof,
+// generalized to 2^s-child nodes:
 //
-//   - Invariant 7: if x.child[i] = y then x.label · i is a prefix of
-//     y.label; hence labels strictly lengthen along every path.
-//   - Every internal node has exactly two non-nil children (Lemma 4).
+//   - Invariant 7: if slot i of x holds y then x.label · digit(i) is a
+//     prefix of y.label; hence labels strictly lengthen along every path.
+//   - Every internal node has at least two non-nil children (Lemma 4;
+//     exactly two at span 1), each in the slot its label's digit selects.
+//   - Internal labels are a whole number of digits long.
 //   - The two dummy leaves are the extreme leaves of the trie.
 //   - Leaf labels appear in strictly increasing order.
 //   - No reachable node is flagged (Lemma 64: after every help call
@@ -94,23 +97,38 @@ func (t *Trie[K, V]) validateNode(n *node[K, V], extra func(K, bool) error, leav
 		*leaves = append(*leaves, n.label)
 		return nil
 	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
+	if n.label.Len()%t.span != 0 {
+		return fmt.Errorf("internal label %v is not a whole number of %d-bit digits", n.label, t.span)
+	}
+	want := 2
+	if t.span > 1 {
+		want = 1 << t.span
+	}
+	if n.fanout() != want {
+		return fmt.Errorf("internal node %v has fanout %d, want %d", n.label, n.fanout(), want)
+	}
+	live := 0
+	for idx := 0; idx < n.fanout(); idx++ {
+		c := n.kid(idx).Load()
 		if c == nil {
-			return fmt.Errorf("internal node %v has nil child %d", n.label, idx)
+			continue
 		}
+		live++
 		if c.label.Len() <= n.label.Len() {
 			return fmt.Errorf("child label length %d not longer than parent's %d", c.label.Len(), n.label.Len())
 		}
 		if !n.label.IsPrefixOf(c.label) {
 			return fmt.Errorf("parent label %v is not a prefix of child label %v", n.label, c.label)
 		}
-		if c.label.Bit(n.label.Len()) != idx {
-			return fmt.Errorf("child %d of %v has wrong branch bit", idx, n.label)
+		if t.slotOf(c.label, n.label.Len()) != idx {
+			return fmt.Errorf("child in slot %d of %v has wrong branch digit", idx, n.label)
 		}
 		if err := t.validateNode(c, extra, leaves); err != nil {
 			return err
 		}
+	}
+	if live < 2 {
+		return fmt.Errorf("internal node %v has %d non-nil children, want >= 2", n.label, live)
 	}
 	return nil
 }
@@ -132,6 +150,9 @@ func (t *Trie[K, V]) dumpNode(sb *strings.Builder, n *node[K, V], format func(K,
 	if n.leaf {
 		return
 	}
-	t.dumpNode(sb, n.child[0].Load(), format, depth+1)
-	t.dumpNode(sb, n.child[1].Load(), format, depth+1)
+	for idx := 0; idx < n.fanout(); idx++ {
+		if c := n.kid(idx).Load(); c != nil {
+			t.dumpNode(sb, c, format, depth+1)
+		}
+	}
 }

@@ -18,7 +18,7 @@ func (t *Trie[K, V]) usableLeaf(n *node[K, V]) bool {
 	if n.label.Equal(t.dummyMin) || n.label.Equal(t.dummyMax) {
 		return false
 	}
-	return !logicallyRemoved(n.info.Load())
+	return !t.logicallyRemoved(n.info.Load())
 }
 
 // allBelow reports whether every leaf under c sorts strictly before v:
@@ -51,9 +51,9 @@ func (t *Trie[K, V]) ascendNode(n *node[K, V], v K, fn func(K, V) bool) bool {
 		}
 		return true
 	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if allBelow(c, v) {
+	for idx := 0; idx < n.fanout(); idx++ {
+		c := n.kid(idx).Load()
+		if c == nil || allBelow(c, v) {
 			continue
 		}
 		if !t.ascendNode(c, v, fn) {
@@ -76,9 +76,9 @@ func (t *Trie[K, V]) ceilNode(n *node[K, V], v K) (K, bool) {
 		var zero K
 		return zero, false
 	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if allBelow(c, v) {
+	for idx := 0; idx < n.fanout(); idx++ {
+		c := n.kid(idx).Load()
+		if c == nil || allBelow(c, v) {
 			continue
 		}
 		if k, ok := t.ceilNode(c, v); ok {
@@ -102,9 +102,9 @@ func (t *Trie[K, V]) floorNode(n *node[K, V], v K) (K, bool) {
 		var zero K
 		return zero, false
 	}
-	for idx := 1; idx >= 0; idx-- {
-		c := n.child[idx].Load()
-		if allAbove(c, v) {
+	for idx := n.fanout() - 1; idx >= 0; idx-- {
+		c := n.kid(idx).Load()
+		if c == nil || allAbove(c, v) {
 			continue
 		}
 		if k, ok := t.floorNode(c, v); ok {

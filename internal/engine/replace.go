@@ -1,5 +1,7 @@
 package engine
 
+import "nbtrie/internal/keys"
+
 // Replace atomically removes old and inserts new, returning true exactly
 // when old was present and new absent (lines 42-71). Both changes become
 // visible at the operation's first successful child CAS: in the general
@@ -7,8 +9,25 @@ package engine
 // the old key's leaf "logically removed" (searches detect this through
 // the leaf's info field), and the old leaf is physically unlinked by a
 // second child CAS. When the two changes would overlap — the four special
-// cases of the paper's Figure 6 — a single child CAS swings in a freshly
-// built subtree that realizes both changes at once.
+// cases of the paper's Figure 6, extended here to wide nodes — a single
+// child CAS swings in a freshly built subtree that realizes both changes
+// at once.
+//
+// The wide-node (span > 1) generalization adds two degrees of freedom to
+// the case analysis. First, the insertion point may be an empty slot
+// (ri.node == nil), in which case the insert half replaces ri.p wholesale
+// with a filled copy rather than CASing a slot in place — see tryFill —
+// and the overlap cases are reworked around that: the delete must fold
+// into the copy whenever its CAS would target ri.p (which the fill
+// removes) or whenever the fill's CAS would target a node the delete
+// removes. Second, the delete half only contracts the parent when it has
+// exactly two children; a wider parent gets a slot-cleared copy
+// (afterDelete), and either form drops into the enclosing copy in the
+// fused cases. Every fused case remains a single child CAS; the general
+// cases remain exactly two, insert first. At span 1 every wide-only
+// branch is dead (binary nodes have no empty slots and always exactly two
+// children) and the descriptors produced are the paper's, shape for
+// shape.
 //
 // Replace moves the key's value payload along with it: after a
 // successful Replace(old, new), new is bound to the value old held.
@@ -33,78 +52,157 @@ func (t *Trie[K, V]) Replace(vd, vi K) bool {
 		if keyInTrie(ri.node, vi, ri.rmvd) {
 			return false // new key already present (line 48)
 		}
-		nodeInfoI := ri.node.info.Load()                      // line 49
-		sibD := rd.p.child[1-vd.Bit(rd.p.label.Len())].Load() // line 50
-
 		var i *desc[K, V]
-		switch {
-		case rd.gp != nil &&
-			ri.node != rd.node && ri.node != rd.p && ri.node != rd.gp &&
-			ri.p != rd.p:
-			i = t.replaceGeneral(vi, rd, ri, nodeInfoI, sibD)
-
-		case ri.node == rd.node:
-			// Special case 1 (lines 58-59): the insertion point is the
-			// very leaf being removed; overwrite it with a fresh leaf.
-			if t.helpConflict(rd.pInfo, nil, nil, nil) {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[K, V]{rd.p}, [4]*desc[K, V]{rd.pInfo}, 1,
-				[2]*node[K, V]{rd.p}, 1,
-				[2]*node[K, V]{rd.p}, [2]*node[K, V]{ri.node},
-				[2]*node[K, V]{newLeafVal(vi, rd.node.val)}, 1,
-				nil)
-
-		case (ri.node == rd.p && ri.p == rd.gp) ||
-			(rd.gp != nil && ri.p == rd.p):
-			// Special cases 2 and 3 (lines 60-64): the deletion removes
-			// the node the insertion would replace (or they share a
-			// parent). Replace the old leaf's parent with a new internal
-			// node joining the old leaf's sibling and the new key.
-			if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
-				break
-			}
-			newNodeI := t.makeInternal(sibD, newLeafVal(vi, rd.node.val), sibD.info.Load())
-			if newNodeI == nil {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[K, V]{rd.gp, rd.p}, [4]*desc[K, V]{rd.gpInfo, rd.pInfo}, 2,
-				[2]*node[K, V]{rd.gp}, 1,
-				[2]*node[K, V]{rd.gp}, [2]*node[K, V]{rd.p},
-				[2]*node[K, V]{newNodeI}, 1,
-				nil)
-
-		case ri.node == rd.gp:
-			// Special case 4 (lines 65-70): the insertion would replace
-			// the old key's grandparent. Rebuild that subtree without the
-			// old leaf or its parent, then join it with the new key.
-			if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
-				break
-			}
-			pSibD := rd.gp.child[1-vd.Bit(rd.gp.label.Len())].Load()
-			newChildI := t.makeInternal(sibD, pSibD, nil)
-			if newChildI == nil {
-				break
-			}
-			newNodeI := t.makeInternal(newChildI, newLeafVal(vi, rd.node.val), nil)
-			if newNodeI == nil {
-				break
-			}
-			i = t.newDesc(
-				[4]*node[K, V]{ri.p, rd.gp, rd.p},
-				[4]*desc[K, V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
-				[2]*node[K, V]{ri.p}, 1,
-				[2]*node[K, V]{ri.p}, [2]*node[K, V]{ri.node},
-				[2]*node[K, V]{newNodeI}, 1,
-				nil)
+		if ri.node == nil {
+			i = t.replaceFill(vi, rd, ri)
+		} else {
+			i = t.replaceAt(vi, rd, ri)
 		}
-
 		if i != nil && t.help(i) {
 			return true
 		}
 	}
+}
+
+// afterDelete builds what replaces p once the removed leaf's slot sd is
+// vacated: the lone remaining sibling when only one other child exists
+// (the paper's contraction), or a fresh slot-cleared copy of p when two
+// or more remain. contracted distinguishes the forms for callers whose
+// shape depends on it. The copy reads p's children, so the caller must
+// flag p with the info captured at search time (Lemma 31).
+func (t *Trie[K, V]) afterDelete(p *node[K, V], sd int, g uint64) (res *node[K, V], contracted bool) {
+	live, sib := p.census(sd)
+	if live == 2 {
+		return sib, true
+	}
+	return t.copyNodeSet(p, g, sd, nil, -1, nil), false
+}
+
+// oneCAS packs the descriptor for every fused replace case: a single
+// child CAS swinging target's slot (nil target = the trie root pointer)
+// from oldC to newC, flagging the nFlag nodes in f. The target is the
+// only flagged node that stays in the trie, so it alone is unflagged.
+func (t *Trie[K, V]) oneCAS(target, oldC, newC *node[K, V],
+	f [4]*node[K, V], fi [4]*desc[K, V], nFlag int) *desc[K, V] {
+	var unflag [2]*node[K, V]
+	nUnflag := 0
+	if target != nil {
+		unflag[0] = target
+		nUnflag = 1
+	}
+	return t.newDesc(f, fi, nFlag, unflag, nUnflag,
+		[2]*node[K, V]{target}, [2]*node[K, V]{oldC}, [2]*node[K, V]{newC}, 1,
+		nil)
+}
+
+// replaceAt builds the descriptor when the insertion point is an
+// occupied position ri.node: the paper's Figure 6, with the delete half
+// generalized through afterDelete.
+func (t *Trie[K, V]) replaceAt(vi K, rd, ri searchResult[K, V]) *desc[K, V] {
+	nodeInfoI := ri.node.info.Load() // line 49: info before children
+	sd := t.slotOf(rd.node.label, rd.p.label.Len())
+	g := t.curGen()
+
+	switch {
+	case ri.node == rd.node:
+		// Special case 1 (lines 58-59): the insertion point is the very
+		// leaf being removed; overwrite it with a fresh leaf. The new
+		// key shares the removed key's digit at rd.p (both searches
+		// descended through the same slot), so the one CAS lands on the
+		// removed leaf's slot.
+		if t.helpConflict(rd.pInfo, nil, nil, nil) {
+			return nil
+		}
+		return t.oneCAS(rd.p, ri.node, newLeafVal(vi, rd.node.val),
+			[4]*node[K, V]{rd.p}, [4]*desc[K, V]{rd.pInfo}, 1)
+
+	case ri.node == rd.p && ri.p == rd.gp:
+		// Special case 2 (lines 60-62): the new key diverges from the
+		// removed key's parent. One CAS replaces rd.p with the join of
+		// the new leaf and rd.p-after-the-delete.
+		if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
+			return nil
+		}
+		res, _ := t.afterDelete(rd.p, sd, g)
+		newNodeI := t.makeInternal(res, newLeafVal(vi, rd.node.val), nodeInfoI)
+		if newNodeI == nil {
+			return nil
+		}
+		return t.oneCAS(rd.gp, rd.p, newNodeI,
+			[4]*node[K, V]{rd.gp, rd.p}, [4]*desc[K, V]{rd.gpInfo, rd.pInfo}, 2)
+
+	case ri.p == rd.p:
+		// Special case 3 (lines 63-64): both positions share a parent
+		// (in distinct slots). The new leaf joins the insertion point;
+		// the parent either contracts into that join (two children —
+		// always, at span 1) or gets a copy with the removed slot
+		// cleared and the insertion slot rejoined. ri.node is reused,
+		// not copied, exactly as the paper reuses the sibling: its new
+		// position is inside a fresh node, so no slot ever repeats a
+		// child value.
+		if t.helpConflict(rd.gpInfo, rd.pInfo, nodeInfoI, nil) {
+			return nil
+		}
+		sub := t.makeInternal(ri.node, newLeafVal(vi, rd.node.val), nodeInfoI)
+		if sub == nil {
+			return nil
+		}
+		live, _ := rd.p.census(sd)
+		np := sub
+		if live == 2 {
+			if rd.gp == nil {
+				// The root never contracts (it always keeps both dummy
+				// subtrees); a two-child census here is torn. Retry.
+				return nil
+			}
+		} else {
+			si := t.slotOf(vi, rd.p.label.Len())
+			np = t.copyNodeSet(rd.p, g, sd, nil, si, sub)
+		}
+		return t.oneCAS(rd.gp, rd.p, np,
+			[4]*node[K, V]{rd.p, rd.gp}, [4]*desc[K, V]{rd.pInfo, rd.gpInfo}, flagCount(rd.gp, 2))
+
+	case ri.node == rd.gp:
+		// Special case 4 (lines 65-70): the insertion displaces the
+		// removed key's grandparent. Rebuild rd.gp with the delete
+		// applied to its rd.p slot, then join that copy with the new
+		// leaf and swing it in over rd.gp.
+		if t.helpConflict(ri.pInfo, rd.gpInfo, rd.pInfo, nil) {
+			return nil
+		}
+		res, _ := t.afterDelete(rd.p, sd, g)
+		sp := t.slotOf(rd.p.label, rd.gp.label.Len())
+		gpAfter := t.copyNodeSet(rd.gp, g, sp, res, -1, nil)
+		newNodeI := t.makeInternal(gpAfter, newLeafVal(vi, rd.node.val), nodeInfoI)
+		if newNodeI == nil {
+			return nil
+		}
+		return t.newDesc(
+			[4]*node[K, V]{ri.p, rd.gp, rd.p},
+			[4]*desc[K, V]{ri.pInfo, rd.gpInfo, rd.pInfo}, 3,
+			[2]*node[K, V]{ri.p}, 1,
+			[2]*node[K, V]{ri.p}, [2]*node[K, V]{ri.node},
+			[2]*node[K, V]{newNodeI}, 1,
+			nil)
+
+	case ri.p != rd.p:
+		return t.replaceGeneral(vi, rd, ri, nodeInfoI, sd, g)
+	}
+	// ri.node == rd.p but ri.p != rd.gp: the two searches saw different
+	// parents for the same node — stale positions; retry.
+	return nil
+}
+
+// flagCount returns n when gp is non-nil and n-1 otherwise: the fused
+// cases flag one node fewer when the CAS target is the root pointer.
+// Callers list gp LAST in the flag array — occupancy counts truncate
+// from the end, so dropping the count drops exactly the nil entry
+// (newDesc sorts the survivors anyway).
+func flagCount[K keys.Key[K], V any](gp *node[K, V], n int) int {
+	if gp == nil {
+		return n - 1
+	}
+	return n
 }
 
 // replaceGeneral builds the descriptor for the paper's general case
@@ -113,39 +211,167 @@ func (t *Trie[K, V]) Replace(vd, vi K) bool {
 // would flag, marks the old leaf, and performs two child CASes — insert
 // first, then delete. rmvLeaf is the old key's leaf; once the first child
 // CAS lands, searches reaching that leaf see it as logically removed.
-func (t *Trie[K, V]) replaceGeneral(vi K, rd, ri searchResult[K, V], nodeInfoI *desc[K, V], sibD *node[K, V]) *desc[K, V] {
+func (t *Trie[K, V]) replaceGeneral(vi K, rd, ri searchResult[K, V], nodeInfoI *desc[K, V], sd int, g uint64) *desc[K, V] {
 	// Help-before-build: every info value this case will hand to newDesc
 	// is checked up front, so no subtree is constructed for an attempt
 	// that is already doomed by a conflicting update.
 	if t.helpConflict(rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI) {
 		return nil
 	}
+	res, contracted := t.afterDelete(rd.p, sd, g)
+	if contracted && rd.gp == nil {
+		// The root never contracts; torn census, retry.
+		return nil
+	}
 	// The fresh leaf for the new key inherits the removed leaf's value:
 	// rd.node is immutable, so reading its payload here is consistent
 	// with the leaf the descriptor marks as rmvLeaf.
-	newNodeI := t.makeInternal(copyNode(ri.node, t.curGen()), newLeafVal(vi, rd.node.val), nodeInfoI) // lines 52-53
+	newNodeI := t.makeInternal(t.copyNode(ri.node, g), newLeafVal(vi, rd.node.val), nodeInfoI) // lines 52-53
 	if newNodeI == nil {
 		return nil
 	}
 	if !ri.node.leaf {
 		// Line 55: the displaced insertion point is internal, so it too
 		// must be flagged (permanently — it leaves the trie).
+		if rd.gp == nil {
+			return t.newDesc(
+				[4]*node[K, V]{rd.p, ri.p, ri.node},
+				[4]*desc[K, V]{rd.pInfo, ri.pInfo, nodeInfoI}, 3,
+				[2]*node[K, V]{ri.p}, 1,
+				[2]*node[K, V]{ri.p, nil},
+				[2]*node[K, V]{ri.node, rd.p},
+				[2]*node[K, V]{newNodeI, res}, 2,
+				rd.node)
+		}
 		return t.newDesc(
 			[4]*node[K, V]{rd.gp, rd.p, ri.p, ri.node},
 			[4]*desc[K, V]{rd.gpInfo, rd.pInfo, ri.pInfo, nodeInfoI}, 4,
 			[2]*node[K, V]{rd.gp, ri.p}, 2,
 			[2]*node[K, V]{ri.p, rd.gp},
 			[2]*node[K, V]{ri.node, rd.p},
-			[2]*node[K, V]{newNodeI, sibD}, 2,
+			[2]*node[K, V]{newNodeI, res}, 2,
 			rd.node)
 	}
 	// Line 57: leaf insertion point.
+	if rd.gp == nil {
+		return t.newDesc(
+			[4]*node[K, V]{rd.p, ri.p},
+			[4]*desc[K, V]{rd.pInfo, ri.pInfo}, 2,
+			[2]*node[K, V]{ri.p}, 1,
+			[2]*node[K, V]{ri.p, nil},
+			[2]*node[K, V]{ri.node, rd.p},
+			[2]*node[K, V]{newNodeI, res}, 2,
+			rd.node)
+	}
 	return t.newDesc(
 		[4]*node[K, V]{rd.gp, rd.p, ri.p},
 		[4]*desc[K, V]{rd.gpInfo, rd.pInfo, ri.pInfo}, 3,
 		[2]*node[K, V]{rd.gp, ri.p}, 2,
 		[2]*node[K, V]{ri.p, rd.gp},
 		[2]*node[K, V]{ri.node, rd.p},
-		[2]*node[K, V]{newNodeI, sibD}, 2,
+		[2]*node[K, V]{newNodeI, res}, 2,
+		rd.node)
+}
+
+// replaceFill builds the descriptor when the insertion point is an empty
+// slot si of the wide node ri.p (span > 1 only): the insert half is a
+// wholesale replacement of ri.p by a filled copy — tryFill's shape — and
+// the overlap analysis is reworked around which node that replacement
+// removes (ri.p) and which node its CAS targets (ri.gp, or the root).
+func (t *Trie[K, V]) replaceFill(vi K, rd, ri searchResult[K, V]) *desc[K, V] {
+	g := t.curGen()
+	sd := t.slotOf(rd.node.label, rd.p.label.Len())
+	si := t.slotOf(vi, ri.p.label.Len())
+
+	switch {
+	case ri.p == rd.p:
+		// Fill and clear land on the same node: one copy realizes both.
+		// The child count is unchanged, so no contraction can be due
+		// regardless of how many children rd.p has.
+		if t.helpConflict(rd.gpInfo, rd.pInfo, nil, nil) {
+			return nil
+		}
+		np := t.copyNodeSet(rd.p, g, sd, nil, si, newLeafVal(vi, rd.node.val))
+		return t.oneCAS(rd.gp, rd.p, np,
+			[4]*node[K, V]{rd.p, rd.gp}, [4]*desc[K, V]{rd.pInfo, rd.gpInfo}, flagCount(rd.gp, 2))
+
+	case ri.gp == rd.p:
+		// The delete replaces rd.p, whose child ri.p holds the empty
+		// slot: fold the filled copy of ri.p into the delete's result.
+		if t.helpConflict(rd.gpInfo, rd.pInfo, ri.pInfo, nil) {
+			return nil
+		}
+		fp := t.copyNodeSet(ri.p, g, si, newLeafVal(vi, rd.node.val), -1, nil)
+		live, sib := rd.p.census(sd)
+		np := fp
+		if live == 2 {
+			// rd.p contracts; its lone surviving child must be ri.p,
+			// whose filled copy takes its place. Anything else is a torn
+			// census (retry; the flag CAS would have failed anyway).
+			if sib != ri.p || rd.gp == nil {
+				return nil
+			}
+		} else {
+			sp := t.slotOf(ri.p.label, rd.p.label.Len())
+			np = t.copyNodeSet(rd.p, g, sd, nil, sp, fp)
+		}
+		return t.oneCAS(rd.gp, rd.p, np,
+			[4]*node[K, V]{rd.p, ri.p, rd.gp},
+			[4]*desc[K, V]{rd.pInfo, ri.pInfo, rd.gpInfo}, flagCount(rd.gp, 3))
+
+	case ri.p == rd.gp:
+		// The fill replaces ri.p, which the delete's CAS would target:
+		// fold the delete's result into the filled copy's rd.p slot.
+		if t.helpConflict(ri.gpInfo, ri.pInfo, rd.pInfo, nil) {
+			return nil
+		}
+		res, _ := t.afterDelete(rd.p, sd, g)
+		sp := t.slotOf(rd.p.label, ri.p.label.Len())
+		np := t.copyNodeSet(ri.p, g, si, newLeafVal(vi, rd.node.val), sp, res)
+		return t.oneCAS(ri.gp, ri.p, np,
+			[4]*node[K, V]{ri.p, rd.p, ri.gp},
+			[4]*desc[K, V]{ri.pInfo, rd.pInfo, ri.gpInfo}, flagCount(ri.gp, 3))
+	}
+
+	// Disjoint: two CASes, fill first (pNode[0] — the linearization
+	// point, after which rd.node reads as logically removed), then the
+	// delete. ri.p and rd.p both leave the trie and stay flagged; the two
+	// CAS targets survive and are unflagged. At most one target can be
+	// the root (both would mean ri.p == rd.p, handled above).
+	if t.helpConflict(ri.gpInfo, ri.pInfo, rd.gpInfo, rd.pInfo) {
+		return nil
+	}
+	res, contracted := t.afterDelete(rd.p, sd, g)
+	if contracted && rd.gp == nil {
+		return nil
+	}
+	np := t.copyNodeSet(ri.p, g, si, newLeafVal(vi, rd.node.val), -1, nil)
+
+	var flag [4]*node[K, V]
+	var fi [4]*desc[K, V]
+	var unflag [2]*node[K, V]
+	nFlag, nUnflag := 0, 0
+	if ri.gp != nil {
+		flag[nFlag], fi[nFlag] = ri.gp, ri.gpInfo
+		nFlag++
+		unflag[nUnflag] = ri.gp
+		nUnflag++
+	}
+	flag[nFlag], fi[nFlag] = ri.p, ri.pInfo
+	nFlag++
+	if rd.gp != nil {
+		flag[nFlag], fi[nFlag] = rd.gp, rd.gpInfo
+		nFlag++
+		unflag[nUnflag] = rd.gp
+		nUnflag++
+	}
+	flag[nFlag], fi[nFlag] = rd.p, rd.pInfo
+	nFlag++
+	return t.newDesc(
+		flag, fi, nFlag,
+		unflag, nUnflag,
+		[2]*node[K, V]{ri.gp, rd.gp},
+		[2]*node[K, V]{ri.p, rd.p},
+		[2]*node[K, V]{np, res}, 2,
 		rd.node)
 }

@@ -64,7 +64,7 @@ type Snapshot[K keys.Key[K], V any] struct {
 func (t *Trie[K, V]) Snapshot() *Snapshot[K, V] {
 	t.snapMu.Lock()
 	old := t.root.Load()
-	t.root.Store(newInternal(old.label, old.child[0].Load(), old.child[1].Load(), old.gen+1))
+	t.root.Store(t.copyNode(old, old.gen+1))
 	n := t.count.Load()
 	t.snapMu.Unlock()
 	if n < 0 {
@@ -94,20 +94,34 @@ func (s *Snapshot[K, V]) removed(i *desc[K, V]) bool {
 	if !i.flagged() {
 		return false
 	}
-	if i.pNode[0].gen > s.gen {
+	p, old := i.pNode[0], i.oldChild[0]
+	if p == nil {
+		// Root-CAS sentinel: the replace's insert half swapped the root
+		// node itself. The displaced root (oldChild[0], always internal)
+		// carries the generation the replace ran in.
+		if old.gen > s.gen {
+			return false
+		}
+		return s.t.root.Load() != old
+	}
+	if p.gen > s.gen {
 		return false
 	}
-	p, old := i.pNode[0], i.oldChild[0]
-	return p.child[0].Load() != old && p.child[1].Load() != old
+	for j := 0; j < p.fanout(); j++ {
+		if p.kid(j).Load() == old {
+			return false
+		}
+	}
+	return true
 }
 
 // search is the read-only descent over the frozen structure.
 func (s *Snapshot[K, V]) search(v K) (n *node[K, V], rmvd bool) {
 	n = s.root
-	for !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
-		n = n.child[v.Bit(n.label.Len())].Load()
+	for n != nil && !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
+		n = n.kid(s.t.slotOf(v, n.label.Len())).Load()
 	}
-	if n.leaf && !s.t.skipRmvdCheck {
+	if n != nil && n.leaf && !s.t.skipRmvdCheck {
 		rmvd = s.removed(n.info.Load())
 	}
 	return n, rmvd
@@ -145,9 +159,9 @@ func (s *Snapshot[K, V]) ascendNode(n *node[K, V], v K, fn func(K, V) bool) bool
 		}
 		return true
 	}
-	for idx := 0; idx < 2; idx++ {
-		c := n.child[idx].Load()
-		if allBelow(c, v) {
+	for idx := 0; idx < n.fanout(); idx++ {
+		c := n.kid(idx).Load()
+		if c == nil || allBelow(c, v) {
 			continue
 		}
 		if !s.ascendNode(c, v, fn) {
@@ -178,18 +192,18 @@ restart:
 	for {
 		var r searchResult[K, V]
 		n := root
-		for !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
+		for n != nil && !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
 			r.gp, r.gpInfo = r.p, r.pInfo
 			r.p, r.pInfo = n, n.info.Load()
-			n = r.p.child[v.Bit(r.p.label.Len())].Load()
-			if !n.leaf && n.gen != g {
+			n = r.p.kid(t.slotOf(v, r.p.label.Len())).Load()
+			if n != nil && !n.leaf && n.gen != g {
 				t.renewChild(r.p, r.pInfo, n, g)
 				continue restart
 			}
 		}
 		r.node = n
-		if n.leaf && !t.skipRmvdCheck {
-			r.rmvd = logicallyRemoved(n.info.Load())
+		if n != nil && n.leaf && !t.skipRmvdCheck {
+			r.rmvd = t.logicallyRemoved(n.info.Load())
 		}
 		return r
 	}
@@ -211,7 +225,7 @@ func (t *Trie[K, V]) renewChild(p *node[K, V], pInfo *desc[K, V], c *node[K, V],
 	if t.helpConflict(pInfo, cInfo, nil, nil) {
 		return
 	}
-	nc := newInternal(c.label, c.child[0].Load(), c.child[1].Load(), g)
+	nc := t.copyNode(c, g)
 	i := t.newDesc(
 		[4]*node[K, V]{p, c}, [4]*desc[K, V]{pInfo, cInfo}, 2,
 		[2]*node[K, V]{p}, 1,

@@ -46,8 +46,22 @@ func (t *Trie[K, V]) help(i *desc[K, V]) bool {
 		}
 		for j := 0; j < int(i.nPNode); j++ {
 			p, nc := i.pNode[j], i.newChild[j]
-			k := nc.label.Bit(p.label.Len())
-			p.child[k].CompareAndSwap(i.oldChild[j], nc) // child CAS (line 98)
+			if p == nil {
+				// Root-CAS sentinel: the update replaces the root node
+				// itself (a slot fill or clear on a root with no parent
+				// to re-point). Safe against Snapshot's root swap because
+				// every mutation, helpers included, runs under the snapMu
+				// read lock.
+				t.root.CompareAndSwap(i.oldChild[j], nc)
+				continue
+			}
+			// The slot is computed from the new child's label: every new
+			// child extends p's label, and it routes through the same slot
+			// as the old child it replaces (copies keep the old label;
+			// fresh joins and leaves share the old child's digit, or the
+			// search would not have reached it).
+			k := t.slotOf(nc.label, p.label.Len())
+			p.kid(k).CompareAndSwap(i.oldChild[j], nc) // child CAS (line 98)
 		}
 	}
 
@@ -177,8 +191,11 @@ func (t *Trie[K, V]) helpConflict(i1, i2, i3, i4 *desc[K, V]) bool {
 
 // makeInternal is the paper's createNode (lines 117-121): it returns a new
 // internal node whose label is the longest common prefix of the two
-// labels and whose children are n1 and n2 in bit order. If either label
-// is a prefix of the other no such node exists; in that case the captured
+// labels floored to a digit boundary and whose children sit in their
+// digit slots (the two digits differ: the floored prefix's next digit
+// contains the first differing bit, and same-length digits that share a
+// prefix up to a differing bit differ as integers). If either label is a
+// prefix of the other no such node exists; in that case the captured
 // info value is helped if it is a Flag (the usual cause: n1 is a stale
 // copy of a node another update is replacing) and nil is returned so the
 // caller retries.
@@ -189,12 +206,11 @@ func (t *Trie[K, V]) makeInternal(n1, n2 *node[K, V], info *desc[K, V]) *node[K,
 		}
 		return nil
 	}
-	cp := n1.label.CommonPrefix(n2.label) // shorter than both labels
-	g := t.curGen()
-	if n1.label.Bit(cp.Len()) == 0 {
-		return newInternal(cp, n1, n2, g)
-	}
-	return newInternal(cp, n2, n1, g)
+	cp := n1.label.CommonDigitPrefix(n2.label, t.span) // shorter than both labels
+	nn := t.newNode(cp, t.curGen())
+	nn.kid(t.slotOf(n1.label, cp.Len())).Store(n1)
+	nn.kid(t.slotOf(n2.label, cp.Len())).Store(n2)
+	return nn
 }
 
 // Insert adds the encoded key v to the set, returning false if it was
@@ -229,6 +245,9 @@ func (t *Trie[K, V]) InsertValue(v K, val V) bool {
 // must re-search and retry (conflicting update helped, or CAS lost).
 func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 	n := r.node
+	if n == nil {
+		return t.tryFill(v, val, r)
+	}
 	nodeInfo := n.info.Load() // line 25: info before children
 	// Deferred speculative construction: a flagged capture means newDesc
 	// would reject this attempt anyway, so help the conflicting update
@@ -237,7 +256,7 @@ func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 	if t.helpConflict(r.pInfo, nodeInfo, nil, nil) {
 		return false
 	}
-	newNode := t.makeInternal(copyNode(n, t.curGen()), newLeafVal(v, val), nodeInfo)
+	newNode := t.makeInternal(t.copyNode(n, t.curGen()), newLeafVal(v, val), nodeInfo)
 	if newNode == nil {
 		return false
 	}
@@ -253,6 +272,35 @@ func (t *Trie[K, V]) tryInsert(v K, val V, r searchResult[K, V]) bool {
 			[4]*node[K, V]{r.p}, [4]*desc[K, V]{r.pInfo}, 1,
 			[2]*node[K, V]{r.p}, 1,
 			[2]*node[K, V]{r.p}, [2]*node[K, V]{n}, [2]*node[K, V]{newNode}, 1,
+			nil)
+	}
+	return i != nil && t.help(i)
+}
+
+// tryFill handles the insert case that exists only for wide nodes: the
+// search ended at an empty slot of r.p. The slot is never CASed from nil
+// in place (nil repeats as an expected value — ABA); instead a fresh copy
+// of r.p with the slot holding v's leaf replaces r.p wholesale under
+// r.gp, or under the root pointer when r.p is the root. r.p leaves the
+// trie and stays flagged, exactly like every removed node.
+func (t *Trie[K, V]) tryFill(v K, val V, r searchResult[K, V]) bool {
+	if t.helpConflict(r.gpInfo, r.pInfo, nil, nil) {
+		return false
+	}
+	si := t.slotOf(v, r.p.label.Len())
+	np := t.copyNodeSet(r.p, t.curGen(), si, newLeafVal(v, val), -1, nil)
+	var i *desc[K, V]
+	if r.gp == nil {
+		i = t.newDesc(
+			[4]*node[K, V]{r.p}, [4]*desc[K, V]{r.pInfo}, 1,
+			[2]*node[K, V]{}, 0,
+			[2]*node[K, V]{nil}, [2]*node[K, V]{r.p}, [2]*node[K, V]{np}, 1,
+			nil)
+	} else {
+		i = t.newDesc(
+			[4]*node[K, V]{r.gp, r.p}, [4]*desc[K, V]{r.gpInfo, r.pInfo}, 2,
+			[2]*node[K, V]{r.gp}, 1,
+			[2]*node[K, V]{r.gp}, [2]*node[K, V]{r.p}, [2]*node[K, V]{np}, 1,
 			nil)
 	}
 	return i != nil && t.help(i)
@@ -278,24 +326,52 @@ func (t *Trie[K, V]) Delete(v K) bool {
 }
 
 // tryDelete attempts one round of the delete protocol for the encoded
-// key v located by r; false means re-search and retry.
+// key v located by r; false means re-search and retry. A parent left
+// with one child contracts into its sibling as in the paper; a wide
+// parent with three or more children instead gets a fresh copy with the
+// slot cleared, swung in under the grandparent (or the root pointer when
+// the parent is the root — the root always keeps at least the two dummy
+// subtrees, so it is never contracted away).
 func (t *Trie[K, V]) tryDelete(v K, r searchResult[K, V]) bool {
-	if r.gp == nil {
-		// A leaf that is a direct child of the root necessarily holds
-		// a dummy key (the 0-prefix and 1-prefix subtrees always
-		// contain their dummies), and dummies never match a user key,
-		// so this branch is unreachable from Delete; retry defensively.
-		// The check comes before any read through r.p so a malformed
-		// searchResult (white-box callers, future refactors) fails
-		// closed instead of dereferencing a position the search never
-		// certified.
+	sd := t.slotOf(v, r.p.label.Len())
+	live, sib := r.p.census(sd)
+	if live == 2 {
+		if r.gp == nil {
+			// A binary parent that is the root cannot hold a user leaf:
+			// its two children are the dummy subtrees, and a wide root
+			// with a direct user leaf has at least three children (the
+			// leaf's digit is shared with no other key, and each dummy
+			// anchors its own slot). Unreachable from Delete; retry
+			// defensively before any read through r.p, so a malformed
+			// searchResult (white-box callers, future refactors) fails
+			// closed instead of dereferencing an uncertified position.
+			return false
+		}
+		i := t.newDesc(
+			[4]*node[K, V]{r.gp, r.p}, [4]*desc[K, V]{r.gpInfo, r.pInfo}, 2,
+			[2]*node[K, V]{r.gp}, 1,
+			[2]*node[K, V]{r.gp}, [2]*node[K, V]{r.p}, [2]*node[K, V]{sib}, 1,
+			nil)
+		return i != nil && t.help(i)
+	}
+	// Slot clear: wide parent keeps >= 2 children after the removal.
+	if t.helpConflict(r.gpInfo, r.pInfo, nil, nil) {
 		return false
 	}
-	sib := r.p.child[1-v.Bit(r.p.label.Len())].Load()
-	i := t.newDesc(
-		[4]*node[K, V]{r.gp, r.p}, [4]*desc[K, V]{r.gpInfo, r.pInfo}, 2,
-		[2]*node[K, V]{r.gp}, 1,
-		[2]*node[K, V]{r.gp}, [2]*node[K, V]{r.p}, [2]*node[K, V]{sib}, 1,
-		nil)
+	np := t.copyNodeSet(r.p, t.curGen(), sd, nil, -1, nil)
+	var i *desc[K, V]
+	if r.gp == nil {
+		i = t.newDesc(
+			[4]*node[K, V]{r.p}, [4]*desc[K, V]{r.pInfo}, 1,
+			[2]*node[K, V]{}, 0,
+			[2]*node[K, V]{nil}, [2]*node[K, V]{r.p}, [2]*node[K, V]{np}, 1,
+			nil)
+	} else {
+		i = t.newDesc(
+			[4]*node[K, V]{r.gp, r.p}, [4]*desc[K, V]{r.gpInfo, r.pInfo}, 2,
+			[2]*node[K, V]{r.gp}, 1,
+			[2]*node[K, V]{r.gp}, [2]*node[K, V]{r.p}, [2]*node[K, V]{np}, 1,
+			nil)
+	}
 	return i != nil && t.help(i)
 }

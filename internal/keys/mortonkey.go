@@ -102,5 +102,40 @@ func (k MortonKey) Compare(o MortonKey) int {
 	return 0
 }
 
+// Digit returns the i-th s-bit digit (see Key.Digit). Digits with
+// s > 1 can straddle bit 64 — the w0/w1 word boundary — so the two
+// words are spliced into one window before the final shift. (Go shifts
+// by >= 64 would be a concern only at off == 0, where the straddle
+// branch cannot trigger because w <= s <= 64.)
+func (k MortonKey) Digit(i, s uint32) int {
+	pos := i * s
+	w := min(s, k.n-pos)
+	var top uint64
+	if pos < 64 {
+		top = k.w0 << pos
+		if pos+w > 64 {
+			top |= k.w1 >> (64 - pos)
+		}
+	} else {
+		top = k.w1 << (pos - 64)
+	}
+	return int(top >> (64 - w))
+}
+
+// CommonDigitPrefix returns the longest common prefix floored to a whole
+// number of s-bit digits (see Key.CommonDigitPrefix).
+func (k MortonKey) CommonDigitPrefix(o MortonKey, s uint32) MortonKey {
+	cpl := CommonPrefixLen(k.w0, o.w0)
+	if cpl == 64 {
+		cpl += CommonPrefixLen(k.w1, o.w1)
+	}
+	cpl = min(cpl, k.n, o.n)
+	cpl -= cpl % s
+	if cpl <= 64 {
+		return MortonKey{w0: k.w0 & Mask(cpl), n: cpl}
+	}
+	return MortonKey{w0: k.w0, w1: k.w1 & Mask(cpl-64), n: cpl}
+}
+
 // String renders the label as "0101..." text ("ε" when empty).
 func (k MortonKey) String() string { return renderLabel(k) }

@@ -82,5 +82,22 @@ func (k Uint64Key) Compare(o Uint64Key) int {
 	return 0
 }
 
+// Digit returns the i-th s-bit digit (see Key.Digit). One shift-mask on
+// the left-aligned word: shifting the digit's first bit to the MSB and
+// the word down to the digit's (possibly partial) width.
+func (k Uint64Key) Digit(i, s uint32) int {
+	pos := i * s
+	w := min(s, k.n-pos)
+	return int(k.bits << pos >> (64 - w))
+}
+
+// CommonDigitPrefix returns the longest common prefix floored to a whole
+// number of s-bit digits (see Key.CommonDigitPrefix).
+func (k Uint64Key) CommonDigitPrefix(o Uint64Key, s uint32) Uint64Key {
+	cpl := min(CommonPrefixLen(k.bits, o.bits), k.n, o.n)
+	cpl -= cpl % s
+	return Uint64Key{bits: k.bits & Mask(cpl), n: cpl}
+}
+
 // String renders the label as "0101..." text ("ε" when empty).
 func (k Uint64Key) String() string { return renderLabel(k) }

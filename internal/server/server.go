@@ -62,6 +62,11 @@ type Config struct {
 	// Shards is handed to NewShardedMap: 0 picks the default
 	// (GOMAXPROCS-derived), otherwise a power of two in [1, 256].
 	Shards int
+	// Span is the trie digit width inside every shard: each internal
+	// node resolves Span key bits through 2^Span children (see
+	// nbtrie.NewKaryPatriciaTrie). 0 means 1 (the paper's binary
+	// nodes); otherwise it must be in [1, 6].
+	Span uint32
 	// Limits bounds the request parser; zero fields take resp.DefaultLimits.
 	Limits resp.Limits
 	// ScanDefaultCount is SCAN's page size when no COUNT is given;
@@ -144,7 +149,10 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("server: unknown dispatch mode %q (want conn or affine)", cfg.Dispatch)
 	}
-	db, err := nbtrie.NewShardedMap[[]byte](cfg.Keyer.Width(), cfg.Shards)
+	if cfg.Span == 0 {
+		cfg.Span = 1
+	}
+	db, err := nbtrie.NewShardedMapSpan[[]byte](cfg.Keyer.Width(), cfg.Shards, cfg.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -411,6 +419,7 @@ func (s *Server) infoText() string {
 			"keyer:%s\r\n"+
 			"key_width_bits:%d\r\n"+
 			"shards:%d\r\n"+
+			"trie_span_bits:%d\r\n"+
 			"dispatch:%s\r\n"+
 			"uptime_in_seconds:%d\r\n"+
 			"\r\n# Clients\r\n"+
@@ -425,6 +434,7 @@ func (s *Server) infoText() string {
 		s.keyer.Name(),
 		s.keyer.Width(),
 		s.db.Shards(),
+		s.cfg.Span,
 		s.cfg.Dispatch,
 		int64(time.Since(s.start).Seconds()),
 		s.connectedClients(),

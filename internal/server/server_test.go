@@ -759,3 +759,37 @@ func TestServerMidBurstThresholdFlush(t *testing.T) {
 		}
 	}
 }
+
+// TestServerSpan pins the -span plumbing: a Config.Span of 4 builds the
+// k-ary sharded map, INFO reports it, and the command surface (SET/GET/
+// DEL/RENAME/SCAN) is unchanged on the wider nodes. Span 0 defaults to
+// 1 and out-of-range spans refuse to construct.
+func TestServerSpan(t *testing.T) {
+	if _, err := New(Config{Span: 7}); err == nil {
+		t.Fatal("span 7 must be rejected")
+	}
+	s, addr := startServer(t, Config{Keyer: DecimalKeyer{KeyWidth: 16}, Shards: 8, Span: 4})
+	c := dial(t, addr)
+
+	info := c.do("INFO")
+	if info.Kind != resp.TypeBulk || !strings.Contains(string(info.Str), "trie_span_bits:4") {
+		t.Fatalf("INFO must report the trie span: %s", info)
+	}
+	c.mustSimple("OK", "SET", "100", "payload")
+	c.mustBulk("payload", "GET", "100")
+	c.mustSimple("OK", "RENAME", "100", "200")
+	c.mustNull("GET", "100")
+	c.mustBulk("payload", "GET", "200")
+	c.mustInt(1, "DEL", "200")
+	c.mustNull("GET", "200")
+
+	// The default span reports as 1.
+	s2, addr2 := startServer(t, Config{Keyer: DecimalKeyer{KeyWidth: 16}})
+	defer s2.Close()
+	c2 := dial(t, addr2)
+	info2 := c2.do("INFO")
+	if !strings.Contains(string(info2.Str), "trie_span_bits:1") {
+		t.Fatalf("default span must report 1: %s", info2)
+	}
+	_ = s
+}

@@ -90,8 +90,19 @@ type Trie[V any] struct {
 // least one key bit (shardBits <= width-1); Shards reports the count in
 // effect.
 func New[V any](width uint32, shardCount int) (*Trie[V], error) {
+	return NewSpan[V](width, shardCount, 1)
+}
+
+// NewSpan is New with the per-shard tries built at digit width span
+// (core.WithSpan): 2^span-child nodes resolve span key bits per level
+// inside every shard, composing the sharded front-end's write scaling
+// with the k-ary depth cut. span must be in [1, 6]; 1 is New.
+func NewSpan[V any](width uint32, shardCount int, span uint32) (*Trie[V], error) {
 	if width < 1 || width > keys.MaxWidth {
 		return nil, fmt.Errorf("sharded trie: width %d out of range [1, %d]", width, keys.MaxWidth)
+	}
+	if span < 1 || span > 6 {
+		return nil, fmt.Errorf("sharded trie: span %d out of range [1, 6]", span)
 	}
 	if shardCount == 0 {
 		shardCount = DefaultShards()
@@ -109,7 +120,7 @@ func New[V any](width uint32, shardCount int) (*Trie[V], error) {
 		shards:    make([]*core.Trie[V], 1<<s),
 	}
 	for i := range t.shards {
-		st, err := core.New[V](width - s)
+		st, err := core.New(width-s, core.WithSpan[V](span))
 		if err != nil {
 			return nil, err
 		}

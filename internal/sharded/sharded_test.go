@@ -400,3 +400,51 @@ func TestConcurrentCrossShardTraffic(t *testing.T) {
 		}
 	}
 }
+
+// TestNewSpan pins the k-ary composition: NewSpan validates the span
+// range, New is NewSpan at span 1, and a span-4 sharded trie serves the
+// full op surface (including same-shard Replace) with intact per-shard
+// invariants. Shard routing strips the top bits *before* the per-shard
+// trie digitizes, so span does not have to divide the shard width.
+func TestNewSpan(t *testing.T) {
+	for _, span := range []uint32{0, 7, 100} {
+		if _, err := NewSpan[int](20, 4, span); err == nil {
+			t.Errorf("span %d must be rejected", span)
+		}
+	}
+	tr, err := NewSpan[int](20, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shards() != 8 || tr.Width() != 20 {
+		t.Fatalf("NewSpan(20, 8, 4) = shards %d width %d", tr.Shards(), tr.Width())
+	}
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		// Spread keys across shards: the top 3 of 20 bits route.
+		key := k << 9
+		if !tr.Store(key, int(k)) {
+			t.Fatalf("Store(%d) failed", key)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := tr.Load(k << 9); !ok || v != int(k) {
+			t.Fatalf("Load(%d) = %d, %v", k<<9, v, ok)
+		}
+	}
+	// Same-shard replace: keys differing only in low bits share a shard.
+	if swapped, err := tr.Replace(5<<9, 5<<9|1); err != nil || !swapped {
+		t.Fatalf("same-shard Replace = %v, %v", swapped, err)
+	}
+	if tr.Contains(5<<9) || !tr.Contains(5<<9|1) {
+		t.Fatal("Replace moved the wrong key")
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if k != 5 && !tr.Delete(k<<9) {
+			t.Fatalf("Delete(%d) failed", k<<9)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,25 @@ func NewPatriciaTrieNoReplace(width uint32) (*PatriciaTrie, error) {
 	return &PatriciaTrie{t: t}, nil
 }
 
+// KarySpan is the digit width of the registry's "karypatricia" (PAT-K)
+// entry: 4 bits per level, 16-child internal nodes sized to one or two
+// cache lines.
+const KarySpan = 4
+
+// NewKaryPatriciaTrie returns a k-ary trie over keys in [0, 2^width):
+// the same non-blocking engine and guarantees as NewPatriciaTrie —
+// wait-free allocation-free Contains, lock-free updates, atomic Replace
+// — but each internal node resolves span key bits through 2^span child
+// slots, cutting expected depth span-fold. span must be in [1, 6];
+// span 1 is exactly NewPatriciaTrie.
+func NewKaryPatriciaTrie(width, span uint32) (*PatriciaTrie, error) {
+	t, err := core.New(width, core.WithSpan[struct{}](span))
+	if err != nil {
+		return nil, err
+	}
+	return &PatriciaTrie{t: t}, nil
+}
+
 // Insert adds k; false iff k was present or out of range. Lock-free.
 func (p *PatriciaTrie) Insert(k uint64) bool { return p.t.Insert(k) }
 

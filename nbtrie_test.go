@@ -38,11 +38,19 @@ func TestConformanceAllImplementations(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Implementations()
-	if len(names) != 8 || names[0] != "patricia" {
-		t.Fatalf("Implementations() = %v; want the trie, five baselines, the spatial instantiation and the sharded front-end, trie first", names)
+	if len(names) != 9 || names[0] != "patricia" {
+		t.Fatalf("Implementations() = %v; want the trie, five baselines and the extra engine instantiations, trie first", names)
 	}
-	if names[len(names)-2] != "spatial" || names[len(names)-1] != "sharded" {
-		t.Fatalf("Implementations() = %v; spatial then sharded should close the registry", names)
+	if names[len(names)-3] != "spatial" || names[len(names)-2] != "sharded" || names[len(names)-1] != "karypatricia" {
+		t.Fatalf("Implementations() = %v; spatial, sharded, karypatricia should close the registry", names)
+	}
+	for _, name := range names {
+		if im, _ := LookupImplementation(name); im.Fanout < 2 {
+			t.Fatalf("%s Fanout = %d, want >= 2", name, im.Fanout)
+		}
+	}
+	if im, _ := LookupImplementation("karypatricia"); im.Fanout != 1<<KarySpan || im.Replace != ReplaceFull || !im.WaitFreeRead {
+		t.Fatalf("karypatricia descriptor wrong: %+v", im)
 	}
 	seen := map[string]bool{}
 	for _, name := range names {

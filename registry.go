@@ -73,6 +73,12 @@ type Implementation struct {
 	// (alloc_test.go), so a boxing or helping regression on the read
 	// path fails CI rather than silently costing throughput.
 	WaitFreeRead bool
+	// Fanout is the branching factor of the structure's interior nodes:
+	// how many key partitions each level resolves (2 for binary trees
+	// and tries, 4 for the 4-ST, 32 for the Ctrie, 16 for the span-4
+	// k-ary trie). Tools report it in series labels instead of assuming
+	// binary; expected depth scales with 1/log2(Fanout).
+	Fanout int
 	// New returns a fresh, empty set able to hold keys in [0, 2^width).
 	// Implementations without a bounded key space ignore width.
 	New func(width uint32) (Set, error)
@@ -89,6 +95,7 @@ const DefaultWidth = 63
 var registry = []Implementation{
 	{
 		Name:         "patricia",
+		Fanout:       2,
 		Legend:       "PAT",
 		Description:  "non-blocking Patricia trie with Replace (Shafiei, ICDCS 2013); wait-free Contains",
 		Replace:      ReplaceFull,
@@ -99,6 +106,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:        "kst",
+		Fanout:      4,
 		Legend:      "4-ST",
 		Description: "non-blocking k-ary (k=4) external search tree (Brown & Helga, OPODIS 2011)",
 		New: func(uint32) (Set, error) {
@@ -107,6 +115,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:        "bst",
+		Fanout:      2,
 		Legend:      "BST",
 		Description: "non-blocking external binary search tree (Ellen et al., PODC 2010)",
 		New: func(uint32) (Set, error) {
@@ -115,6 +124,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:        "avl",
+		Fanout:      2,
 		Legend:      "AVL",
 		Description: "lock-based relaxed-balance AVL tree with optimistic reads (Bronson et al., PPoPP 2010)",
 		New: func(uint32) (Set, error) {
@@ -123,6 +133,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:        "skiplist",
+		Fanout:      2,
 		Legend:      "SL",
 		Description: "lock-free skip list (ConcurrentSkipListMap lineage)",
 		New: func(uint32) (Set, error) {
@@ -131,6 +142,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:        "ctrie",
+		Fanout:      32,
 		Legend:      "Ctrie",
 		Description: "non-blocking 32-way concurrent hash trie, no snapshots (Prokopec et al., PPoPP 2012)",
 		New: func(uint32) (Set, error) {
@@ -139,6 +151,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:         "spatial",
+		Fanout:       2,
 		Legend:       "PAT-Z",
 		Description:  "Morton-keyed spatial instantiation of the shared engine (65-bit Z-order keys; atomic point moves via Replace)",
 		Replace:      ReplaceFull,
@@ -152,6 +165,7 @@ var registry = []Implementation{
 	},
 	{
 		Name:         "sharded",
+		Fanout:       2,
 		Legend:       "PAT-S",
 		Description:  "sharded front-end: 2^s independent engine instances partitioned by the top key bits, for multi-core write scaling (replace atomic per shard, refused cross-shard)",
 		Replace:      ReplacePerShard,
@@ -162,6 +176,17 @@ var registry = []Implementation{
 				return nil, err
 			}
 			return shardedSet{t: t}, nil
+		},
+	},
+	{
+		Name:         "karypatricia",
+		Fanout:       1 << KarySpan,
+		Legend:       "PAT-K",
+		Description:  "k-ary engine instantiation: 16-child cache-line-sized nodes resolve 4 key bits per level, same flag/help protocol and atomic Replace",
+		Replace:      ReplaceFull,
+		WaitFreeRead: true,
+		New: func(width uint32) (Set, error) {
+			return NewKaryPatriciaTrie(width, KarySpan)
 		},
 	},
 }

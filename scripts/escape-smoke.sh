@@ -16,7 +16,7 @@
 # log.
 
 out="${1:-escape-smoke.log}"
-pkgs="./internal/resp ./internal/server"
+pkgs="./internal/resp ./internal/server ./internal/engine ./internal/core"
 
 {
     echo "# escape-analysis smoke: $(go version)"
@@ -29,9 +29,26 @@ pkgs="./internal/resp ./internal/server"
     fi
     echo
     echo "## heap escapes on the hot path (go build -gcflags=-m)"
+    mlog="$(mktemp)"
     GOCACHE="$(mktemp -d)" go build -gcflags='-m' $pkgs 2>&1 |
-        grep -E 'escapes to heap|moved to heap' |
-        sort | uniq -c | sort -rn
+        grep -E 'escapes to heap|moved to heap' >"$mlog"
+    sort <"$mlog" | uniq -c | sort -rn
+    echo
+    echo "## k-ary read path (engine.go search/child loads)"
+    # The engine's wait-free reads (Find/Get and the search descents)
+    # must not heap-allocate — the 0-alloc Load/Contains pins in
+    # internal/core/alloc_test.go enforce the count; this section points
+    # at the culprit line when one of those pins fails. Escapes in
+    # engine.go outside the update/replace/snapshot files are the
+    # read-path suspects: the child-array loads (inline pair or ext
+    # slice) should all stay on the stack.
+    if grep 'engine/engine\.go' "$mlog"; then
+        echo "(engine.go escape sites above: cross-check against the"
+        echo "0-alloc read pins before assuming they are cold-path.)"
+    else
+        echo "none: the descent (incl. the k-ary child-array reads) is heap-free"
+    fi
+    rm -f "$mlog"
     echo
     echo "(counts are per-site; sites in cold paths — setup, errors,"
     echo "admin commands — are expected and harmless. The steady-state"

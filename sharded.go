@@ -53,6 +53,19 @@ func NewShardedMap[V any](width uint32, shards int) (*ShardedMap[V], error) {
 	return &ShardedMap[V]{t: t}, nil
 }
 
+// NewShardedMapSpan is NewShardedMap with each shard's trie built at
+// digit width span: 2^span-child internal nodes resolve span key bits
+// per level (see NewKaryPatriciaTrie), composing the sharded write
+// scaling with the k-ary depth cut. span must be in [1, 6]; 1 is
+// NewShardedMap.
+func NewShardedMapSpan[V any](width uint32, shards int, span uint32) (*ShardedMap[V], error) {
+	t, err := sharded.NewSpan[V](width, shards, span)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMap[V]{t: t}, nil
+}
+
 // Load returns the value bound to k. Wait-free and allocation-free: a
 // shard index computation, then one pure-read descent of the owning
 // shard.
