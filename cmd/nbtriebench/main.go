@@ -26,10 +26,18 @@
 // empty* server with the default bytes keyer and >= 2 shards (it
 // asserts exact DBSIZE/SCAN contents and leaves a few keys behind, so
 // it is not rerunnable against the same instance): basic command
-// semantics, pipelining, RENAME's atomic same-shard move and its
-// cross-shard refusal. It exercises the same
-// client codec and exits non-zero on the first mismatch, which makes
-// it the CI end-to-end check when run under -race.
+// semantics, pipelining, RENAME's atomic same-shard move plus its
+// two-phase cross-shard move (RENAMESTRICT keeps the old refusal), and
+// a TTL battery (EXPIRE/TTL/PERSIST/SETEX/GETEX, lazy expiry of a past
+// deadline). It exercises the same client codec and exits non-zero on
+// the first mismatch, which makes it the CI end-to-end check when run
+// under -race.
+//
+// -ttl adds a TTL-churn series to the sweep: a quarter of the write
+// side becomes SETEX with a 1-second deadline, so keys expire and are
+// lazily purged / reaped underneath the measured GET traffic — the
+// expiry subsystem's overhead shows up as a gated series
+// ("get90-set10+ttl") instead of silently taxing the main one.
 package main
 
 import (
@@ -78,6 +86,8 @@ type options struct {
 	smoke     bool
 	noPrefill bool
 	bgsave    bool
+	ttl       bool
+	ttlChurn  bool // this sweep's writes are SETEX-mixed (set by runBench, not a flag)
 	suffix    string
 	appendOut bool
 }
@@ -102,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		smoke      = fs.Bool("smoke", false, "run the correctness battery instead of the benchmark (needs a fresh empty server with the default bytes keyer)")
 		noPrefill  = fs.Bool("no-prefill", false, "skip prefilling every other key before measuring")
 		bgsave     = fs.Bool("bgsave", false, "fire BGSAVE every 100ms during every trial (server must run with -dir); measures dump-under-load throughput")
+		ttl        = fs.Bool("ttl", false, "add a TTL-churn series: 1/4 of writes become SETEX with a 1s deadline, so expiry runs under the measured load")
 		suffix     = fs.String("series-suffix", "", "appended to every series name (e.g. \"-affine\" when benchmarking a -dispatch=affine server)")
 		appendFl   = fs.Bool("append", false, "with -json: merge series into an existing artifact instead of overwriting it (same-name series are replaced)")
 	)
@@ -113,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		getPct: *getPct, keyRange: *keyRange, duration: *duration,
 		warmup: *warmup, trials: *trials, seed: *seed, quick: *quick,
 		jsonOut: *jsonOut, outDir: *outDir, smoke: *smoke, noPrefill: *noPrefill,
-		bgsave: *bgsave, suffix: *suffix, appendOut: *appendFl,
+		bgsave: *bgsave, ttl: *ttl, suffix: *suffix, appendOut: *appendFl,
 	}
 	for _, f := range strings.Split(*clientsStr, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -291,9 +302,15 @@ func trial(opt options, nClients int, d time.Duration, trialSeed uint64) (float6
 				for j := 0; j < opt.pipeline; j++ {
 					op := g.Next()
 					key := strconv.FormatUint(op.Key, 10)
-					if op.Kind == workload.OpFind {
+					switch {
+					case op.Kind == workload.OpFind:
 						c.w.WriteCommandString("GET", key)
-					} else {
+					case opt.ttlChurn && op.Key%4 == 0:
+						// TTL churn: deadlines a second out, so keys armed
+						// early in the trial expire under the later traffic
+						// and the lazy checks + reaper run while we measure.
+						c.w.WriteCommandString("SETEX", key, "1", val)
+					default:
 						c.w.WriteCommandString("SET", key, val)
 					}
 				}
@@ -416,6 +433,20 @@ func runBench(opt options, stdout io.Writer) error {
 		}
 		bgSeries = &s
 	}
+	// With -ttl, a third sweep runs the same mix with a quarter of the
+	// writes as 1-second SETEX: expiring keys churn through the deadline
+	// index while GETs take the lazy-expiry path, and benchcheck gates
+	// the series so expiry overhead can't regress silently.
+	var ttlSeries *bench.Series
+	if opt.ttl {
+		to := plain
+		to.ttlChurn = true
+		s, err := sweep(to, baseName+"+ttl")
+		if err != nil {
+			return err
+		}
+		ttlSeries = &s
+	}
 
 	if opt.jsonOut {
 		cfg := bench.Config{
@@ -446,6 +477,9 @@ func runBench(opt options, stdout io.Writer) error {
 		}
 		if bgSeries != nil {
 			a.AddSeries(*bgSeries, nil)
+		}
+		if ttlSeries != nil {
+			a.AddSeries(*ttlSeries, nil)
 		}
 		// -append folds this run's series into an existing artifact (the
 		// two-mode BENCH_server.json workflow: one daemon per dispatch
@@ -548,6 +582,18 @@ func runSmoke(addr string) error {
 		}
 		return nil
 	}
+	// expectIntRange tolerates clock skid: TTL on a freshly armed key is
+	// its round-up remainder, which any pause between commands can shave.
+	expectIntRange := func(lo, hi int64, args ...string) error {
+		v, err := c.do(args...)
+		if err != nil {
+			return fmt.Errorf("%v: %w", args, err)
+		}
+		if v.Kind != resp.TypeInt || v.Int < lo || v.Int > hi {
+			return fmt.Errorf("%v = %s, want integer in [%d, %d]", args, v, lo, hi)
+		}
+		return nil
+	}
 
 	checks := []func() error{
 		func() error { return expect("PONG", "PING") },
@@ -564,14 +610,36 @@ func runSmoke(addr string) error {
 		func() error { return expect(`"v1"`, "GET", "ad") },
 		func() error { return expectErr("no such key", "RENAME", "aa", "ae") },
 		func() error { return expectErr("destination key exists", "RENAME", "ab", "ac") },
-		// Cross-shard refusal: "ad" (0x61...) and "\xe1d" differ in the
-		// top key bit, so they land in different shards for any shard
-		// count >= 2 — and the server must refuse, not emulate.
-		func() error { return expectErr("CROSSSHARD", "RENAME", "ad", "\xe1d") },
+		// Cross-shard: "ad" (0x61...) and "\xe1d" differ in the top key
+		// bit, so they land in different shards for any shard count >= 2.
+		// RENAMESTRICT keeps the atomic-only contract and refuses;
+		// RENAME performs the two-phase move (DESIGN.md §12).
+		func() error { return expectErr("CROSSSHARD", "RENAMESTRICT", "ad", "\xe1d") },
 		func() error { return expect(`"v1"`, "GET", "ad") },
-		func() error { return expect("(nil)", "GET", "\xe1d") },
+		func() error { return expect("OK", "RENAME", "ad", "\xe1d") },
+		func() error { return expect("(nil)", "GET", "ad") },
+		func() error { return expect(`"v1"`, "GET", "\xe1d") },
+		func() error { return expectErr("destination key exists", "RENAME", "ab", "\xe1d") },
 		func() error { return expectErr("exceeds the 7-byte maximum", "SET", "12345678", "v") },
-		func() error { return expect("(integer) 1", "DEL", "ad", "nope") },
+		func() error { return expect("(integer) 1", "DEL", "\xe1d", "nope") },
+		func() error { return expect("(integer) 2", "DBSIZE") },
+		// TTL battery: arm, observe, disarm, and lazily expire.
+		func() error { return expect("(integer) -1", "TTL", "ab") },
+		func() error { return expect("(integer) -2", "TTL", "nope") },
+		func() error { return expect("(integer) 0", "EXPIRE", "nope", "100") },
+		func() error { return expect("(integer) 1", "EXPIRE", "ab", "100") },
+		func() error { return expectIntRange(1, 100, "TTL", "ab") },
+		func() error { return expectIntRange(1, 100_000, "PTTL", "ab") },
+		func() error { return expect("(integer) 1", "PERSIST", "ab") },
+		func() error { return expect("(integer) -1", "TTL", "ab") },
+		func() error { return expect("OK", "SETEX", "tt", "100", "vt") },
+		func() error { return expectIntRange(1, 100, "TTL", "tt") },
+		func() error { return expect(`"vt"`, "GETEX", "tt", "PERSIST") },
+		func() error { return expect("(integer) -1", "TTL", "tt") },
+		// A deadline in the past deletes immediately (Redis replies :1).
+		func() error { return expect("(integer) 1", "PEXPIREAT", "tt", "1") },
+		func() error { return expect("(nil)", "GET", "tt") },
+		func() error { return expect("(integer) -2", "TTL", "tt") },
 		func() error { return expect("(integer) 2", "DBSIZE") },
 	}
 	for _, check := range checks {

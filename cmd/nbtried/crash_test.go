@@ -97,7 +97,17 @@ func crashBattery(t *testing.T, cycles int, dispatch string) {
 		for i := 0; i < 4000; i++ {
 			k := fmt.Sprintf("c%02dk%03d", cycle, i)
 			v := fmt.Sprintf("%d.%d", cycle, i)
-			if err := c.cmd("SET", k, v); err != nil {
+			// Every 7th write carries a long TTL (SETEX = SET + PEXPIREAT
+			// in the AOF): acked TTL'd writes must survive kills exactly
+			// like plain SETs — the deadline is hours away, so for the
+			// battery's value assertions they are ordinary durable keys.
+			var err error
+			if i%7 == 3 {
+				err = c.cmd("SETEX", k, "3600", v)
+			} else {
+				err = c.cmd("SET", k, v)
+			}
+			if err != nil {
 				break
 			}
 			maybe[k] = v

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"nbtrie/internal/resp"
+)
+
+// TestExpiryCrashRecovery is the TTL durability acceptance test from the
+// issue: a daemon running -aof -appendfsync always takes 1000 TTL'd
+// writes — half with deadlines hours away, half expiring within
+// milliseconds — and is SIGKILLed once every write is acknowledged.
+// After the downtime has consumed the short deadlines, the restarted
+// daemon must serve every long-TTL key with a sane remaining TTL and
+// none of the expired ones: deadlines are absolute in the AOF
+// (PEXPIREAT), so dying and coming back late expires exactly what wall
+// time says should be gone.
+func TestExpiryCrashRecovery(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	portFile := filepath.Join(t.TempDir(), "port")
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-dir", dataDir, "-aof", "-appendfsync", "always")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := waitPortFile(t, portFile)
+	c := dialRESP(t, addr)
+
+	// 1000 keys, alternating long (1h, via SETEX) and short (150ms, via
+	// SET + PEXPIRE). Pipelined; every ack is required before the kill.
+	const n = 1000
+	expect := 0
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if i%2 == 0 {
+			c.w.WriteCommandString("SETEX", k, "3600", "long")
+			expect++
+		} else {
+			c.w.WriteCommandString("SET", k, "short")
+			c.w.WriteCommandString("PEXPIRE", k, "150")
+			expect += 2
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < expect; i++ {
+		if v, err := c.read(); err != nil || v.Kind == resp.TypeError {
+			t.Fatalf("reply %d: %s, %v", i, v, err)
+		}
+	}
+
+	cmd.Process.Signal(syscall.SIGKILL)
+	cmd.Wait()
+	c.close()
+	time.Sleep(200 * time.Millisecond) // downtime outlives every short deadline
+
+	os.Remove(portFile)
+	cmd2 := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-dir", dataDir, "-aof", "-appendfsync", "always")
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { cmd2.Process.Kill(); cmd2.Wait() }()
+	addr2 := waitPortFile(t, portFile)
+	c2 := dialRESP(t, addr2)
+	defer c2.close()
+
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		c2.w.WriteCommandString("GET", k)
+		c2.w.WriteCommandString("TTL", k)
+	}
+	if err := c2.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		got, err1 := c2.read()
+		ttl, err2 := c2.read()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("verify %s: %v / %v", k, err1, err2)
+		}
+		if i%2 == 0 {
+			if got.IsNull() || string(got.Str) != "long" {
+				t.Fatalf("unexpired key %s lost across the crash: %s", k, got)
+			}
+			if ttl.Kind != resp.TypeInt || ttl.Int <= 0 || ttl.Int > 3600 {
+				t.Fatalf("unexpired key %s recovered with TTL %s, want (0, 3600]", k, ttl)
+			}
+		} else {
+			if !got.IsNull() {
+				t.Fatalf("key %s expired during downtime but was served: %s", k, got)
+			}
+			if ttl.Kind != resp.TypeInt || ttl.Int != -2 {
+				t.Fatalf("expired key %s: TTL = %s, want -2", k, ttl)
+			}
+		}
+	}
+	t.Logf("%d/2 long-TTL keys recovered live, %d/2 short-TTL keys expired across the crash", n, n)
+}
+
+// TestExpiryRestartCycle cycles the daemon through both recovery paths —
+// pure AOF replay, then a SAVE so the next boot recovers deadlines from
+// the TTL-carrying base dump — asserting after every restart that the
+// absolute deadline is intact (remaining TTL shrinks, never resets or
+// vanishes).
+func TestExpiryRestartCycle(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	portFile := filepath.Join(t.TempDir(), "port")
+
+	start := func() *exec.Cmd {
+		os.Remove(portFile)
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0", "-port-file", portFile,
+			"-dir", dataDir, "-aof", "-appendfsync", "always")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	kill := func(cmd *exec.Cmd) {
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+	}
+
+	cmd := start()
+	c := dialRESP(t, waitPortFile(t, portFile))
+	c.cmd("SET", "k", "v")
+	c.read()
+	c.cmd("EXPIRE", "k", "7200")
+	c.read()
+	c.cmd("SET", "plain", "p") // control: no TTL, must stay TTL-less
+	c.read()
+	kill(cmd)
+	c.close()
+
+	prev := int64(7200)
+	for cycle := 0; cycle < 3; cycle++ {
+		cmd = start()
+		c = dialRESP(t, waitPortFile(t, portFile))
+
+		if err := c.cmd("TTL", "k"); err != nil {
+			t.Fatal(err)
+		}
+		ttl, err := c.read()
+		if err != nil || ttl.Kind != resp.TypeInt {
+			t.Fatalf("cycle %d: TTL = %s, %v", cycle, ttl, err)
+		}
+		if ttl.Int <= 0 || ttl.Int > prev {
+			t.Fatalf("cycle %d: TTL %d not in (0, %d] — the deadline drifted across restart", cycle, ttl.Int, prev)
+		}
+		prev = ttl.Int
+		if v, ok := getOne(t, c, "k"); !ok || v != "v" {
+			t.Fatalf("cycle %d: value lost: %q, %v", cycle, v, ok)
+		}
+		c.cmd("TTL", "plain")
+		if pt, err := c.read(); err != nil || pt.Int != -1 {
+			t.Fatalf("cycle %d: control key grew a TTL: %s, %v", cycle, pt, err)
+		}
+
+		if cycle == 0 {
+			// Fold the AOF into a base dump: from the next boot on, the
+			// deadline must come back from the dump's expireAt field.
+			if err := c.cmd("SAVE"); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := c.read(); err != nil || v.Kind == resp.TypeError {
+				t.Fatalf("SAVE failed: %s, %v", v, err)
+			}
+			ents, err := os.ReadDir(dataDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawBase := false
+			for _, e := range ents {
+				if len(e.Name()) >= 4 && e.Name()[:4] == "base" {
+					sawBase = true
+				}
+			}
+			if !sawBase {
+				t.Fatalf("SAVE left no base dump in %s", dataDir)
+			}
+		}
+		if cycle == 1 {
+			// Re-arm through GETEX so the third incarnation replays a
+			// post-dump PEXPIREAT on top of the dump's deadline.
+			c.cmd("GETEX", "k", "EX", strconv.FormatInt(prev-1, 10))
+			if v, err := c.read(); err != nil || v.Kind == resp.TypeError {
+				t.Fatalf("GETEX re-arm failed: %s, %v", v, err)
+			}
+			prev--
+		}
+		kill(cmd)
+		c.close()
+	}
+}

@@ -216,3 +216,13 @@ func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
 	v, ok := t.encodeOK(k)
 	return ok && t.e.CompareAndDelete(v, old)
 }
+
+// DeleteFunc deletes k if cond returns true for its stored value,
+// returning true iff the key was deleted. The value cond approved is the
+// value removed (the engine pins the inspected leaf until the delete
+// commits). cond may run more than once under contention and must be
+// side-effect free.
+func (t *Trie[V]) DeleteFunc(k uint64, cond func(V) bool) bool {
+	v, ok := t.encodeOK(k)
+	return ok && t.e.DeleteFunc(v, cond)
+}

@@ -111,6 +111,30 @@ func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
 	}
 }
 
+// DeleteFunc deletes v if cond returns true for its stored value. It
+// returns true iff the key was deleted. The condition runs on the value
+// read at search time; as with CompareAndDelete, the flag CAS on the
+// parent pins that leaf until the delete commits, so the value the
+// condition approved is the value that is removed. cond may be called
+// multiple times (once per retry) and must be side-effect free.
+func (t *Trie[K, V]) DeleteFunc(v K, cond func(V) bool) bool {
+	t.snapMu.RLock()
+	defer t.snapMu.RUnlock()
+	for {
+		r := t.searchMut(v)
+		if !keyInTrie(r.node, v, r.rmvd) {
+			return false
+		}
+		if !cond(r.node.val) {
+			return false
+		}
+		if t.tryDelete(v, r) {
+			t.count.Add(-1)
+			return true
+		}
+	}
+}
+
 // tryOverwrite attempts to replace the live leaf r.node (holding encoded
 // key v) with a fresh leaf carrying val — the descriptor shape of the
 // paper's Replace special case 1: flag the parent, one child CAS from the

@@ -1,0 +1,295 @@
+package expiry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func newIndex(t testing.TB) *Index {
+	t.Helper()
+	x, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New(16, 4): %v", err)
+	}
+	return x
+}
+
+func TestSetLookupClear(t *testing.T) {
+	x := newIndex(t)
+	if _, ok := x.Lookup(7); ok {
+		t.Fatal("Lookup on empty index")
+	}
+	e := x.Set(7, 1000)
+	if e.DeadlineMS != 1000 {
+		t.Fatalf("Set returned deadline %d", e.DeadlineMS)
+	}
+	got, ok := x.Lookup(7)
+	if !ok || got != e {
+		t.Fatalf("Lookup = %+v, %v; want %+v", got, ok, e)
+	}
+	// Re-arm: the new entry replaces the old, old node cleaned up.
+	e2 := x.Set(7, 2000)
+	if got, _ := x.Lookup(7); got != e2 {
+		t.Fatalf("Lookup after re-arm = %+v, want %+v", got, e2)
+	}
+	if d, ok := x.Earliest(); !ok || d != 2000 {
+		t.Fatalf("Earliest after re-arm = %d, %v (stale node survived?)", d, ok)
+	}
+	if !x.Clear(7) {
+		t.Fatal("Clear found nothing")
+	}
+	if x.Clear(7) {
+		t.Fatal("second Clear succeeded")
+	}
+	if _, ok := x.Earliest(); ok {
+		t.Fatal("Earliest nonempty after Clear")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+}
+
+func TestRemoveIsConditional(t *testing.T) {
+	x := newIndex(t)
+	e1 := x.Set(3, 100)
+	e2 := x.Set(3, 200) // e1 is now a stale identity
+	if x.Remove(3, e1) {
+		t.Fatal("Remove succeeded with a superseded entry")
+	}
+	if got, ok := x.Lookup(3); !ok || got != e2 {
+		t.Fatalf("stale Remove disturbed the live arming: %+v, %v", got, ok)
+	}
+	if !x.Remove(3, e2) {
+		t.Fatal("Remove with the live entry failed")
+	}
+	if _, ok := x.Lookup(3); ok {
+		t.Fatal("arming survived Remove")
+	}
+}
+
+func TestEarliestOrdering(t *testing.T) {
+	x := newIndex(t)
+	x.Set(1, 500)
+	x.Set(2, 100)
+	x.Set(3, 900)
+	if d, ok := x.Earliest(); !ok || d != 100 {
+		t.Fatalf("Earliest = %d, %v; want 100", d, ok)
+	}
+	x.Clear(2)
+	if d, ok := x.Earliest(); !ok || d != 500 {
+		t.Fatalf("Earliest after clearing the min = %d, %v; want 500", d, ok)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	x := newIndex(t)
+	if e := x.Set(1, -50); e.DeadlineMS != 0 {
+		t.Fatalf("negative deadline clamped to %d, want 0", e.DeadlineMS)
+	}
+	if e := x.Set(2, math.MaxInt64); e.DeadlineMS != MaxDeadlineMS {
+		t.Fatalf("huge deadline clamped to %d, want %d", e.DeadlineMS, MaxDeadlineMS)
+	}
+	if d, ok := x.Earliest(); !ok || d != 0 {
+		t.Fatalf("Earliest = %d, %v", d, ok)
+	}
+}
+
+// purgeInto returns a Reap purge callback implementing the server's
+// protocol against a plain map primary: delete from the primary, then
+// conditionally Remove the arming.
+func purgeInto(x *Index, primary map[uint64]bool) func(k uint64, e Entry) bool {
+	return func(k uint64, e Entry) bool {
+		delete(primary, k)
+		return x.Remove(k, e)
+	}
+}
+
+func TestReap(t *testing.T) {
+	x := newIndex(t)
+	primary := map[uint64]bool{10: true, 11: true, 12: true, 13: true}
+	x.Set(10, 100)
+	x.Set(11, 200)
+	x.Set(12, 200) // same millisecond: seq disambiguates
+	x.Set(13, 300)
+
+	if n := x.Reap(50, purgeInto(x, primary)); n != 0 {
+		t.Fatalf("Reap(50) purged %d", n)
+	}
+	// The limit is inclusive: everything due AT now expires too.
+	if n := x.Reap(200, purgeInto(x, primary)); n != 3 {
+		t.Fatalf("Reap(200) purged %d, want 3", n)
+	}
+	if !primary[13] || len(primary) != 1 {
+		t.Fatalf("primary after reap = %v", primary)
+	}
+	if d, ok := x.Earliest(); !ok || d != 300 {
+		t.Fatalf("Earliest after reap = %d, %v", d, ok)
+	}
+	expired, passes := x.Stats()
+	if expired != 0 { // Reap itself doesn't count; the server's purge calls NoteExpired
+		t.Fatalf("expired = %d before any NoteExpired", expired)
+	}
+	if passes != 2 {
+		t.Fatalf("passes = %d, want 2", passes)
+	}
+}
+
+// TestReapSkipsRearmed: a key re-armed to a later deadline between the
+// scan and the purge must not be purged via its old node — the entry
+// check detects the stale node and discards it without touching the key.
+func TestReapSkipsRearmed(t *testing.T) {
+	x := newIndex(t)
+	primary := map[uint64]bool{5: true}
+	e1 := x.Set(5, 100)
+	// Simulate the race: the old byDeadline node survives (re-insert it
+	// as a stale node the way a lost CAD race would), while the entry
+	// moves on to a later deadline.
+	x.byDeadline.InsertValue(e1.idxKey(), 5)
+	x.Set(5, 99999)
+
+	if n := x.Reap(200, purgeInto(x, primary)); n != 0 {
+		t.Fatalf("Reap purged %d through a stale node", n)
+	}
+	if !primary[5] {
+		t.Fatal("re-armed key was purged")
+	}
+	if _, ok := x.Lookup(5); !ok {
+		t.Fatal("live arming lost")
+	}
+	// The stale node was discarded: the earliest deadline is the live one.
+	if d, ok := x.Earliest(); !ok || d != 99999 {
+		t.Fatalf("Earliest = %d, %v; stale node survived the reap", d, ok)
+	}
+}
+
+func TestWakeSignalling(t *testing.T) {
+	x := newIndex(t)
+	x.Arm(5000) // reaper sleeping toward 5000
+	x.Set(1, 9000)
+	select {
+	case <-x.Wake():
+		t.Fatal("later deadline woke the reaper")
+	default:
+	}
+	x.Set(2, 1000)
+	select {
+	case <-x.Wake():
+	default:
+		t.Fatal("earlier deadline did not wake the reaper")
+	}
+}
+
+// TestConcurrentSetClearRemove hammers one key from many goroutines;
+// the invariant is convergence — after the dust settles the entry and
+// node views agree — plus no panics/races under -race.
+func TestConcurrentSetClearRemove(t *testing.T) {
+	x := newIndex(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(i % 16)
+				switch g % 3 {
+				case 0:
+					x.Set(k, int64(1000+i))
+				case 1:
+					x.Clear(k)
+				case 2:
+					if e, ok := x.Lookup(k); ok {
+						x.Remove(k, e)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiescent convergence: one final reap far in the future purges
+	// every surviving arming and discards every stale node.
+	n := x.Reap(MaxDeadlineMS, func(k uint64, e Entry) bool { return x.Remove(k, e) })
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after a total reap (purged %d)", x.Len(), n)
+	}
+	if _, ok := x.Earliest(); ok {
+		t.Fatal("byDeadline nonempty after a total reap")
+	}
+}
+
+// FuzzExpiryIndexOps drives a byte-coded op sequence against the index
+// and a plain timed-map oracle; after every op the views must agree on
+// membership, deadlines, order (Earliest) and count. Single-threaded,
+// so byDeadline must mirror entries exactly (Set/Clear/Remove clean up
+// their own nodes when unraced).
+func FuzzExpiryIndexOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x42})
+	f.Add([]byte{0x10, 0x05, 0x11, 0x05, 0x30, 0x06})
+	f.Add([]byte{0x00, 0xFF, 0x20, 0x00, 0x30, 0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := New(16, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64]int64{} // key → clamped deadline
+		check := func(op string) {
+			if got, want := x.Len(), len(oracle); got != want {
+				t.Fatalf("after %s: Len = %d, oracle %d", op, got, want)
+			}
+			var min int64 = math.MaxInt64
+			for k, d := range oracle {
+				e, ok := x.Lookup(k)
+				if !ok || e.DeadlineMS != d {
+					t.Fatalf("after %s: Lookup(%d) = %+v, %v; oracle %d", op, k, e, ok, d)
+				}
+				if d < min {
+					min = d
+				}
+			}
+			d, ok := x.Earliest()
+			if ok != (len(oracle) > 0) || (ok && d != min) {
+				t.Fatalf("after %s: Earliest = %d, %v; oracle min %d of %d keys",
+					op, d, ok, min, len(oracle))
+			}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			k := uint64(arg % 32)
+			switch op % 4 {
+			case 0: // set
+				d := clampDeadline(int64(op/4) * int64(arg) * 7)
+				x.Set(k, d)
+				oracle[k] = d
+				check("set")
+			case 1: // clear
+				if got, want := x.Clear(k), oracle[k] != 0 || hasKey(oracle, k); got != want {
+					t.Fatalf("Clear(%d) = %v, oracle had=%v", k, got, want)
+				}
+				delete(oracle, k)
+				check("clear")
+			case 2: // conditional remove of the live entry
+				if e, ok := x.Lookup(k); ok {
+					if !x.Remove(k, e) {
+						t.Fatalf("Remove(%d, live entry) failed unraced", k)
+					}
+					delete(oracle, k)
+				}
+				check("remove")
+			case 3: // reap everything due by an arbitrary now
+				now := int64(op/4) * int64(arg) * 5
+				x.Reap(now, func(k uint64, e Entry) bool { return x.Remove(k, e) })
+				for k, d := range oracle {
+					if d <= clampDeadline(now) {
+						delete(oracle, k)
+					}
+				}
+				check("reap")
+			}
+		}
+	})
+}
+
+func hasKey(m map[uint64]int64, k uint64) bool {
+	_, ok := m[k]
+	return ok
+}

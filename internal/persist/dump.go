@@ -33,7 +33,14 @@ import (
 )
 
 // dumpMagic opens every dump file: format name + version in 8 bytes.
-const dumpMagic = "NBRDB001"
+// Version 2 adds a third uvarint per record — the absolute expiry
+// deadline in Unix milliseconds, 0 meaning "no TTL" — so deadlines
+// survive dump/restore. Version 1 files (no TTL field) are still read;
+// their records load with no deadline.
+const (
+	dumpMagic   = "NBRDB002"
+	dumpMagicV1 = "NBRDB001"
+)
 
 // Record markers.
 const (
@@ -74,23 +81,26 @@ func (cw *crcWriter) write(p []byte) {
 	_, cw.err = cw.w.Write(p)
 }
 
-// WriteDump streams a dump: the magic, one framed record per pair
+// WriteDump streams a dump: the magic, one framed record per entry
 // yielded by iter, and the trailer (entry count + CRC-64/ECMA of every
-// preceding byte). iter must call its argument once per pair and stop
-// when it returns false (it only returns false on a write error, to cut
-// a doomed iteration short). The caller owns w — buffering, fsync and
-// atomic rename happen at the file layer (SaveDump).
-func WriteDump(w io.Writer, iter func(fn func(k, v []byte) bool)) error {
+// preceding byte). Each record carries the entry's absolute expiry
+// deadline in Unix milliseconds (0 = no TTL). iter must call its
+// argument once per entry and stop when it returns false (it only
+// returns false on a write error, to cut a doomed iteration short). The
+// caller owns w — buffering, fsync and atomic rename happen at the file
+// layer (SaveDump).
+func WriteDump(w io.Writer, iter func(fn func(k, v []byte, expireAtMS uint64) bool)) error {
 	cw := &crcWriter{w: w}
 	var scratch [binary.MaxVarintLen64]byte
 	cw.write([]byte(dumpMagic))
 	count := uint64(0)
-	iter(func(k, v []byte) bool {
+	iter(func(k, v []byte, expireAtMS uint64) bool {
 		cw.write([]byte{recEntry})
 		cw.write(scratch[:binary.PutUvarint(scratch[:], uint64(len(k)))])
 		cw.write(k)
 		cw.write(scratch[:binary.PutUvarint(scratch[:], uint64(len(v)))])
 		cw.write(v)
+		cw.write(scratch[:binary.PutUvarint(scratch[:], expireAtMS)])
 		count++
 		return cw.err == nil
 	})
@@ -152,19 +162,22 @@ func (cr *crcReader) readUvarint() (uint64, error) {
 }
 
 // ReadDump parses a dump written by WriteDump, calling fn for every
-// record. The key and value slices are freshly allocated and may be
-// retained. Any structural violation — bad magic, unknown marker, a
-// length beyond MaxDumpValueLen, short file, count or CRC mismatch,
-// trailing garbage — returns a *CorruptError (a dump is all-or-nothing;
-// there is no torn-tail tolerance here, that is the AOF's department).
-// An error from fn aborts the read and is returned as-is.
-func ReadDump(r io.Reader, fn func(k, v []byte) error) error {
+// record with its absolute expiry deadline (Unix milliseconds, 0 = no
+// TTL; always 0 for version-1 dumps, which predate TTLs). The key and
+// value slices are freshly allocated and may be retained. Any structural
+// violation — bad magic, unknown marker, a length beyond
+// MaxDumpValueLen, short file, count or CRC mismatch, trailing garbage —
+// returns a *CorruptError (a dump is all-or-nothing; there is no
+// torn-tail tolerance here, that is the AOF's department). An error from
+// fn aborts the read and is returned as-is.
+func ReadDump(r io.Reader, fn func(k, v []byte, expireAtMS uint64) error) error {
 	cr := &crcReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(dumpMagic))
 	if err := cr.readFull(magic); err != nil {
 		return corruptf("short magic: %v", err)
 	}
-	if string(magic) != dumpMagic {
+	hasTTL := string(magic) == dumpMagic
+	if !hasTTL && string(magic) != dumpMagicV1 {
 		return corruptf("bad magic %q", magic)
 	}
 	var count uint64
@@ -187,8 +200,15 @@ func ReadDump(r io.Reader, fn func(k, v []byte) error) error {
 		if err != nil {
 			return err
 		}
+		var expireAt uint64
+		if hasTTL {
+			expireAt, err = cr.readUvarint()
+			if err != nil {
+				return corruptf("short expiry deadline: %v", err)
+			}
+		}
 		count++
-		if err := fn(k, v); err != nil {
+		if err := fn(k, v, expireAt); err != nil {
 			return err
 		}
 	}

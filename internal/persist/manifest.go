@@ -145,7 +145,7 @@ func ReadManifest(dir string) (m Manifest, ok bool, err error) {
 
 // SaveDump writes a dump of iter to dir/name crash-safely: temp file,
 // WriteDump, fsync, atomic rename, directory fsync.
-func SaveDump(dir, name string, iter func(fn func(k, v []byte) bool)) error {
+func SaveDump(dir, name string, iter func(fn func(k, v []byte, expireAtMS uint64) bool)) error {
 	if !validName(name) {
 		return fmt.Errorf("persist: bad dump name %q", name)
 	}
@@ -178,7 +178,7 @@ func SaveDump(dir, name string, iter func(fn func(k, v []byte) bool)) error {
 
 // LoadDump reads the dump at dir/name through fn. A missing file with
 // name == "" (no base yet) is not an error; a missing named file is.
-func LoadDump(dir, name string, fn func(k, v []byte) error) error {
+func LoadDump(dir, name string, fn func(k, v []byte, expireAtMS uint64) error) error {
 	f, err := os.Open(filepath.Join(dir, name))
 	if err != nil {
 		return err

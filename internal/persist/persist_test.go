@@ -3,8 +3,10 @@ package persist
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,10 +26,19 @@ func pairs(n int) [][2][]byte {
 	return out
 }
 
-func iterOf(ps [][2][]byte) func(func(k, v []byte) bool) {
-	return func(fn func(k, v []byte) bool) {
-		for _, p := range ps {
-			if !fn(p[0], p[1]) {
+// ttlFor gives every third pair a deadline so dump tests exercise both
+// TTL'd and TTL-less records.
+func ttlFor(i int) uint64 {
+	if i%3 != 0 {
+		return 0
+	}
+	return uint64(1_700_000_000_000 + i)
+}
+
+func iterOf(ps [][2][]byte) func(func(k, v []byte, expireAtMS uint64) bool) {
+	return func(fn func(k, v []byte, expireAtMS uint64) bool) {
+		for i, p := range ps {
+			if !fn(p[0], p[1], ttlFor(i)) {
 				return
 			}
 		}
@@ -42,8 +53,10 @@ func TestDumpRoundTrip(t *testing.T) {
 			t.Fatalf("n=%d: write: %v", n, err)
 		}
 		var got [][2][]byte
-		err := ReadDump(bytes.NewReader(buf.Bytes()), func(k, v []byte) error {
+		var ttls []uint64
+		err := ReadDump(bytes.NewReader(buf.Bytes()), func(k, v []byte, expireAtMS uint64) error {
 			got = append(got, [2][]byte{k, v})
+			ttls = append(ttls, expireAtMS)
 			return nil
 		})
 		if err != nil {
@@ -56,8 +69,64 @@ func TestDumpRoundTrip(t *testing.T) {
 			if !bytes.Equal(got[i][0], ps[i][0]) || !bytes.Equal(got[i][1], ps[i][1]) {
 				t.Fatalf("n=%d: record %d mismatch", n, i)
 			}
+			if ttls[i] != ttlFor(i) {
+				t.Fatalf("n=%d: record %d deadline %d, want %d", n, i, ttls[i], ttlFor(i))
+			}
 		}
 	}
+}
+
+// TestDumpReadsV1 pins backward compatibility: a version-1 dump (no TTL
+// field per record) must load with every record reporting no deadline.
+func TestDumpReadsV1(t *testing.T) {
+	ps := pairs(7)
+	var buf bytes.Buffer
+	writeDumpV1(&buf, ps)
+	var n int
+	err := ReadDump(bytes.NewReader(buf.Bytes()), func(k, v []byte, expireAtMS uint64) error {
+		if !bytes.Equal(k, ps[n][0]) || !bytes.Equal(v, ps[n][1]) {
+			t.Fatalf("record %d mismatch", n)
+		}
+		if expireAtMS != 0 {
+			t.Fatalf("record %d: v1 dump reports deadline %d", n, expireAtMS)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read v1: %v", err)
+	}
+	if n != len(ps) {
+		t.Fatalf("read %d of %d v1 records", n, len(ps))
+	}
+	// Damage detection must hold for v1 framing too.
+	raw := buf.Bytes()
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)/2] ^= 0x41
+	if err := ReadDump(bytes.NewReader(mut), func(k, v []byte, e uint64) error { return nil }); err == nil {
+		t.Error("damaged v1 dump went undetected")
+	}
+}
+
+// writeDumpV1 emits the NBRDB001 frame (no per-record TTL), as the
+// pre-expiry writer did, so the reader's compatibility path stays pinned.
+func writeDumpV1(buf *bytes.Buffer, ps [][2][]byte) {
+	var body bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	body.WriteString(dumpMagicV1)
+	for _, p := range ps {
+		body.WriteByte(recEntry)
+		body.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(p[0])))])
+		body.Write(p[0])
+		body.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(p[1])))])
+		body.Write(p[1])
+	}
+	body.WriteByte(recEnd)
+	body.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(ps)))])
+	crc := crc64.Update(0, crcTable, body.Bytes())
+	binary.LittleEndian.PutUint64(scratch[:8], crc)
+	body.Write(scratch[:8])
+	buf.Write(body.Bytes())
 }
 
 // TestDumpDetectsDamage flips, truncates and extends a valid dump at
@@ -69,7 +138,7 @@ func TestDumpDetectsDamage(t *testing.T) {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
-	discard := func(k, v []byte) error { return nil }
+	discard := func(k, v []byte, expireAtMS uint64) error { return nil }
 
 	for i := range valid {
 		mut := append([]byte(nil), valid...)
@@ -95,7 +164,7 @@ func TestSaveLoadDumpFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	if err := LoadDump(dir, BaseName(1), func(k, v []byte) error { n++; return nil }); err != nil {
+	if err := LoadDump(dir, BaseName(1), func(k, v []byte, expireAtMS uint64) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 100 {

@@ -163,13 +163,22 @@ func (d *affineDispatcher) run(ch chan *affineOp) {
 		for op := head; op != nil; op = op.next {
 			switch op.kind {
 			case opGet:
-				op.v, op.found = s.db.Load(op.k)
+				// Same lazy-expiry check as conn-mode getLive: a key past
+				// its deadline reads as absent (and is purged en passant).
+				if s.expireIfDue(op.k) {
+					op.v, op.found = nil, false
+				} else {
+					op.v, op.found = s.db.Load(op.k)
+				}
 			case opExists:
-				op.found = s.db.Contains(op.k)
+				op.found = !s.expireIfDue(op.k) && s.db.Contains(op.k)
 			case opSet:
 				// Same gate discipline as conn-mode dispatch: map update and
-				// AOF record on one side of any rotation.
+				// AOF record on one side of any rotation, and the TTL cleared
+				// BEFORE the store (the SET↔purge ordering protocol in
+				// expiry.go).
 				s.gate.RLock()
+				s.clearTTL(op.k)
 				s.db.Store(op.k, op.val)
 				op.keyBuf = s.keyer.DecodeAppend(op.keyBuf[:0], op.k)
 				op.argsBuf[0], op.argsBuf[1], op.argsBuf[2] = cmdSET, op.keyBuf, op.val
@@ -177,7 +186,15 @@ func (d *affineDispatcher) run(ch chan *affineOp) {
 				s.gate.RUnlock()
 			case opDel:
 				s.gate.RLock()
+				// Capture the arming before the delete, remove it
+				// conditionally after — same discipline as conn-mode DEL
+				// (an unconditional clear could clobber a racing SETEX's
+				// fresh arming).
+				e, hadTTL := s.exp.Lookup(op.k)
 				op.found = s.db.Delete(op.k)
+				if hadTTL {
+					s.exp.Remove(op.k, e)
+				}
 				if op.found {
 					op.keyBuf = s.keyer.DecodeAppend(op.keyBuf[:0], op.k)
 					op.argsBuf[0], op.argsBuf[1] = cmdDEL, op.keyBuf

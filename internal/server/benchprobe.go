@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 
+	"nbtrie/internal/expiry"
 	"nbtrie/internal/resp"
 )
 
@@ -78,6 +79,18 @@ func MeasureServerPathAllocs(dispatchMode string, valueSize int) (PathAllocs, er
 		if err := seed(key); err != nil {
 			return PathAllocs{}, err
 		}
+	}
+	// Arm far-future TTLs on the MGET keys so the pins cover BOTH sides
+	// of the lazy expiry check: GET/EXISTS/SET on key:123 take the
+	// no-arming fast path (one index miss), MGET's aa/ab take the
+	// arming-present path (index hit + clock comparison). Both must stay
+	// allocation-free.
+	for _, key := range []string{"aa", "ab"} {
+		k, err := s.keyer.Encode([]byte(key))
+		if err != nil {
+			return PathAllocs{}, err
+		}
+		s.exp.Set(k, expiry.MaxDeadlineMS)
 	}
 
 	measure := func(wire []byte) float64 {

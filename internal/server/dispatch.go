@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -96,7 +97,7 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		if !ok {
 			return
 		}
-		if v, found := s.db.Load(k); found {
+		if v, found := s.getLive(k); found {
 			w.WriteBulk(v)
 		} else {
 			w.WriteNull()
@@ -122,6 +123,10 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		// pass through.
 		v := resp.Detach(args[2])
 		s.gate.RLock()
+		// TTL cleared BEFORE the store (SET discards any deadline): a
+		// concurrent purge that loads the fresh value then re-checks the
+		// arming finds it gone and aborts — see expiry.go.
+		s.clearTTL(k)
 		s.db.Store(k, v)
 		s.appendMutation(args...)
 		s.gate.RUnlock()
@@ -144,8 +149,15 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		n := int64(0)
 		s.gate.RLock()
 		for _, k := range ks {
+			// Capture the arming BEFORE the delete so the removal is
+			// conditional on it: a SETEX racing in after the delete
+			// installs a fresh arming this DEL must not clobber.
+			e, hadTTL := s.exp.Lookup(k)
 			if s.db.Delete(k) {
 				n++
+			}
+			if hadTTL {
+				s.exp.Remove(k, e)
 			}
 		}
 		if n > 0 {
@@ -166,7 +178,7 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		}
 		n := int64(0)
 		for _, k := range ks {
-			if s.db.Contains(k) {
+			if s.existsLive(k) {
 				n++
 			}
 		}
@@ -186,7 +198,7 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		// intermediate value slice; the stored values are never copied.
 		w.WriteArrayHeader(len(ks))
 		for _, k := range ks {
-			if v, found := s.db.Load(k); found {
+			if v, found := s.getLive(k); found {
 				w.WriteBulk(v)
 			} else {
 				w.WriteNull()
@@ -217,6 +229,7 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		s.gate.RLock()
 		for i, k := range ks {
 			args[2+2*i] = resp.Detach(args[2+2*i])
+			s.clearTTL(k)
 			s.db.Store(k, args[2+2*i])
 		}
 		s.appendMutation(args...)
@@ -231,7 +244,27 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 	case "SCAN":
 		ss.scan(args)
 	case "RENAME":
-		ss.rename(args)
+		ss.rename(args, false)
+	case "RENAMESTRICT":
+		ss.rename(args, true)
+	case "EXPIRE":
+		ss.expireCmd(args, 1000, false)
+	case "PEXPIRE":
+		ss.expireCmd(args, 1, false)
+	case "EXPIREAT":
+		ss.expireCmd(args, 1000, true)
+	case "PEXPIREAT":
+		ss.expireCmd(args, 1, true)
+	case "TTL":
+		ss.ttlCmd(args, false)
+	case "PTTL":
+		ss.ttlCmd(args, true)
+	case "PERSIST":
+		ss.persistCmd(args)
+	case "SETEX":
+		ss.setex(args)
+	case "GETEX":
+		ss.getex(args)
 	case "SAVE", "BGSAVE":
 		if len(args) != 1 {
 			ss.wrongArity(string(args[0]))
@@ -353,6 +386,12 @@ func (ss *session) scan(args [][]byte) {
 			more = true
 			break
 		}
+		// Lazy expiry applies to SCAN too: a key whose deadline has
+		// passed since the snapshot froze is skipped (and purged from
+		// the live map, not the frozen cut).
+		if s.expireIfDue(k) {
+			continue
+		}
 		keys = append(keys, s.keyer.Decode(k))
 	}
 
@@ -382,19 +421,36 @@ func (ss *session) scan(args [][]byte) {
 	}
 }
 
-// rename implements RENAME old new as the paper's atomic Replace.
-// Same-shard pairs get ShardedMap.ReplaceKey: one linearization point
-// moves the value from old to new. Cross-shard pairs are refused with
-// -CROSSSHARD (the sharded trie's documented contract: replace
-// atomicity is per shard, and the server will not fake it with a
-// non-atomic delete+insert). Unlike Redis, an existing destination is
-// an error, not an overwrite: Replace is insert-if-absent by
-// definition, and silently deleting the destination first would need a
-// second linearization point.
-func (ss *session) rename(args [][]byte) {
+// rename implements RENAME old new (and its strict variant,
+// RENAMESTRICT). Same-shard pairs are always the paper's atomic Replace
+// — ShardedMap.MoveKey routes them through ReplaceKey, one
+// linearization point moving the value from old to new. Cross-shard
+// pairs diverge:
+//
+//   - RENAME runs the documented two-phase MoveKey (DESIGN.md §12):
+//     insert at the destination, then delete the source. Not atomic — a
+//     concurrent reader can briefly see both keys — but never neither,
+//     and the in-flight marker makes the move recoverable. This is
+//     MOVE-style semantics, announced rather than faked atomicity.
+//   - RENAMESTRICT preserves the old contract: cross-shard pairs are
+//     refused with -CROSSSHARD (mirroring Redis Cluster's -CROSSSLOT),
+//     for clients that must know their rename was one linearization
+//     point.
+//
+// In both variants an existing destination is an error, not an
+// overwrite: Replace and MoveKey are insert-if-absent by definition,
+// and silently deleting the destination first would need a second
+// linearization point. A deadline on the source travels with the value
+// (re-armed on the destination after the move, same loose-consistency
+// window as the move itself).
+func (ss *session) rename(args [][]byte, strict bool) {
 	s, w := ss.s, ss.w
+	cmdName := "RENAME"
+	if strict {
+		cmdName = "RENAMESTRICT"
+	}
 	if len(args) != 3 {
-		ss.wrongArity("RENAME")
+		ss.wrongArity(cmdName)
 		return
 	}
 	// Refuse like every other mutation while the AOF is degraded; the
@@ -416,42 +472,72 @@ func (ss *session) rename(args [][]byte) {
 		// Degenerate rename-to-self: Replace refuses (old != new is part
 		// of its contract), but "key exists" would be a misleading
 		// error. Match Redis: succeed iff the key exists.
-		if s.db.Contains(old) {
+		if s.existsLive(old) {
 			w.WriteSimple("OK")
 		} else {
 			w.WriteError("ERR no such key")
 		}
 		return
 	}
+	// An expired-but-unpurged source must rename as absent.
+	if s.expireIfDue(old) {
+		w.WriteError("ERR no such key")
+		return
+	}
+	// The source's arming, captured before the move so it can travel:
+	// conditional removal afterwards, same discipline as DEL.
+	oldArming, hadTTL := s.exp.Lookup(old)
+
+	var moved bool
+	var err error
 	s.gate.RLock()
-	swapped, err := s.db.ReplaceKey(old, new)
-	if swapped {
-		// One AOF record for the atomic move; replay re-expresses it as
-		// load+delete+store, which is safe single-threaded (recovery).
-		s.appendMutation(args...)
+	if strict {
+		moved, err = s.db.ReplaceKey(old, new)
+	} else {
+		moved, err = s.db.MoveKey(old, new)
+	}
+	if moved {
+		if hadTTL {
+			// Re-arm the destination, then drop the source's arming.
+			// Readers can see the destination without its TTL for the
+			// instant between — the index's documented loose window.
+			s.exp.Set(new, oldArming.DeadlineMS)
+			s.exp.Remove(old, oldArming)
+		}
+		// One AOF record for the move; replay re-expresses it as
+		// load+delete+store (+ deadline move), which is safe
+		// single-threaded (recovery).
+		s.appendMutation([]byte("RENAME"), args[1], args[2])
 	}
 	s.gate.RUnlock()
 	if err != nil {
-		// ErrCrossShard. -CROSSSHARD mirrors Redis Cluster's -CROSSSLOT:
-		// the operation is well-formed but these two keys cannot be
-		// moved atomically; the client may retry with same-shard keys
-		// or compose DEL+SET itself, accepting the intermediate states.
-		w.WriteError(fmt.Sprintf(
-			"CROSSSHARD keys map to different shards (%d-shard map); atomic RENAME is per-shard — see DESIGN.md §8: %v",
-			s.db.Shards(), err))
+		switch {
+		case errors.Is(err, nbtrie.ErrCrossShard):
+			// Strict mode only. -CROSSSHARD mirrors Redis Cluster's
+			// -CROSSSLOT: the operation is well-formed but these two keys
+			// cannot be moved atomically; plain RENAME moves them with
+			// two-phase (non-atomic) semantics instead.
+			w.WriteError(fmt.Sprintf(
+				"CROSSSHARD keys map to different shards (%d-shard map); atomic RENAMESTRICT is per-shard — use RENAME for a two-phase cross-shard move, see DESIGN.md §12: %v",
+				s.db.Shards(), err))
+		case errors.Is(err, nbtrie.ErrMoveBusy):
+			w.WriteError("ERR cross-shard move of this key already in flight; retry")
+		default:
+			w.WriteError("ERR " + err.Error())
+		}
 		return
 	}
-	if swapped {
+	if moved {
 		w.WriteSimple("OK")
 		return
 	}
 	// Distinguish the two failure modes for the error message only;
 	// the check is best-effort under concurrency, the refusal itself
-	// was decided atomically by Replace.
+	// was decided atomically by Replace/MoveKey.
 	if !s.db.Contains(old) {
 		w.WriteError("ERR no such key")
 	} else {
-		w.WriteError("ERR destination key exists (RENAME is the trie's atomic Replace: insert-if-absent; DEL it first to overwrite)")
+		w.WriteError("ERR destination key exists (RENAME is insert-if-absent, like the trie's atomic Replace; DEL it first to overwrite)")
 	}
 }
 

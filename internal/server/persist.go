@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nbtrie/internal/expiry"
 	"nbtrie/internal/persist"
 	"nbtrie/internal/resp"
 )
@@ -157,8 +158,21 @@ func (p *persister) recover(m persist.Manifest) error {
 		if n, ok := persist.SeqOf(m.Base); ok && n > p.seq {
 			p.seq = n
 		}
-		err := persist.LoadDump(p.dir, m.Base, func(k, v []byte) error {
-			return p.s.applyRecord([][]byte{[]byte("SET"), k, v})
+		err := persist.LoadDump(p.dir, m.Base, func(k, v []byte, expireAtMS uint64) error {
+			if err := p.s.applyRecord([][]byte{[]byte("SET"), k, v}); err != nil {
+				return err
+			}
+			if expireAtMS != 0 {
+				// Re-arm the dumped deadline, even one already past: the
+				// reaper's opening pass (and any lazy read) purges it, the
+				// same convergence path as replayed PEXPIREAT records.
+				ek, err := p.s.keyer.Encode(k)
+				if err != nil {
+					return err
+				}
+				p.s.exp.Set(ek, int64(expireAtMS))
+			}
+			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("server: loading base dump %s: %w", m.Base, err)
@@ -202,10 +216,15 @@ func (p *persister) removeUnreferenced() {
 	}
 }
 
-// applyRecord replays one AOF/dump record against the map. It is the
-// replay-side mirror of the dispatch mutations, minus replies and
-// re-appending; it runs single-threaded (recovery) so the multi-step
-// RENAME needs no atomicity.
+// applyRecord replays one AOF/dump record against the map (and the
+// expiry index: every record that changes a key's TTL state at serve
+// time changes it identically at replay time). It is the replay-side
+// mirror of the dispatch mutations, minus replies and re-appending; it
+// runs single-threaded (recovery) so the multi-step RENAME needs no
+// atomicity. Reaper purges are deliberately NOT recorded: recovery
+// re-evaluates the replayed absolute deadlines against the clock, so an
+// expiry that happened while up happens again (lazily or on the
+// reaper's opening pass) after a restart.
 func (s *Server) applyRecord(args [][]byte) error {
 	if len(args) == 0 {
 		return fmt.Errorf("empty record")
@@ -220,6 +239,7 @@ func (s *Server) applyRecord(args [][]byte) error {
 			return err
 		}
 		s.db.Store(k, args[2])
+		s.exp.Clear(k) // plain SET discards any earlier arming
 	case "DEL":
 		if len(args) < 2 {
 			return fmt.Errorf("DEL record with %d args", len(args))
@@ -230,6 +250,7 @@ func (s *Server) applyRecord(args [][]byte) error {
 				return err
 			}
 			s.db.Delete(k)
+			s.exp.Clear(k)
 		}
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
@@ -241,6 +262,7 @@ func (s *Server) applyRecord(args [][]byte) error {
 				return err
 			}
 			s.db.Store(k, args[i+1])
+			s.exp.Clear(k)
 		}
 	case "RENAME":
 		if len(args) != 3 {
@@ -260,7 +282,44 @@ func (s *Server) applyRecord(args [][]byte) error {
 		if v, ok := s.db.Load(old); ok {
 			s.db.Delete(old)
 			s.db.Store(new, v)
+			// The deadline travels with the value, exactly as it did at
+			// serve time (both the atomic and the two-phase rename log
+			// this one record).
+			if e, had := s.exp.Lookup(old); had {
+				s.exp.Set(new, e.DeadlineMS)
+				s.exp.Remove(old, e)
+			}
 		}
+	case "PEXPIREAT":
+		// Absolute-deadline arming: every wire-level EXPIRE variant is
+		// logged in this one canonical form (Redis does the same
+		// translation), so replay never depends on the clock at replay
+		// time. A deadline already past is still armed — the reaper's
+		// opening pass purges it, which is what makes downtime expiry
+		// converge.
+		if len(args) != 3 {
+			return fmt.Errorf("PEXPIREAT record with %d args", len(args))
+		}
+		k, err := s.keyer.Encode(args[1])
+		if err != nil {
+			return err
+		}
+		ms, ok := parseIntArg(args[2])
+		if !ok {
+			return fmt.Errorf("PEXPIREAT record with bad deadline %q", args[2])
+		}
+		if s.db.Contains(k) {
+			s.exp.Set(k, ms)
+		}
+	case "PERSIST":
+		if len(args) != 2 {
+			return fmt.Errorf("PERSIST record with %d args", len(args))
+		}
+		k, err := s.keyer.Encode(args[1])
+		if err != nil {
+			return err
+		}
+		s.exp.Clear(k)
 	default:
 		return fmt.Errorf("unknown record command %q", args[0])
 	}
@@ -373,7 +432,12 @@ func (p *persister) save(background bool) error {
 		p.manifest = next
 	}
 	p.seq = dumpSeq
+	// Both snapshots under the same gate.Lock instant: the dump's
+	// (value, deadline) pairs are one consistent cut — no TTL for a key
+	// the value cut doesn't have, no value whose arming the TTL cut
+	// missed.
 	snap := p.s.db.Snapshot() // globally exact: writers are quiesced by the gate
+	expSnap := p.s.exp.Snapshot()
 	oldSeg := p.aof
 	if p.aofOn {
 		p.aof = newSeg
@@ -393,7 +457,7 @@ func (p *persister) save(background bool) error {
 
 	doDump := func() error {
 		defer p.bgActive.Store(false)
-		err := p.writeDumpAndCommit(snap, dumpSeq)
+		err := p.writeDumpAndCommit(snap, expSnap, dumpSeq)
 		if err != nil {
 			p.saveStatus.Store(err.Error())
 			return err
@@ -421,12 +485,14 @@ func (p *persister) save(background bool) error {
 }
 
 // writeDumpAndCommit streams the snapshot into base-<seq>, swings the
-// manifest to it and removes the files the new recipe dropped.
-func (p *persister) writeDumpAndCommit(snap snapshotIter, seq uint64) error {
+// manifest to it and removes the files the new recipe dropped. Each
+// record carries the key's deadline from the expiry cut (0 = no TTL),
+// so a dump restores TTL state without any AOF record.
+func (p *persister) writeDumpAndCommit(snap snapshotIter, expSnap *expiry.Snapshot, seq uint64) error {
 	baseName := persist.BaseName(seq)
-	err := persist.SaveDump(p.dir, baseName, func(fn func(k, v []byte) bool) {
+	err := persist.SaveDump(p.dir, baseName, func(fn func(k, v []byte, expireAtMS uint64) bool) {
 		for k, v := range snap.All() {
-			if !fn(p.s.keyer.Decode(k), v) {
+			if !fn(p.s.keyer.Decode(k), v, uint64(expSnap.DeadlineMS(k))) {
 				return
 			}
 		}

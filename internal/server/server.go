@@ -29,9 +29,17 @@
 //	MSET    → n × Store                (not atomic across keys; documented)
 //	DBSIZE  → ShardedMap.Len           (per-shard atomic counters)
 //	SCAN    → ShardedMap.Ascend        (cursor = next trie key)
-//	RENAME  → ShardedMap.ReplaceKey    (the paper's atomic Replace;
-//	          cross-shard pairs are refused with -CROSSSHARD, never
-//	          emulated with delete+insert)
+//	RENAME  → ShardedMap.MoveKey       (the paper's atomic Replace when
+//	          the keys share a shard; a documented two-phase move —
+//	          insert-then-delete with an in-flight marker — across
+//	          shards, DESIGN.md §12)
+//	RENAMESTRICT → ShardedMap.ReplaceKey (atomic-only: cross-shard
+//	          pairs are refused with -CROSSSHARD, never emulated)
+//	EXPIRE/PEXPIRE/EXPIREAT/PEXPIREAT/TTL/PTTL/PERSIST/SETEX/GETEX
+//	        → expiry.Index             (secondary deadline-ordered trie;
+//	          lazy expiry on every read path + background reaper,
+//	          deadlines durable as absolute PEXPIREAT AOF records and
+//	          dump fields — DESIGN.md §12)
 //
 // Wire keys pass through a pluggable Keyer (see keyer.go); values are
 // stored as the raw request bytes (the RESP reader hands each argument
@@ -48,11 +56,12 @@ import (
 	"time"
 
 	"nbtrie"
+	"nbtrie/internal/expiry"
 	"nbtrie/internal/resp"
 )
 
 // Version is reported by INFO.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Config parameterizes a Server. The zero value is usable: BytesKeyer,
 // default shard count, default protocol limits.
@@ -85,6 +94,10 @@ type Config struct {
 	// writers on different shards never share cache lines; see
 	// affine.go and DESIGN.md §10).
 	Dispatch string
+	// Clock returns the current time in Unix milliseconds; nil means
+	// the wall clock. Expiry deadlines are evaluated against it —
+	// injectable so expiry tests are deterministic.
+	Clock func() int64
 }
 
 // Server owns the map and the listener lifecycle. Create with New,
@@ -95,6 +108,15 @@ type Server struct {
 	keyer Keyer
 	db    *nbtrie.ShardedMap[[]byte]
 	start time.Time
+
+	// exp is the deadline-ordered expiry index (see internal/expiry and
+	// expiry.go in this package); clock feeds every deadline comparison.
+	// The reaper goroutine wakes on the earliest armed deadline and
+	// range-scans everything due; reapStop/reapDone bound its lifetime.
+	exp      *expiry.Index
+	clock    func() int64
+	reapStop chan struct{}
+	reapDone chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -156,11 +178,27 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixMilli() }
+	}
+	// The expiry index shares the primary map's width and shard count so
+	// a key's TTL lives on the same shard partition as its value. It must
+	// exist before recovery runs: replayed PEXPIREAT records and dump
+	// deadlines land in it.
+	exp, err := expiry.New(cfg.Keyer.Width(), db.Shards())
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		keyer:    cfg.Keyer,
 		db:       db,
 		start:    time.Now(),
+		exp:      exp,
+		clock:    clock,
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		scans:    make(map[uint64]*scanCursor),
 		scanNext: 1,
@@ -183,6 +221,10 @@ func New(cfg Config) (*Server, error) {
 		// single-threaded.
 		s.aff = newAffineDispatcher(s)
 	}
+	// The reaper starts after recovery too: its opening pass purges
+	// whatever expired while the process was down, so a recovered
+	// keyspace converges to live-keys-only without waiting for reads.
+	go s.reaperLoop()
 	return s, nil
 }
 
@@ -269,11 +311,14 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	// Every connection goroutine has drained, so no more ops can be
 	// routed: the affine workers stop first (they may still be draining
-	// appends), and only then is the persister sealed — same "no append
-	// can race the shutdown" order as conn mode.
+	// appends), then the reaper (its purges mutate the map but never the
+	// AOF), and only then is the persister sealed — same "no append can
+	// race the shutdown" order as conn mode.
 	if s.aff != nil {
 		s.aff.stop()
 	}
+	close(s.reapStop)
+	<-s.reapDone
 	if s.pst != nil {
 		s.pst.close()
 	}
@@ -412,6 +457,7 @@ func (s *Server) infoText() string {
 	if s.pst != nil {
 		persistence = s.pst.info()
 	}
+	expired, passes := s.exp.Stats()
 	return fmt.Sprintf(
 		"# Server\r\n"+
 			"nbtried_version:%s\r\n"+
@@ -427,6 +473,10 @@ func (s *Server) infoText() string {
 			"\r\n# Stats\r\n"+
 			"total_connections_received:%d\r\n"+
 			"total_commands_processed:%d\r\n"+
+			"\r\n# Expiry\r\n"+
+			"keys_with_ttl:%d\r\n"+
+			"expired_keys:%d\r\n"+
+			"reaper_passes:%d\r\n"+
 			"%s"+
 			"\r\n# Keyspace\r\n"+
 			"db0:keys=%d\r\n",
@@ -440,6 +490,9 @@ func (s *Server) infoText() string {
 		s.connectedClients(),
 		s.totalConns.Load(),
 		s.totalCmds.Load(),
+		s.exp.Len(),
+		expired,
+		passes,
 		persistence,
 		s.db.Len(),
 	)

@@ -235,13 +235,30 @@ func TestServerRename(t *testing.T) {
 	c.mustErrContain("no such key", "RENAME", "5555", "5555")
 	c.mustErrContain("not a decimal", "RENAME", "ghost", "ghost")
 
-	// Cross-shard: 200 is in shard 0, 8192+200 in shard 1.
+	// Cross-shard: 200 is in shard 0, 8192+200 in shard 1. Strict mode
+	// preserves the atomic-only contract and refuses; plain RENAME runs
+	// the two-phase move (DESIGN.md §12) and succeeds.
 	if s.DB().SameShard(200, 8392) {
 		t.Fatal("test premise broken: keys share a shard")
 	}
-	c.mustErrContain("CROSSSHARD", "RENAME", "200", "8392")
+	c.mustErrContain("CROSSSHARD", "RENAMESTRICT", "200", "8392")
 	c.mustBulk("payload", "GET", "200") // refusal was not a partial move
 	c.mustNull("GET", "8392")
+
+	c.mustSimple("OK", "RENAME", "200", "8392") // two-phase cross-shard move
+	c.mustNull("GET", "200")
+	c.mustBulk("payload", "GET", "8392")
+
+	// RENAMESTRICT is the same command on same-shard pairs.
+	c.mustSimple("OK", "SET", "400", "strictv")
+	c.mustSimple("OK", "RENAMESTRICT", "400", "500")
+	c.mustBulk("strictv", "GET", "500")
+	c.mustErrContain("no such key", "RENAMESTRICT", "400", "600")
+
+	// Cross-shard destination-exists: MoveKey refuses, nothing moved.
+	c.mustErrContain("destination key exists", "RENAME", "300", "8392")
+	c.mustBulk("other", "GET", "300")
+	c.mustBulk("payload", "GET", "8392")
 }
 
 // TestServerScan walks a known key set page by page and requires every

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync"
 
 	"nbtrie/internal/core"
 	"nbtrie/internal/keys"
@@ -47,6 +48,12 @@ import (
 // must decide how to compose them (delete-then-insert, tolerate both
 // visible, or re-key within a shard).
 var ErrCrossShard = errors.New("sharded: keys live in different shards; cross-shard replace is not atomic")
+
+// ErrMoveBusy is returned by MoveKey when a cross-shard move of the same
+// source key is already in flight: the in-flight marker doubles as a
+// per-source mutual-exclusion token, so two concurrent moves can never
+// duplicate one value into two destinations.
+var ErrMoveBusy = errors.New("sharded: a cross-shard move of this key is already in flight")
 
 // MaxShards caps the shard count: beyond a few hundred independent
 // roots, routing wins are exhausted and per-shard fixed overhead (two
@@ -81,6 +88,22 @@ type Trie[V any] struct {
 	width     uint32
 	shardBits uint32
 	shards    []*core.Trie[V]
+
+	// In-flight cross-shard move markers, keyed by source key. A marker
+	// exists exactly while a MoveKey is between its load and its final
+	// unregister, recording enough (destination, value) for ResolveMoves
+	// to finish an interrupted move. moveHook, when non-nil, is called
+	// between the phases — a test seam for simulating a crash mid-move.
+	moveMu   sync.Mutex
+	moves    map[uint64]moveRecord[V]
+	moveHook func(phase int)
+}
+
+// moveRecord is the durable-enough residue of an in-flight cross-shard
+// move: where the value was headed and what it was.
+type moveRecord[V any] struct {
+	to  uint64
+	val V
 }
 
 // New returns an empty sharded trie over keys in [0, 2^width); width
@@ -239,6 +262,15 @@ func (t *Trie[V]) CompareAndDelete(k uint64, old V) bool {
 	return ok && sh.CompareAndDelete(rest, old)
 }
 
+// DeleteFunc deletes k if cond returns true for its stored value,
+// returning true iff the key was deleted; the value cond approved is the
+// value removed. cond may run more than once under contention and must
+// be side-effect free.
+func (t *Trie[V]) DeleteFunc(k uint64, cond func(V) bool) bool {
+	sh, rest, ok := t.locate(k)
+	return ok && sh.DeleteFunc(rest, cond)
+}
+
 // Replace atomically removes old and inserts new when both keys live in
 // the same shard: the owning engine's Replace provides the single
 // linearization point, and the value travels with the key. It returns
@@ -259,6 +291,118 @@ func (t *Trie[V]) Replace(old, new uint64) (bool, error) {
 	return t.shards[io].Replace(
 		keys.ShardRest(old, t.width, t.shardBits),
 		keys.ShardRest(new, t.width, t.shardBits)), nil
+}
+
+// MoveKey moves the value stored under from to the key to, across shard
+// boundaries. Same-shard pairs take the engine's atomic Replace (one
+// linearization point, same as the Replace method). Cross-shard pairs
+// run a documented two-phase protocol:
+//
+//  1. load the source value and register an in-flight marker
+//     (source → destination, value);
+//  2. insert the value at the destination (LoadOrStore — the move fails
+//     without side effects if the destination already holds a key);
+//  3. delete the source and drop the marker.
+//
+// The move is not atomic: a concurrent reader can observe both copies
+// between phases 2 and 3. What the protocol does guarantee is
+// at-least-one-copy — there is no instant at which neither key holds
+// the value, because the source is deleted only after the destination
+// insert committed. The marker makes an interrupted move recoverable:
+// ResolveMoves finishes (or abandons) whatever a crashed mover left
+// behind, and doubles as per-source mutual exclusion — a second MoveKey
+// of the same source while one is in flight fails with ErrMoveBusy
+// rather than risking value duplication.
+//
+// It returns (true, nil) when the value moved; (false, nil) when the
+// source was absent, the destination was occupied, or either key is out
+// of range; (false, ErrMoveBusy) on a marker collision. A concurrent
+// Store to the source during the move window races with phase 3 and may
+// be lost; callers that mutate keys mid-move must provide their own
+// exclusion (the server serializes through its persistence gate).
+func (t *Trie[V]) MoveKey(from, to uint64) (bool, error) {
+	if !keys.InRange(from, t.width) || !keys.InRange(to, t.width) {
+		return false, nil
+	}
+	if from == to {
+		return false, nil // nothing to move; mirrors Replace(k, k)
+	}
+	if t.SameShard(from, to) {
+		moved, err := t.Replace(from, to)
+		return moved, err
+	}
+	val, ok := t.Load(from)
+	if !ok {
+		return false, nil
+	}
+	if !t.registerMove(from, moveRecord[V]{to: to, val: val}) {
+		return false, ErrMoveBusy
+	}
+	if h := t.moveHook; h != nil {
+		h(1)
+	}
+	if _, loaded, _ := t.LoadOrStore(to, val); loaded {
+		t.unregisterMove(from)
+		return false, nil
+	}
+	if h := t.moveHook; h != nil {
+		h(2)
+	}
+	t.Delete(from)
+	t.unregisterMove(from)
+	return true, nil
+}
+
+// registerMove records an in-flight move marker for from, refusing
+// (false) when one already exists.
+func (t *Trie[V]) registerMove(from uint64, rec moveRecord[V]) bool {
+	t.moveMu.Lock()
+	defer t.moveMu.Unlock()
+	if t.moves == nil {
+		t.moves = make(map[uint64]moveRecord[V])
+	}
+	if _, busy := t.moves[from]; busy {
+		return false
+	}
+	t.moves[from] = rec
+	return true
+}
+
+// unregisterMove drops the in-flight marker for from.
+func (t *Trie[V]) unregisterMove(from uint64) {
+	t.moveMu.Lock()
+	delete(t.moves, from)
+	t.moveMu.Unlock()
+}
+
+// PendingMoves reports how many cross-shard moves are currently marked
+// in flight (diagnostics and tests).
+func (t *Trie[V]) PendingMoves() int {
+	t.moveMu.Lock()
+	defer t.moveMu.Unlock()
+	return len(t.moves)
+}
+
+// ResolveMoves completes or abandons every cross-shard move whose mover
+// died between phases, using the in-flight markers: if the destination
+// key exists the insert committed, so the source is deleted (the move
+// completes); otherwise the move never became visible and is abandoned
+// with the source intact. Either way the marker is dropped. It returns
+// the number of moves completed. Quiescent use only — it is meant for
+// recovery after the goroutines that were moving keys are gone, not for
+// concurrent use alongside live movers.
+func (t *Trie[V]) ResolveMoves() int {
+	t.moveMu.Lock()
+	defer t.moveMu.Unlock()
+	n := 0
+	for from, rec := range t.moves {
+		if t.Contains(rec.to) {
+			t.Delete(from)
+			n++
+		}
+		delete(t.moves, from)
+	}
+	return n
 }
 
 // AscendKV calls fn on every (key, value) pair with key >= from in

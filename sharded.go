@@ -114,6 +114,48 @@ func (m *ShardedMap[V]) ReplaceKey(old, new uint64) (swapped bool, err error) {
 	return m.t.Replace(old, new)
 }
 
+// DeleteFunc deletes k if cond returns true for its stored value,
+// returning true iff the key was deleted. Unlike CompareAndDelete it
+// never boxes or compares values, so it works for non-comparable value
+// types (byte slices); the engine pins the inspected leaf until the
+// delete commits, so the value cond approved is exactly the value
+// removed. cond may run more than once under contention and must be
+// side-effect free. This is the primitive nbtried's expiry uses to purge
+// a key only if it still holds the expired value.
+func (m *ShardedMap[V]) DeleteFunc(k uint64, cond func(V) bool) bool {
+	return m.t.DeleteFunc(k, cond)
+}
+
+// MoveKey moves the value stored under from to the key to. Same-shard
+// pairs are the atomic ReplaceKey. Cross-shard pairs run a two-phase
+// protocol — register an in-flight marker, insert at the destination
+// (failing without side effects if it is occupied), then delete the
+// source — which is not atomic: a reader can observe both copies during
+// the window, but never neither (the source is deleted only after the
+// destination insert committed). The marker gives mutual exclusion per
+// source key (a concurrent move of the same source fails with
+// ErrMoveBusy) and lets ResolveMoves finish a move whose goroutine died
+// between phases. moved is (true, nil) when the value moved and
+// (false, nil) when the source was absent, the destination occupied, or
+// a key out of range. See DESIGN.md §12 for the full protocol and its
+// visibility window.
+func (m *ShardedMap[V]) MoveKey(from, to uint64) (moved bool, err error) {
+	return m.t.MoveKey(from, to)
+}
+
+// ErrMoveBusy is returned by MoveKey when a cross-shard move of the same
+// source key is already in flight.
+var ErrMoveBusy = sharded.ErrMoveBusy
+
+// ResolveMoves completes or abandons cross-shard moves interrupted
+// between phases, driven by their in-flight markers: a move whose
+// destination insert committed is finished (source deleted), one that
+// never became visible is abandoned with the source intact. Returns the
+// number completed. Quiescent use only — recovery, not concurrent use.
+func (m *ShardedMap[V]) ResolveMoves() int {
+	return m.t.ResolveMoves()
+}
+
 // Contains reports whether k has a binding, wait-free and without
 // allocating.
 func (m *ShardedMap[V]) Contains(k uint64) bool {
