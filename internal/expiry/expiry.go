@@ -106,6 +106,13 @@ func New(width uint32, shardCount int) (*Index, error) {
 	return x, nil
 }
 
+// setRetryLap bounds how many consecutive seq-collision retries Set
+// makes at one millisecond before degrading to a neighboring one: a
+// full lap of the suffix space in production (every slot provably
+// probed); tests lower it to exercise the exhaustion path without
+// arming 2^20 keys.
+var setRetryLap = seqMask
+
 // clampDeadline forces a deadline into the representable range.
 func clampDeadline(ms int64) int64 {
 	if ms < 0 {
@@ -123,24 +130,41 @@ func clampDeadline(ms int64) int64 {
 // any, is removed afterwards (on a lost race it survives as a stale node
 // for the reaper to discard). Finally the reaper is woken if the new
 // deadline is earlier than what it is sleeping toward. It returns the
-// Entry now in force.
+// Entry now in force; its deadline can differ from the requested one by
+// the representable-range clamp or, when every seq slot of a
+// millisecond is occupied, by the neighboring-millisecond fallback.
 func (x *Index) Set(k uint64, deadlineMS int64) Entry {
 	deadlineMS = clampDeadline(deadlineMS)
 	old, had := x.entries.Load(k)
 	e := Entry{DeadlineMS: deadlineMS}
-	for {
+	down := false
+	for tries := 0; ; tries++ {
 		e.Seq = x.seq.Add(1) & seqMask
 		if x.byDeadline.InsertValue(e.idxKey(), k) {
 			break
 		}
 		// Seq collision after 2^20 wraps at one millisecond: take the
-		// next counter value and retry.
+		// next counter value and retry. If a full lap finds every seq
+		// slot for this millisecond occupied (>2^20 keys armed at one
+		// deadline — a mass restore or bulk EXPIREAT), degrade by one
+		// millisecond instead of spinning forever: prefer later (firing
+		// a hair late is invisible), walk earlier once the clamp ceiling
+		// is hit so the search still terminates.
+		if tries >= setRetryLap {
+			if down || e.DeadlineMS >= MaxDeadlineMS {
+				down = true
+				e.DeadlineMS--
+			} else {
+				e.DeadlineMS++
+			}
+			tries = -1
+		}
 	}
 	x.entries.Store(k, e)
 	if had {
 		x.byDeadline.CompareAndDelete(old.idxKey(), k)
 	}
-	if deadlineMS < x.armed.Load() {
+	if e.DeadlineMS < x.armed.Load() {
 		x.notify()
 	}
 	return e

@@ -95,6 +95,51 @@ func TestClamping(t *testing.T) {
 	}
 }
 
+// TestSetExhaustedMillisecond arms a key at a deadline whose seq slot
+// space is already occupied — a mass restore or bulk EXPIREAT aimed at
+// one deadline: Set must terminate by degrading to a neighboring
+// millisecond instead of retrying the exhausted slot space forever.
+// The lap bound is lowered and the colliding byDeadline nodes planted
+// directly (a fresh index's seq counter starts at 0, so Set probes
+// seqs 1, 2, 3, ...); exhausting the real 2^20-slot space exercises the
+// identical loop at ~2M trie ops per case.
+func TestSetExhaustedMillisecond(t *testing.T) {
+	const lap = 8
+	defer func(orig int) { setRetryLap = orig }(setRetryLap)
+	setRetryLap = lap
+
+	plant := func(t *testing.T, x *Index, d int64) {
+		t.Helper()
+		for seq := uint64(1); seq <= lap+1; seq++ {
+			if !x.byDeadline.InsertValue(uint64(d)<<seqBits|seq, ^uint64(0)) {
+				t.Fatalf("planting seq %d failed", seq)
+			}
+		}
+	}
+
+	t.Run("degrades later", func(t *testing.T) {
+		x := newIndex(t)
+		const d = int64(5000)
+		plant(t, x, d)
+		e := x.Set(9, d)
+		if e.DeadlineMS != d+1 {
+			t.Fatalf("Set on an exhausted millisecond landed at %d, want %d", e.DeadlineMS, d+1)
+		}
+		if got, ok := x.Lookup(9); !ok || got != e {
+			t.Fatalf("Lookup = %+v, %v; want %+v", got, ok, e)
+		}
+	})
+
+	t.Run("walks earlier at the clamp ceiling", func(t *testing.T) {
+		x := newIndex(t)
+		plant(t, x, MaxDeadlineMS)
+		e := x.Set(9, math.MaxInt64) // clamps to MaxDeadlineMS, which is full
+		if e.DeadlineMS != MaxDeadlineMS-1 {
+			t.Fatalf("Set at the exhausted ceiling landed at %d, want %d", e.DeadlineMS, MaxDeadlineMS-1)
+		}
+	})
+}
+
 // purgeInto returns a Reap purge callback implementing the server's
 // protocol against a plain map primary: delete from the primary, then
 // conditionally Remove the arming.

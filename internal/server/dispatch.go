@@ -484,6 +484,10 @@ func (ss *session) rename(args [][]byte, strict bool) {
 		w.WriteError("ERR no such key")
 		return
 	}
+	// And an expired-but-unpurged destination must not block the move:
+	// it reads as absent everywhere else, so "destination key exists"
+	// would be a lie. Purge it before attempting the move.
+	s.expireIfDue(new)
 	// The source's arming, captured before the move so it can travel:
 	// conditional removal afterwards, same discipline as DEL.
 	oldArming, hadTTL := s.exp.Lookup(old)

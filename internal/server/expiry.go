@@ -92,8 +92,11 @@ func (s *Server) purgeExpired(k uint64, e expiry.Entry) bool {
 }
 
 // clearTTL drops k's arming, conditional on the arming observed now —
-// the plain-SET and DEL paths, which must never clobber a TTL a racing
-// SETEX installs after them.
+// the plain-SET path (which clears before storing; see the file
+// comment). Paths that clear AFTER a delete (DEL, past-deadline
+// EXPIRE/GETEX) must instead capture the arming before the delete and
+// Remove it conditionally, or a SETEX racing into the gap would have
+// its fresh arming clobbered.
 func (s *Server) clearTTL(k uint64) {
 	if e, ok := s.exp.Lookup(k); ok {
 		s.exp.Remove(k, e)
@@ -233,10 +236,16 @@ func (ss *session) expireCmd(args [][]byte, unitMS int64, absolute bool) {
 	}
 	if deadline <= now {
 		// Already past: Redis deletes the key immediately and logs the
-		// deletion, not the no-op timeout.
+		// deletion, not the no-op timeout. Capture the arming BEFORE the
+		// delete so the removal is conditional on it — a SETEX racing in
+		// after the delete installs a fresh arming this deletion must not
+		// clobber (same discipline as DEL).
 		s.gate.RLock()
+		e, hadTTL := s.exp.Lookup(k)
 		deleted := s.db.Delete(k)
-		s.clearTTL(k)
+		if hadTTL {
+			s.exp.Remove(k, e)
+		}
 		if deleted {
 			s.appendMutation([]byte("DEL"), args[1])
 		}
@@ -254,9 +263,10 @@ func (ss *session) expireCmd(args [][]byte, unitMS int64, absolute bool) {
 	w.WriteInt(1)
 }
 
-// ttlCmd implements TTL (seconds, rounded up) and PTTL (milliseconds):
-// -2 when the key does not exist (or has expired), -1 when it has no
-// deadline, else the remaining time.
+// ttlCmd implements TTL (seconds, rounded to nearest — Redis semantics,
+// so 100ms remaining reports 0, not 1) and PTTL (milliseconds): -2 when
+// the key does not exist (or has expired), -1 when it has no deadline,
+// else the remaining time.
 func (ss *session) ttlCmd(args [][]byte, inMS bool) {
 	s, w := ss.s, ss.w
 	if len(args) != 2 {
@@ -283,7 +293,7 @@ func (ss *session) ttlCmd(args [][]byte, inMS bool) {
 	if inMS {
 		w.WriteInt(rem)
 	} else {
-		w.WriteInt((rem + 999) / 1000)
+		w.WriteInt((rem + 500) / 1000)
 	}
 }
 
@@ -426,11 +436,17 @@ func (ss *session) getex(args [][]byte) {
 	case doExpire:
 		deadline := deadlineFromArg(now, n, unitMS, absolute)
 		if deadline <= now {
+			// Arming captured BEFORE the delete, removal conditional on
+			// it — same race and same discipline as the EXPIRE past-
+			// deadline path above.
 			s.gate.RLock()
+			e, hadTTL := s.exp.Lookup(k)
 			if s.db.Delete(k) {
-				s.clearTTL(k)
 				s.appendMutation([]byte("DEL"), args[1])
 				s.exp.NoteExpired()
+			}
+			if hadTTL {
+				s.exp.Remove(k, e)
 			}
 			s.gate.RUnlock()
 		} else {

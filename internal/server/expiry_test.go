@@ -44,7 +44,7 @@ func TestServerExpireTTLBasics(t *testing.T) {
 	c.mustInt(100_000, "PTTL", "k")
 
 	clk.advance(500)
-	c.mustInt(100, "TTL", "k") // 99.5s rounds UP to 100
+	c.mustInt(100, "TTL", "k") // 99.5s rounds to nearest: 100
 	c.mustInt(99_500, "PTTL", "k")
 	c.mustBulk("v", "GET", "k") // not yet due
 
@@ -62,7 +62,7 @@ func TestServerExpireVariants(t *testing.T) {
 
 	c.mustSimple("OK", "MSET", "a", "1", "b", "2", "c", "3", "d", "4")
 	c.mustInt(1, "PEXPIRE", "a", "1500")
-	c.mustInt(2, "TTL", "a") // 1.5s rounds up
+	c.mustInt(2, "TTL", "a") // 1.5s rounds to nearest: 2
 	now := clk.now()
 	c.mustInt(1, "EXPIREAT", "b", itoa((now+30_000)/1000))
 	c.mustInt(30, "TTL", "b")
@@ -212,6 +212,26 @@ func TestServerRenameMovesTTL(t *testing.T) {
 	c.mustInt(1, "PEXPIRE", "300", "50")
 	clk.advance(51)
 	c.mustErrContain("no such key", "RENAME", "300", "400")
+
+	// An expired-but-unpurged destination must not block the rename: it
+	// reads as absent everywhere else, so the move purges it and
+	// proceeds instead of answering "destination key exists".
+	c.mustSimple("OK", "MSET", "500", "live", "600", "dying")
+	c.mustInt(1, "PEXPIRE", "600", "50")
+	clk.advance(51)
+	c.mustSimple("OK", "RENAME", "500", "600") // same shard
+	c.mustBulk("live", "GET", "600")
+	c.mustInt(-1, "TTL", "600") // the dead destination's arming is gone
+
+	c.mustSimple("OK", "MSET", "700", "live2", "8500", "dying2")
+	c.mustInt(1, "PEXPIRE", "8500", "50")
+	clk.advance(51)
+	if s.DB().SameShard(700, 8500) {
+		t.Fatal("test premise broken: keys share a shard")
+	}
+	c.mustSimple("OK", "RENAME", "700", "8500") // cross-shard two-phase
+	c.mustBulk("live2", "GET", "8500")
+	c.mustInt(-1, "TTL", "8500")
 }
 
 // TestServerReaperPurges uses the real wall clock: short TTLs must
@@ -308,6 +328,17 @@ func TestServerTTLSurvivesRestart(t *testing.T) {
 	s, addr := startServer(t, cfg)
 	c := dial(t, addr)
 
+	// A rename whose destination had expired (and was lazily purged) at
+	// serve time: replay re-arms the destination from its earlier
+	// PEXPIREAT record, and the replayed RENAME must clear that stale
+	// arming off the moved value — or the reaper's opening pass eats it
+	// right after recovery.
+	c.mustSimple("OK", "MSET", "mvsrc", "live", "mvdst", "dying")
+	c.mustInt(1, "PEXPIRE", "mvdst", "50")
+	clk.advance(51)
+	c.mustSimple("OK", "RENAME", "mvsrc", "mvdst")
+	c.mustInt(-1, "TTL", "mvdst")
+
 	c.mustSimple("OK", "SET", "long", "v1")
 	c.mustInt(1, "PEXPIRE", "long", "500000")
 	c.mustSimple("OK", "SETEX", "short", "30", "v2") // 30s: dies during downtime
@@ -326,6 +357,9 @@ func TestServerTTLSurvivesRestart(t *testing.T) {
 	c2.mustNull("GET", "short")
 	c2.mustInt(-1, "TTL", "keep2")
 	c2.mustInt(-1, "TTL", "drop")
+	c2.mustBulk("live", "GET", "mvdst") // survived the stale-arming replay
+	c2.mustInt(-1, "TTL", "mvdst")
+	c2.mustInt(0, "EXISTS", "mvsrc")
 	clk.advance(200_000)
 	c2.mustBulk("v4", "GET", "drop")
 

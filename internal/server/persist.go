@@ -282,6 +282,13 @@ func (s *Server) applyRecord(args [][]byte) error {
 		if v, ok := s.db.Load(old); ok {
 			s.db.Delete(old)
 			s.db.Store(new, v)
+			// At serve time a rename's destination holds no arming when
+			// the move lands (it was absent, or expired and lazily
+			// purged — arming included). Replay must match: an earlier
+			// PEXPIREAT record may have re-armed the destination's old
+			// (possibly past) deadline, which must not survive onto the
+			// moved value, or the opening reaper pass eats it.
+			s.exp.Clear(new)
 			// The deadline travels with the value, exactly as it did at
 			// serve time (both the atomic and the two-phase rename log
 			// this one record).

@@ -116,6 +116,61 @@ func TestMoveKeyBusy(t *testing.T) {
 	}
 }
 
+// TestMoveKeyConcurrentOverwriteSurvives lands a Store on the source
+// inside the move window (destination inserted, source not yet
+// deleted). Phase 3's value-conditional delete must leave the overwrite
+// in place — the legal serialization move-then-store — instead of
+// erasing an acked write so that it exists at neither key.
+func TestMoveKeyConcurrentOverwriteSurvives(t *testing.T) {
+	tr := newMoveTrie(t)
+	tr.Store(100, "v")
+	tr.moveHook = func(phase int) {
+		if phase == 2 {
+			tr.Store(100, "overwrite")
+		}
+	}
+	moved, err := tr.MoveKey(100, 8292)
+	if !moved || err != nil {
+		t.Fatalf("MoveKey = %v, %v", moved, err)
+	}
+	if v, ok := tr.Load(100); !ok || v != "overwrite" {
+		t.Fatalf("Load(source) = %q, %v; a mid-move overwrite must survive phase 3", v, ok)
+	}
+	if v, ok := tr.Load(8292); !ok || v != "v" {
+		t.Fatalf("Load(dest) = %q, %v", v, ok)
+	}
+	if tr.PendingMoves() != 0 {
+		t.Fatalf("PendingMoves = %d after a completed move", tr.PendingMoves())
+	}
+}
+
+// TestMoveKeyOverwriteIdentity is the same race with []byte values and
+// an equal-content overwrite: allocation identity, not content, decides
+// whether phase 3 deletes — the same test the server's expiry purge
+// applies, so an acked SET of identical bytes still survives.
+func TestMoveKeyOverwriteIdentity(t *testing.T) {
+	tr, err := New[[]byte](16, 8)
+	if err != nil {
+		t.Fatalf("New(16, 8): %v", err)
+	}
+	tr.Store(100, []byte("v"))
+	tr.moveHook = func(phase int) {
+		if phase == 2 {
+			tr.Store(100, []byte("v")) // same bytes, fresh allocation
+		}
+	}
+	moved, err := tr.MoveKey(100, 8292)
+	if !moved || err != nil {
+		t.Fatalf("MoveKey = %v, %v", moved, err)
+	}
+	if v, ok := tr.Load(100); !ok || string(v) != "v" {
+		t.Fatalf("Load(source) = %q, %v; an equal-content overwrite must survive phase 3", v, ok)
+	}
+	if v, ok := tr.Load(8292); !ok || string(v) != "v" {
+		t.Fatalf("Load(dest) = %q, %v", v, ok)
+	}
+}
+
 // TestMoveKeyCrashAfterInsert kills the mover (simulated with a hook
 // panic) between phase 2 (destination inserted) and phase 3 (source
 // deleted): both copies exist, the marker records the move, and

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"reflect"
 	"runtime"
 	"sync"
 
@@ -317,9 +318,12 @@ func (t *Trie[V]) Replace(old, new uint64) (bool, error) {
 // It returns (true, nil) when the value moved; (false, nil) when the
 // source was absent, the destination was occupied, or either key is out
 // of range; (false, ErrMoveBusy) on a marker collision. A concurrent
-// Store to the source during the move window races with phase 3 and may
-// be lost; callers that mutate keys mid-move must provide their own
-// exclusion (the server serializes through its persistence gate).
+// Store to the source during the move window is never lost: phase 3 is
+// value-conditional (identity, via DeleteFunc), so it removes the
+// source only while it still holds the exact value phase 1 loaded. An
+// overwrite that lands mid-move survives at the source alongside the
+// moved copy at the destination — the outcome of the legal
+// serialization move-then-store.
 func (t *Trie[V]) MoveKey(from, to uint64) (bool, error) {
 	if !keys.InRange(from, t.width) || !keys.InRange(to, t.width) {
 		return false, nil
@@ -348,9 +352,36 @@ func (t *Trie[V]) MoveKey(from, to uint64) (bool, error) {
 	if h := t.moveHook; h != nil {
 		h(2)
 	}
-	t.Delete(from)
+	// Phase 3 must not be a blind delete: mutators do not serialize
+	// against moves, so a Store to the source acked during the move
+	// window would be silently erased — the value at neither key. Delete
+	// only the exact value phase 1 loaded; a concurrent overwrite fails
+	// the identity check and survives.
+	t.DeleteFunc(from, func(have V) bool { return identical(have, val) })
 	t.unregisterMove(from)
 	return true, nil
+}
+
+// identical reports whether two stored values are the same stored value
+// — allocation identity, not content equality. Slices match on backing
+// array and length (zero-length slices have no element to anchor on, so
+// length equality is the whole check — the same test the server's expiry
+// purge applies); other reference kinds match on their referent pointer;
+// plain comparable values fall back to ==. A fresh allocation with equal
+// content is deliberately NOT identical: a value stored by a concurrent
+// writer must never satisfy a conditional delete aimed at the value a
+// mover loaded earlier.
+func identical[V any](a, b V) bool {
+	va, vb := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	switch va.Kind() {
+	case reflect.Slice:
+		return va.Len() == vb.Len() &&
+			(va.Len() == 0 || va.UnsafePointer() == vb.UnsafePointer())
+	case reflect.Map, reflect.Chan, reflect.Func, reflect.Pointer, reflect.UnsafePointer:
+		return va.UnsafePointer() == vb.UnsafePointer()
+	default:
+		return va.Comparable() && va.Equal(vb)
+	}
 }
 
 // registerMove records an in-flight move marker for from, refusing
@@ -397,7 +428,10 @@ func (t *Trie[V]) ResolveMoves() int {
 	n := 0
 	for from, rec := range t.moves {
 		if t.Contains(rec.to) {
-			t.Delete(from)
+			// Same value-conditional delete as live phase 3: even in
+			// recovery, only the value the interrupted mover loaded is
+			// removed from the source.
+			t.DeleteFunc(from, func(have V) bool { return identical(have, rec.val) })
 			n++
 		}
 		delete(t.moves, from)
