@@ -360,6 +360,61 @@ func probeDispatchMode(c *client) string {
 	return "conn"
 }
 
+// probeCommandstats snapshots the server's per-command call counters
+// (the INFO Commandstats section, cmdstat_<name>:calls=N,...). sweep
+// diffs two snapshots around a point's measured trials, so the artifact
+// carries what the server counted for exactly that window — warmup and
+// other points excluded. nil on any failure (old server, no INFO):
+// the extras are additive, never load-bearing.
+func probeCommandstats(addr string) map[string]int64 {
+	c, err := dialClient(addr)
+	if err != nil {
+		return nil
+	}
+	defer c.close()
+	v, err := c.do("INFO", "commandstats")
+	if err != nil || v.Kind != resp.TypeBulk {
+		return nil
+	}
+	m := make(map[string]int64)
+	for _, line := range strings.Split(string(v.Str), "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "cmdstat_")
+		if !ok {
+			continue
+		}
+		name, fields, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		for _, kv := range strings.Split(fields, ",") {
+			if cv, ok := strings.CutPrefix(kv, "calls="); ok {
+				if n, err := strconv.ParseInt(cv, 10, 64); err == nil {
+					m[name] = n
+				}
+			}
+		}
+	}
+	return m
+}
+
+// diffCommandstats returns after-before for every command that moved.
+// nil when either snapshot failed or nothing moved.
+func diffCommandstats(before, after map[string]int64) map[string]int64 {
+	if before == nil || after == nil {
+		return nil
+	}
+	var d map[string]int64
+	for name, n := range after {
+		if delta := n - before[name]; delta > 0 {
+			if d == nil {
+				d = make(map[string]int64)
+			}
+			d[name] = delta
+		}
+	}
+	return d
+}
+
 func runBench(opt options, stdout io.Writer) error {
 	// Fail fast with a readable error if the server is not there.
 	probe, err := dialClient(opt.addr)
@@ -392,6 +447,7 @@ func runBench(opt options, stdout io.Writer) error {
 					return series, err
 				}
 			}
+			before := probeCommandstats(o.addr)
 			xs := make([]float64, 0, o.trials)
 			var lats []float64 // pooled across trials of this point
 			for tr := 0; tr < o.trials; tr++ {
@@ -402,12 +458,14 @@ func runBench(opt options, stdout io.Writer) error {
 				xs = append(xs, x)
 				lats = append(lats, ls...)
 			}
+			cmdCalls := diffCommandstats(before, probeCommandstats(o.addr))
 			sum := stats.Summarize(xs)
 			p50 := stats.Percentile(lats, 50)
 			p99 := stats.Percentile(lats, 99)
 			series.Points = append(series.Points, bench.Point{
 				Threads: nClients, Summary: sum,
 				P50LatencyUS: p50, P99LatencyUS: p99,
+				ServerCmdCalls: cmdCalls,
 			})
 			fmt.Fprintf(stdout, "%8d %14.0f %7.1f%% %10.1f %10.1f\n",
 				nClients, sum.Mean, 100*sum.RelStddev(), p50, p99)

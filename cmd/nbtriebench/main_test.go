@@ -78,6 +78,18 @@ func TestQuickBenchWritesArtifact(t *testing.T) {
 	if a.Series[0].AllocsPerOp == nil {
 		t.Fatal("artifact missing the codec allocs profile")
 	}
+	// Server-counted per-command calls ride along on every point, and
+	// must roughly agree with the workload shape: the 90/10 mix ran
+	// both GETs and SETs in every measured window.
+	for _, p := range pts {
+		if p.ServerCmdCalls["get"] <= 0 || p.ServerCmdCalls["set"] <= 0 {
+			t.Fatalf("point %d missing server-side get/set counts: %+v", p.Threads, p.ServerCmdCalls)
+		}
+		if p.ServerCmdCalls["get"] < p.ServerCmdCalls["set"] {
+			t.Fatalf("point %d: server counted get=%d < set=%d under a 90/10 GET mix",
+				p.Threads, p.ServerCmdCalls["get"], p.ServerCmdCalls["set"])
+		}
+	}
 	// The artifact must gate cleanly against itself.
 	if regs, err := bench.CompareArtifacts(a, a, bench.CompareOptions{MaxDrop: 0.5, AllocSlack: 0.25}); err != nil || len(regs) != 0 {
 		t.Fatalf("self-comparison: %v, %v", regs, err)

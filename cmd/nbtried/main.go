@@ -28,6 +28,17 @@
 //	-port-file  write the actual listen address to this file once
 //	            listening (for scripts that start on a random port)
 //
+// Observability (see DESIGN.md §13):
+//
+//	-metrics-addr            optional HTTP listener serving the
+//	                         Prometheus text exposition at /metrics and
+//	                         net/http/pprof at /debug/pprof/ (off unless
+//	                         set; counters are collected either way)
+//	-slowlog-log-slower-than SLOWLOG threshold in microseconds, with
+//	                         Redis's semantics: 0 logs every command,
+//	                         negative disables (default 10000 = 10ms)
+//	-slowlog-max-len         SLOWLOG ring capacity (default 128)
+//
 // Durability (all off by default; see DESIGN.md §9):
 //
 //	-dir         data directory; setting it enables persistence.
@@ -52,6 +63,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -78,19 +91,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("nbtried", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:6380", "listen address (host:port; port 0 = random free port)")
-		keyerName = fs.String("keyer", "bytes", "wire-key mapping: bytes or decimal")
-		width     = fs.Uint("width", 63, "key width in bits for the decimal keyer (the bytes keyer is fixed at 59)")
-		shards    = fs.Int("shards", 0, "shard count (0 = default, else a power of two in [1, 256])")
-		span      = fs.Uint("span", 1, "trie digit width in bits, in [1, 6]: nodes have 2^span children")
-		maxBulk   = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
-		scanCount = fs.Int("scan-count", 10, "SCAN's default page size")
-		dispatch  = fs.String("dispatch", "conn", "dispatch mode: conn or affine")
-		portFile  = fs.String("port-file", "", "write the actual listen address here once listening")
-		dir       = fs.String("dir", "", "data directory; enables persistence")
-		aof       = fs.Bool("aof", false, "append acknowledged mutations to an append-only file (requires -dir)")
-		fsyncMode = fs.String("appendfsync", "everysec", "AOF sync policy: always, everysec or no")
-		savePer   = fs.Int("save", 0, "background dump every N seconds (0 = only on SAVE/BGSAVE)")
+		addr        = fs.String("addr", "127.0.0.1:6380", "listen address (host:port; port 0 = random free port)")
+		keyerName   = fs.String("keyer", "bytes", "wire-key mapping: bytes or decimal")
+		width       = fs.Uint("width", 63, "key width in bits for the decimal keyer (the bytes keyer is fixed at 59)")
+		shards      = fs.Int("shards", 0, "shard count (0 = default, else a power of two in [1, 256])")
+		span        = fs.Uint("span", 1, "trie digit width in bits, in [1, 6]: nodes have 2^span children")
+		maxBulk     = fs.Int("max-bulk", resp.DefaultLimits.MaxBulkLen, "largest accepted bulk string in bytes")
+		scanCount   = fs.Int("scan-count", 10, "SCAN's default page size")
+		dispatch    = fs.String("dispatch", "conn", "dispatch mode: conn or affine")
+		portFile    = fs.String("port-file", "", "write the actual listen address here once listening")
+		metricsAddr = fs.String("metrics-addr", "", "observability HTTP listener (host:port): Prometheus /metrics + /debug/pprof (off when empty)")
+		slowerThan  = fs.Int64("slowlog-log-slower-than", server.SlowlogDefaultUS, "log commands slower than this many microseconds (0 = every command, negative = off)")
+		slowlogMax  = fs.Int("slowlog-max-len", 128, "slowlog ring capacity")
+		dir         = fs.String("dir", "", "data directory; enables persistence")
+		aof         = fs.Bool("aof", false, "append acknowledged mutations to an append-only file (requires -dir)")
+		fsyncMode   = fs.String("appendfsync", "everysec", "AOF sync policy: always, everysec or no")
+		savePer     = fs.Int("save", 0, "background dump every N seconds (0 = only on SAVE/BGSAVE)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,14 +125,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *savePer < 0 {
 		return fmt.Errorf("-save must be >= 0")
 	}
+	// The flag keeps Redis's semantics (0 = log everything, negative =
+	// off); Config uses sentinels so its zero value means "default
+	// threshold", so translate here.
+	slowlogUS := *slowerThan
+	switch {
+	case slowlogUS == 0:
+		slowlogUS = server.SlowlogAll
+	case slowlogUS < 0:
+		slowlogUS = server.SlowlogOff
+	}
 	srv, err := server.New(server.Config{
-		Keyer:            keyer,
-		Shards:           *shards,
-		Span:             uint32(*span),
-		Limits:           resp.Limits{MaxBulkLen: *maxBulk},
-		ScanDefaultCount: *scanCount,
-		Dispatch:         *dispatch,
-		Persist:          server.PersistConfig{Dir: *dir, AOF: *aof, Fsync: policy},
+		Keyer:               keyer,
+		Shards:              *shards,
+		Span:                uint32(*span),
+		Limits:              resp.Limits{MaxBulkLen: *maxBulk},
+		ScanDefaultCount:    *scanCount,
+		Dispatch:            *dispatch,
+		SlowlogSlowerThanUS: slowlogUS,
+		SlowlogMaxLen:       *slowlogMax,
+		Persist:             server.PersistConfig{Dir: *dir, AOF: *aof, Fsync: policy},
 	})
 	if err != nil {
 		return err
@@ -124,6 +152,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *savePer > 0 && *dir != "" {
 		stopSaver := srv.StartPeriodicSave(time.Duration(*savePer) * time.Second)
 		defer stopSaver()
+	}
+	// The observability listener is a PRIVATE mux: registering pprof on
+	// http.DefaultServeMux would expose profiling to anything else in
+	// the process that serves the default mux, and the daemon must not
+	// export /debug handlers unless the operator opted in.
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(mln)
+		defer hs.Close()
+		fmt.Fprintf(stdout, "nbtried: metrics on http://%s/metrics\n", mln.Addr())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -104,4 +107,105 @@ func TestBuildKeyer(t *testing.T) {
 	if err != nil || k.Width() != 59 {
 		t.Fatalf("bytes: %v, %v", k, err)
 	}
+}
+
+// TestDaemonMetricsEndpoint boots with the observability listener and
+// the Redis-semantics slowlog flag (0 = log everything), drives traffic
+// over RESP, and scrapes /metrics plus a pprof endpoint over HTTP.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port.txt")
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-port-file", portFile,
+			"-metrics-addr", "127.0.0.1:0",
+			"-slowlog-log-slower-than", "0",
+		}, writerFunc(func(p []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return out.Write(p)
+		}), os.Stderr)
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}()
+
+	var addr, metricsURL string
+	for i := 0; i < 200 && (addr == "" || metricsURL == ""); i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+		}
+		mu.Lock()
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "nbtried: metrics on "); ok {
+				metricsURL = strings.TrimSpace(rest)
+			}
+		}
+		mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" || metricsURL == "" {
+		t.Fatalf("startup incomplete: addr=%q metricsURL=%q", addr, metricsURL)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := resp.NewWriter(bufio.NewWriter(conn))
+	w.WriteCommandString("SET", "k", "v")
+	w.WriteCommandString("SLOWLOG", "LEN")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := resp.ReadReply(r, resp.Limits{}); err != nil || v.String() != "OK" {
+		t.Fatalf("SET = %s (%v), want OK", v, err)
+	}
+	// -slowlog-log-slower-than 0 means the SET was logged.
+	if v, err := resp.ReadReply(r, resp.Limits{}); err != nil || v.Kind != resp.TypeInt || v.Int < 1 {
+		t.Fatalf("SLOWLOG LEN = %s (%v), want >= 1", v, err)
+	}
+
+	body := httpGet(t, metricsURL)
+	if !strings.Contains(body, `nbtried_commands_total{cmd="set"} 1`) {
+		t.Errorf("/metrics missing the SET count:\n%s", body)
+	}
+	if !strings.Contains(body, "nbtried_engine_help_total") {
+		t.Error("/metrics missing engine families")
+	}
+	if b := httpGet(t, strings.TrimSuffix(metricsURL, "/metrics")+"/debug/pprof/cmdline"); len(b) == 0 {
+		t.Error("pprof cmdline endpoint returned nothing")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -112,6 +112,12 @@ type ArtifactPoint struct {
 	StddevOpsPerSec float64 `json:"stddev_ops_per_sec"`
 	P50LatencyUS    float64 `json:"p50_latency_us,omitempty"`
 	P99LatencyUS    float64 `json:"p99_latency_us,omitempty"`
+	// ServerCmdCalls is the server-counted per-command call delta over
+	// this point's measured trials (INFO Commandstats diffed around
+	// them), keyed by lowercase command name. Additive: only server
+	// artifacts from producers that snapshot Commandstats carry it, and
+	// benchcheck does not gate on it.
+	ServerCmdCalls map[string]int64 `json:"server_cmd_calls,omitempty"`
 }
 
 // ServerAllocsProfile pins the SERVER-side dispatch path (wire parse →
@@ -201,6 +207,7 @@ func (a *Artifact) AddSeries(s Series, allocs *AllocsProfile) {
 			StddevOpsPerSec: p.Summary.Stddev,
 			P50LatencyUS:    p.P50LatencyUS,
 			P99LatencyUS:    p.P99LatencyUS,
+			ServerCmdCalls:  p.ServerCmdCalls,
 		})
 	}
 	a.Series = append(a.Series, as)

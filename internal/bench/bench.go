@@ -168,11 +168,17 @@ func RunExperiment(factory func() Set, cfg Config) (stats.Summary, error) {
 // Point is one (threads, throughput) measurement of a series. The
 // latency percentiles are optional (zero = not measured): only
 // cmd/nbtriebench's client-measured per-batch sampling fills them.
+// ServerCmdCalls is likewise optional: cmd/nbtriebench diffs the
+// server's INFO Commandstats around the point's trials, so the artifact
+// records what the SERVER counted (warmup excluded, per command) next
+// to what the client measured — a cross-check that the workload that
+// ran is the workload that was asked for.
 type Point struct {
-	Threads      int
-	Summary      stats.Summary
-	P50LatencyUS float64
-	P99LatencyUS float64
+	Threads        int
+	Summary        stats.Summary
+	P50LatencyUS   float64
+	P99LatencyUS   float64
+	ServerCmdCalls map[string]int64
 }
 
 // Series is one line of a figure: an implementation swept over thread

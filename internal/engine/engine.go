@@ -319,6 +319,12 @@ type Trie[K keys.Key[K], V any] struct {
 	// such a trie.
 	skipRmvdCheck bool
 
+	// stats is the trie's contention-counter block (see stats.go). By
+	// value so each trie — and hence each shard of a sharded map — owns
+	// its own cache-line-padded counters with no pointer chase on the
+	// record paths.
+	stats Stats
+
 	// span is the digit width s in bits: internal nodes have 2^span
 	// child slots and every level of the trie resolves span key bits,
 	// cutting expected depth span-fold. span 1 is exactly the paper's

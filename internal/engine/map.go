@@ -26,7 +26,10 @@ package engine
 func (t *Trie[K, V]) Store(v K, val V) {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			if t.tryInsert(v, val, r) {
@@ -46,7 +49,10 @@ func (t *Trie[K, V]) Store(v K, val V) {
 func (t *Trie[K, V]) LoadOrStore(v K, val V) (actual V, loaded bool) {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return r.node.val, true
@@ -72,7 +78,10 @@ func valuesEqual[V any](a, b V) bool {
 func (t *Trie[K, V]) CompareAndSwap(v K, old, new V) bool {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
@@ -92,7 +101,10 @@ func (t *Trie[K, V]) CompareAndSwap(v K, old, new V) bool {
 func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false
@@ -120,7 +132,10 @@ func (t *Trie[K, V]) CompareAndDelete(v K, old V) bool {
 func (t *Trie[K, V]) DeleteFunc(v K, cond func(V) bool) bool {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false

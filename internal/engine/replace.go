@@ -43,7 +43,10 @@ func (t *Trie[K, V]) Replace(vd, vi K) bool {
 	}
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		rd := t.searchMut(vd)
 		if !keyInTrie(rd.node, vd, rd.rmvd) {
 			return false // old key absent (line 46)

@@ -191,17 +191,20 @@ func (t *Trie[K, V]) searchMut(v K) searchResult[K, V] {
 restart:
 	for {
 		var r searchResult[K, V]
+		var depth uint64
 		n := root
 		for n != nil && !n.leaf && n.label.Len() < v.Len() && n.label.IsPrefixOf(v) {
 			r.gp, r.gpInfo = r.p, r.pInfo
 			r.p, r.pInfo = n, n.info.Load()
 			n = r.p.kid(t.slotOf(v, r.p.label.Len())).Load()
+			depth++
 			if n != nil && !n.leaf && n.gen != g {
 				t.renewChild(r.p, r.pInfo, n, g)
 				continue restart
 			}
 		}
 		r.node = n
+		t.stats.Depth.Record(depth)
 		if n != nil && n.leaf && !t.skipRmvdCheck {
 			r.rmvd = t.logicallyRemoved(n.info.Load())
 		}
@@ -221,6 +224,7 @@ restart:
 // copyNode). On any conflict the attempt is abandoned after helping;
 // the caller re-descends either way.
 func (t *Trie[K, V]) renewChild(p *node[K, V], pInfo *desc[K, V], c *node[K, V], g uint64) {
+	t.stats.SnapshotRenewals.Inc()
 	cInfo := c.info.Load()
 	if t.helpConflict(pInfo, cInfo, nil, nil) {
 		return

@@ -1,0 +1,74 @@
+package engine
+
+import "nbtrie/internal/obs"
+
+// Stats is the trie's contention-counter block, embedded by value in every
+// Trie so that per-shard instantiations (internal/sharded) get per-shard
+// striping for free: each shard's counters live on that shard's Trie, and
+// the aggregate is a snapshot merge. All record paths are wait-free atomic
+// adds (see internal/obs) and never allocate, so instrumented operations
+// keep exactly the progress and allocs/op guarantees of the uninstrumented
+// protocol. The read-only search path (Contains/Load) is deliberately NOT
+// instrumented — it performs no shared-memory writes today, and a counter
+// bump would be its first.
+//
+// Helper-vs-initiator semantics: Help counts every help() entry, whether
+// the caller is the update's own process or a helper; HelpAssist counts
+// only the assist sites — newDesc, helpConflict and makeInternal helping a
+// *conflicting* update's descriptor — so it is zero on an uncontended trie
+// and strictly positive whenever one operation finished (part of) another's
+// work. ChildCASFail counts child/root CASes inside help that found the
+// pointer already swung (a racing helper got there first); FlagBacktrack
+// counts help invocations that failed flagging and unwound. OpRetries
+// counts retry-loop iterations past the first in every mutating operation.
+type Stats struct {
+	Help             obs.Counter // help() invocations, initiators and helpers alike
+	HelpAssist       obs.Counter // helping a conflicting op's descriptor (0 when uncontended)
+	ChildCASFail     obs.Counter // child/root CAS in help lost to a racing helper
+	FlagBacktrack    obs.Counter // help() attempts that failed flagging and backtracked
+	OpRetries        obs.Counter // mutator retry-loop iterations past the first
+	SnapshotRenewals obs.Counter // stale-generation nodes renewed by searchMut
+	Depth            obs.Hist    // descent depth per mutator search (searchMut)
+}
+
+// Stats returns the trie's live counter block. Callers may read it at any
+// time; for a consistent copy use StatsSnapshot.
+func (t *Trie[K, V]) Stats() *Stats { return &t.stats }
+
+// StatsSnapshot is a plain-value copy of a Stats block, mergeable across
+// shards.
+type StatsSnapshot struct {
+	Help             int64
+	HelpAssist       int64
+	ChildCASFail     int64
+	FlagBacktrack    int64
+	OpRetries        int64
+	SnapshotRenewals int64
+	Depth            obs.HistSnapshot
+}
+
+// StatsSnapshot captures the current counter values. Under concurrent
+// mutation the fields are individually — not mutually — consistent, which
+// is all a metrics scrape needs.
+func (t *Trie[K, V]) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Help:             t.stats.Help.Load(),
+		HelpAssist:       t.stats.HelpAssist.Load(),
+		ChildCASFail:     t.stats.ChildCASFail.Load(),
+		FlagBacktrack:    t.stats.FlagBacktrack.Load(),
+		OpRetries:        t.stats.OpRetries.Load(),
+		SnapshotRenewals: t.stats.SnapshotRenewals.Load(),
+		Depth:            t.stats.Depth.Snapshot(),
+	}
+}
+
+// Merge adds another snapshot into s (per-shard → aggregate).
+func (s *StatsSnapshot) Merge(o StatsSnapshot) {
+	s.Help += o.Help
+	s.HelpAssist += o.HelpAssist
+	s.ChildCASFail += o.ChildCASFail
+	s.FlagBacktrack += o.FlagBacktrack
+	s.OpRetries += o.OpRetries
+	s.SnapshotRenewals += o.SnapshotRenewals
+	s.Depth.Merge(o.Depth)
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsIdleZero: a trie that has only ever seen uncontended, single-
+// goroutine operations must show zero on every contention counter. Help is
+// nonzero (every update IS a help invocation) but the conflict-only
+// counters stay at zero — the property the /metrics "zero on idle" check
+// relies on.
+func TestStatsIdleZero(t *testing.T) {
+	tr := mustNew(t, 16)
+	for k := uint64(0); k < 200; k++ {
+		tr.Insert(k)
+	}
+	for k := uint64(0); k < 100; k++ {
+		tr.Delete(k)
+	}
+	s := tr.StatsSnapshot()
+	if s.Help == 0 {
+		t.Fatal("Help must count initiator invocations")
+	}
+	if s.HelpAssist != 0 || s.ChildCASFail != 0 || s.FlagBacktrack != 0 ||
+		s.OpRetries != 0 || s.SnapshotRenewals != 0 {
+		t.Fatalf("contention counters must be zero single-threaded: %+v", s)
+	}
+	if s.Depth.Count == 0 {
+		t.Fatal("Depth must have recorded mutator descents")
+	}
+}
+
+// TestStatsHelperCounted: stall an insert after flagging; the operation
+// that completes it must be counted as an assist (HelpAssist >= 1) — the
+// deterministic version of "nonzero under contention".
+func TestStatsHelperCounted(t *testing.T) {
+	tr := mustNew(t, 8)
+	tr.Insert(100)
+	before := tr.StatsSnapshot()
+	if before.HelpAssist != 0 {
+		t.Fatalf("HelpAssist before = %d, want 0", before.HelpAssist)
+	}
+	stalled, release := stallFirst(t)
+
+	done := make(chan bool)
+	go func() { done <- tr.Insert(101) }()
+	<-stalled
+
+	if !tr.Insert(102) {
+		t.Fatal("helper insert failed")
+	}
+	close(release)
+	<-done
+
+	s := tr.StatsSnapshot()
+	if s.HelpAssist == 0 {
+		t.Fatal("completing a stalled update must bump HelpAssist")
+	}
+	if s.OpRetries == 0 {
+		t.Fatal("the helping insert retried after assisting; OpRetries must show it")
+	}
+}
+
+// TestStatsSnapshotRenewals: after Snapshot bumps the generation, the
+// first mutation down a stale path renews nodes and the counter must say
+// so.
+func TestStatsSnapshotRenewals(t *testing.T) {
+	tr := mustNew(t, 16)
+	for k := uint64(0); k < 64; k++ {
+		tr.Insert(k)
+	}
+	if got := tr.StatsSnapshot().SnapshotRenewals; got != 0 {
+		t.Fatalf("SnapshotRenewals before snapshot = %d, want 0", got)
+	}
+	_ = tr.Snapshot()
+	tr.Insert(1000)
+	if got := tr.StatsSnapshot().SnapshotRenewals; got == 0 {
+		t.Fatal("post-snapshot mutation must renew at least one stale node")
+	}
+}
+
+// TestStatsMerge exercises the per-shard → aggregate path.
+func TestStatsMerge(t *testing.T) {
+	a := mustNew(t, 16)
+	b := mustNew(t, 16)
+	a.Insert(1)
+	a.Insert(2)
+	b.Insert(3)
+	sa, sb := a.StatsSnapshot(), b.StatsSnapshot()
+	want := sa.Help + sb.Help
+	sa.Merge(sb)
+	if sa.Help != want {
+		t.Fatalf("merged Help = %d, want %d", sa.Help, want)
+	}
+	if sa.Depth.Count != a.StatsSnapshot().Depth.Count+b.StatsSnapshot().Depth.Count {
+		t.Fatal("merged Depth count mismatch")
+	}
+}
+
+// TestStatsUnderContention: racy, sanity-level — hammering one small key
+// range from many goroutines must light up the contention counters on a
+// multi-core box. Skipped on a single CPU where the race never happens.
+func TestStatsUnderContention(t *testing.T) {
+	tr := mustNew(t, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := uint64(i % 16)
+				if g%2 == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := tr.StatsSnapshot()
+	t.Logf("contention stats: %+v", s)
+	if s.Help == 0 || s.Depth.Count == 0 {
+		t.Fatal("basic counters must be nonzero after mutations")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

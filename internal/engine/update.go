@@ -22,6 +22,7 @@ var testHookAfterFlagging func(any)
 // (success) or backtrack the flags (failure). The update is linearized at
 // its first successful child CAS.
 func (t *Trie[K, V]) help(i *desc[K, V]) bool {
+	t.stats.Help.Inc()
 	doChildCAS := true
 	for j := 0; j < int(i.nFlag) && doChildCAS; j++ {
 		n := i.flag[j]
@@ -52,7 +53,9 @@ func (t *Trie[K, V]) help(i *desc[K, V]) bool {
 				// to re-point). Safe against Snapshot's root swap because
 				// every mutation, helpers included, runs under the snapMu
 				// read lock.
-				t.root.CompareAndSwap(i.oldChild[j], nc)
+				if !t.root.CompareAndSwap(i.oldChild[j], nc) {
+					t.stats.ChildCASFail.Inc()
+				}
 				continue
 			}
 			// The slot is computed from the new child's label: every new
@@ -61,7 +64,12 @@ func (t *Trie[K, V]) help(i *desc[K, V]) bool {
 			// fresh joins and leaves share the old child's digit, or the
 			// search would not have reached it).
 			k := t.slotOf(nc.label, p.label.Len())
-			p.kid(k).CompareAndSwap(i.oldChild[j], nc) // child CAS (line 98)
+			if !p.kid(k).CompareAndSwap(i.oldChild[j], nc) { // child CAS (line 98)
+				// A failed child CAS here means a racing helper of this
+				// same descriptor already swung the pointer — a pure
+				// contention signal, never a correctness event.
+				t.stats.ChildCASFail.Inc()
+			}
 		}
 	}
 
@@ -73,6 +81,7 @@ func (t *Trie[K, V]) help(i *desc[K, V]) bool {
 		}
 		return true
 	}
+	t.stats.FlagBacktrack.Inc()
 	for j := int(i.nFlag) - 1; j >= 0; j-- {
 		i.flag[j].info.CompareAndSwap(i, newUnflag[K, V]()) // backtrack CAS (line 105)
 	}
@@ -103,6 +112,7 @@ func (t *Trie[K, V]) newDesc(
 	// incomplete; help it and make the caller retry from scratch.
 	for j := 0; j < nFlag; j++ {
 		if oldInfo[j].flagged() {
+			t.stats.HelpAssist.Inc()
 			t.help(oldInfo[j])
 			return nil
 		}
@@ -182,6 +192,7 @@ func (t *Trie[K, V]) newDesc(
 func (t *Trie[K, V]) helpConflict(i1, i2, i3, i4 *desc[K, V]) bool {
 	for _, d := range [...]*desc[K, V]{i1, i2, i3, i4} {
 		if d != nil && d.flagged() {
+			t.stats.HelpAssist.Inc()
 			t.help(d)
 			return true
 		}
@@ -202,6 +213,7 @@ func (t *Trie[K, V]) helpConflict(i1, i2, i3, i4 *desc[K, V]) bool {
 func (t *Trie[K, V]) makeInternal(n1, n2 *node[K, V], info *desc[K, V]) *node[K, V] {
 	if n1.label.IsPrefixOf(n2.label) || n2.label.IsPrefixOf(n1.label) {
 		if info != nil && info.flagged() {
+			t.stats.HelpAssist.Inc()
 			t.help(info)
 		}
 		return nil
@@ -228,7 +240,10 @@ func (t *Trie[K, V]) Insert(v K) bool {
 func (t *Trie[K, V]) InsertValue(v K, val V) bool {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if keyInTrie(r.node, v, r.rmvd) {
 			return false
@@ -313,7 +328,10 @@ func (t *Trie[K, V]) tryFill(v K, val V, r searchResult[K, V]) bool {
 func (t *Trie[K, V]) Delete(v K) bool {
 	t.snapMu.RLock()
 	defer t.snapMu.RUnlock()
-	for {
+	for first := true; ; first = false {
+		if !first {
+			t.stats.OpRetries.Inc()
+		}
 		r := t.searchMut(v)
 		if !keyInTrie(r.node, v, r.rmvd) {
 			return false

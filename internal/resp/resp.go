@@ -370,6 +370,12 @@ func eofToUnexpected(err error) error {
 type Writer struct {
 	w       *bufio.Writer
 	scratch [24]byte // integer formatting without allocation
+
+	// errs counts WriteError calls. The server's dispatch layer diffs it
+	// around each command to attribute error replies per command without
+	// threading a flag through every arm. Plain int: a Writer is owned by
+	// one connection goroutine.
+	errs int64
 }
 
 // NewWriter wraps w.
@@ -401,7 +407,13 @@ func (w *Writer) WriteSimple(s string) error { return w.line(TypeSimple, s) }
 // WriteError writes "-msg\r\n". msg must not contain CR or LF; by RESP
 // convention it starts with an uppercase error-class word ("ERR ...",
 // "CROSSSHARD ...").
-func (w *Writer) WriteError(msg string) error { return w.line(TypeError, msg) }
+func (w *Writer) WriteError(msg string) error {
+	w.errs++
+	return w.line(TypeError, msg)
+}
+
+// ErrorCount returns the number of WriteError calls on this Writer.
+func (w *Writer) ErrorCount() int64 { return w.errs }
 
 // WriteInt writes ":n\r\n".
 func (w *Writer) WriteInt(n int64) error { return w.lineInt(TypeInt, n) }

@@ -69,6 +69,7 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"nbtrie/internal/resp"
 )
@@ -115,6 +116,11 @@ type affineOp struct {
 	keyBuf  []byte    // worker scratch: wire key re-rendered for the AOF
 	argsBuf [3][]byte // worker scratch: AOF record headers
 	done    *wgBarrier
+
+	// start is stamped at routing time; the drain loop diffs it when the
+	// reply is written, so a routed op's recorded latency covers queueing
+	// plus execution — what the client actually waited, minus the wire.
+	start time.Time
 }
 
 // affineDispatcher owns the per-shard workers and their rings.
@@ -259,6 +265,7 @@ func (ss *session) route(cmd []byte, args [][]byte) bool {
 	op.kind, op.k = kind, k
 	op.val, op.v, op.found = nil, nil, false
 	op.next = nil
+	op.start = time.Now()
 	if kind == opSet {
 		// The arena slice dies with this command; the op must own the
 		// value until the worker hands it to the map.
@@ -306,9 +313,33 @@ func (ss *session) drain() {
 				ss.w.WriteInt(0)
 			}
 		}
+		// Routed ops never produce error replies (errors are answered
+		// inline), so the errs delta is always zero here.
+		d := time.Since(op.start)
+		ss.s.met.record(ss.stripe, opCmdIndex[op.kind], d, 0)
+		if ss.s.slog.admits(d) {
+			ss.slowRouted(op, d)
+		}
 		// Drop value references so the ring does not pin dead values
 		// until the slot's next reuse; scratch buffers stay.
 		op.val, op.v = nil, nil
 	}
 	ss.pend = 0
+}
+
+// slowRouted logs a routed op to the slowlog, reconstructing the wire
+// arguments from the trie key (keyers are bijective on their image).
+// Only runs for ops past the threshold, so the allocations don't matter.
+func (ss *session) slowRouted(op *affineOp, d time.Duration) {
+	key := ss.s.keyer.DecodeAppend(nil, op.k)
+	switch op.kind {
+	case opGet:
+		ss.s.slog.add(d, [][]byte{[]byte("GET"), key})
+	case opExists:
+		ss.s.slog.add(d, [][]byte{[]byte("EXISTS"), key})
+	case opSet:
+		ss.s.slog.add(d, [][]byte{[]byte("SET"), key, op.val})
+	case opDel:
+		ss.s.slog.add(d, [][]byte{[]byte("DEL"), key})
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
+	"time"
 
 	"nbtrie"
 	"nbtrie/internal/resp"
@@ -25,6 +27,11 @@ type session struct {
 	ks     []uint64 // encodeKeys scratch, reused across commands
 	cmdBuf []byte   // upper's scratch: the upcased command word
 
+	// stripe is this connection's index into the striped per-command
+	// counters (see metrics.go) — assigned once per session so counter
+	// writes from different connections land on different cache lines.
+	stripe uint32
+
 	// Affine-mode state (nil/empty in conn mode): a fixed ring of op
 	// slots with stable addresses, ss.ops[:pend] routed and not yet
 	// answered, the per-shard chains being assembled for the current
@@ -39,7 +46,7 @@ type session struct {
 }
 
 func newSession(s *Server, w *resp.Writer) *session {
-	ss := &session{s: s, w: w}
+	ss := &session{s: s, w: w, stripe: s.met.connSeq.Add(1)}
 	if s.aff != nil {
 		ss.ops = make([]affineOp, affineBurstMax)
 		for i := range ss.ops {
@@ -58,15 +65,22 @@ func newSession(s *Server, w *resp.Writer) *session {
 // commands and arity/key errors are ordinary RESP errors: the
 // connection survives, only protocol-level framing errors are fatal
 // (handled by the caller).
+//
+// This wrapper owns per-command accounting: it classifies the command,
+// times the inline execution, and records calls / errors / latency into
+// the metrics registry plus the slowlog threshold check — all wait-free
+// and allocation-free (time.Now is a vDSO read; the slowlog only copies
+// arguments for commands that already blew the threshold). Routed
+// affine ops skip this path and are recorded at drain time instead,
+// where their replies are written (see affine.go).
 func (ss *session) dispatch(args [][]byte) (quit bool) {
-	s, w := ss.s, ss.w
 	// Upcase into session scratch (args[0] must stay intact: the
 	// unknown-command error echoes it as typed), then switch directly
 	// on the []byte→string conversions: both are allocation-free once
 	// the scratch is warm, and the compiler elides the conversion copy
 	// when the string is only compared.
 	cmd := ss.upper(args[0])
-	if s.aff != nil {
+	if ss.s.aff != nil {
 		if ss.route(cmd, args) {
 			return false
 		}
@@ -75,6 +89,22 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		// affine.go for the protocol).
 		ss.drain()
 	}
+	ci := cmdIndexOf(cmd)
+	errsBefore := ss.w.ErrorCount()
+	start := time.Now()
+	quit = ss.dispatchCmd(cmd, args)
+	d := time.Since(start)
+	ss.s.met.record(ss.stripe, ci, d, ss.w.ErrorCount()-errsBefore)
+	if ss.s.slog.admits(d) {
+		ss.s.slog.add(d, args)
+	}
+	return quit
+}
+
+// dispatchCmd executes one inline command (everything but routed affine
+// ops goes through here).
+func (ss *session) dispatchCmd(cmd []byte, args [][]byte) (quit bool) {
+	s, w := ss.s, ss.w
 	switch string(cmd) {
 	case "PING":
 		switch len(args) {
@@ -295,11 +325,19 @@ func (ss *session) dispatch(args [][]byte) (quit bool) {
 		}
 		w.WriteInt(s.pst.lastSave.Load())
 	case "INFO":
-		if len(args) > 2 {
+		switch len(args) {
+		case 1:
+			w.WriteBulkString(s.infoText(""))
+		case 2:
+			// Redis semantics: INFO <section> returns only that section;
+			// an unknown section name returns an empty bulk. INFO is cold,
+			// so lowering the argument may allocate freely.
+			w.WriteBulkString(s.infoText(strings.ToLower(string(args[1]))))
+		default:
 			ss.wrongArity("INFO")
-			return
 		}
-		w.WriteBulkString(s.infoText())
+	case "SLOWLOG":
+		ss.slowlogCmd(args)
 	default:
 		// %q, not %s: args[0] is raw client bytes and a bare CR/LF would
 		// split the RESP reply stream.

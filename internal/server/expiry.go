@@ -119,7 +119,10 @@ func (s *Server) getLive(k uint64) ([]byte, bool) {
 
 // reapOnce runs one reaper pass over everything due by now.
 func (s *Server) reapOnce() int {
-	return s.exp.Reap(s.nowMS(), s.purgeExpired)
+	start := time.Now()
+	n := s.exp.Reap(s.nowMS(), s.purgeExpired)
+	s.met.reapPass.Record(uint64(time.Since(start).Microseconds()))
+	return n
 }
 
 // ReapNow forces one synchronous reaper pass and returns the number of

@@ -51,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +99,17 @@ type Config struct {
 	// the wall clock. Expiry deadlines are evaluated against it —
 	// injectable so expiry tests are deterministic.
 	Clock func() int64
+	// SlowlogSlowerThanUS is the slowlog admission threshold in
+	// microseconds. 0 selects the default (10ms); SlowlogOff disables
+	// the log; SlowlogAll records every command. Note the deliberate
+	// divergence from the Redis config value (where 0 means
+	// log-everything): the zero-value Config must keep the 0-alloc
+	// command paths, and logging everything copies arguments.
+	// cmd/nbtried's -slowlog-log-slower-than flag keeps exact Redis
+	// semantics and maps onto these sentinels.
+	SlowlogSlowerThanUS int64
+	// SlowlogMaxLen is the slowlog ring capacity; 0 means 128.
+	SlowlogMaxLen int
 }
 
 // Server owns the map and the listener lifecycle. Create with New,
@@ -143,6 +155,13 @@ type Server struct {
 
 	totalConns atomic.Int64
 	totalCmds  atomic.Int64
+
+	// met is the always-on metrics registry (see metrics.go); slog the
+	// slowlog ring (slowlog.go). Both exist on every server — exposure
+	// (the -metrics-addr listener) is opt-in, recording is not, and the
+	// record paths are wait-free and allocation-free by construction.
+	met  *metrics
+	slog *slowlog
 }
 
 // New builds a server and its backing map.
@@ -202,6 +221,8 @@ func New(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 		scans:    make(map[uint64]*scanCursor),
 		scanNext: 1,
+		met:      newMetrics(),
+		slog:     newSlowlog(cfg.SlowlogSlowerThanUS, cfg.SlowlogMaxLen),
 	}
 	if cfg.Persist.Dir != "" {
 		// Recovery runs to completion before New returns — and so
@@ -364,7 +385,11 @@ func (cw commitBeforeWrite) Write(p []byte) (int, error) {
 	if !cw.s.commitAOF() {
 		return 0, errAOFCommitFailed
 	}
-	return cw.c.Write(p)
+	n, err := cw.c.Write(p)
+	if n > 0 {
+		cw.s.met.bytesOut.Add(int64(n))
+	}
+	return n, err
 }
 
 // flushBeforeRead interposes on the connection's read side: any read
@@ -395,7 +420,11 @@ func (f flushBeforeRead) Read(p []byte) (int, error) {
 			return 0, err
 		}
 	}
-	return f.c.Read(p)
+	n, err := f.c.Read(p)
+	if n > 0 {
+		f.ss.s.met.bytesIn.Add(int64(n))
+	}
+	return n, err
 }
 
 // replyFlushThreshold bounds how many reply bytes accumulate before the
@@ -451,49 +480,88 @@ func (s *Server) handle(c net.Conn) {
 	}
 }
 
-// infoText renders the INFO reply.
-func (s *Server) infoText() string {
-	persistence := "\r\n# Persistence\r\npersistence_dir:\r\naof_enabled:0\r\n"
-	if s.pst != nil {
-		persistence = s.pst.info()
+// infoSection is one named block of the INFO reply. name is the
+// lowercase match key for `INFO <section>`; title the rendered header.
+type infoSection struct {
+	name  string
+	title string
+	body  func(*strings.Builder)
+}
+
+// infoSections lists every INFO block, in render order. The section
+// bodies write plain "key:value\r\n" lines with no headers or blank
+// lines — infoText owns the framing, so a single-section reply and the
+// full reply format identically.
+func (s *Server) infoSections() []infoSection {
+	return []infoSection{
+		{"server", "Server", func(b *strings.Builder) {
+			fmt.Fprintf(b, "nbtried_version:%s\r\n", Version)
+			b.WriteString("engine:nbtrie-sharded-patricia\r\n")
+			fmt.Fprintf(b, "keyer:%s\r\n", s.keyer.Name())
+			fmt.Fprintf(b, "key_width_bits:%d\r\n", s.keyer.Width())
+			fmt.Fprintf(b, "shards:%d\r\n", s.db.Shards())
+			fmt.Fprintf(b, "trie_span_bits:%d\r\n", s.cfg.Span)
+			fmt.Fprintf(b, "dispatch:%s\r\n", s.cfg.Dispatch)
+			fmt.Fprintf(b, "uptime_in_seconds:%d\r\n", int64(time.Since(s.start).Seconds()))
+		}},
+		{"clients", "Clients", func(b *strings.Builder) {
+			fmt.Fprintf(b, "connected_clients:%d\r\n", s.connectedClients())
+		}},
+		{"stats", "Stats", func(b *strings.Builder) {
+			fmt.Fprintf(b, "total_connections_received:%d\r\n", s.totalConns.Load())
+			fmt.Fprintf(b, "total_commands_processed:%d\r\n", s.totalCmds.Load())
+			var errs int64
+			for ci := cmdIndex(0); ci < cmdCount; ci++ {
+				errs += s.met.cmdErrs.Load(int(ci))
+			}
+			fmt.Fprintf(b, "total_error_replies:%d\r\n", errs)
+			fmt.Fprintf(b, "total_net_input_bytes:%d\r\n", s.met.bytesIn.Load())
+			fmt.Fprintf(b, "total_net_output_bytes:%d\r\n", s.met.bytesOut.Load())
+			fmt.Fprintf(b, "slowlog_len:%d\r\n", s.slog.len())
+		}},
+		{"commandstats", "Commandstats", s.commandstatsText},
+		{"latencystats", "Latencystats", s.latencystatsText},
+		{"expiry", "Expiry", func(b *strings.Builder) {
+			expired, passes := s.exp.Stats()
+			fmt.Fprintf(b, "keys_with_ttl:%d\r\n", s.exp.Len())
+			fmt.Fprintf(b, "expired_keys:%d\r\n", expired)
+			fmt.Fprintf(b, "reaper_passes:%d\r\n", passes)
+		}},
+		{"persistence", "Persistence", func(b *strings.Builder) {
+			if s.pst != nil {
+				b.WriteString(s.pst.info())
+				return
+			}
+			b.WriteString("persistence_dir:\r\naof_enabled:0\r\n")
+		}},
+		{"engine", "Engine", s.engineText},
+		{"keyspace", "Keyspace", func(b *strings.Builder) {
+			fmt.Fprintf(b, "db0:keys=%d\r\n", s.db.Len())
+		}},
 	}
-	expired, passes := s.exp.Stats()
-	return fmt.Sprintf(
-		"# Server\r\n"+
-			"nbtried_version:%s\r\n"+
-			"engine:nbtrie-sharded-patricia\r\n"+
-			"keyer:%s\r\n"+
-			"key_width_bits:%d\r\n"+
-			"shards:%d\r\n"+
-			"trie_span_bits:%d\r\n"+
-			"dispatch:%s\r\n"+
-			"uptime_in_seconds:%d\r\n"+
-			"\r\n# Clients\r\n"+
-			"connected_clients:%d\r\n"+
-			"\r\n# Stats\r\n"+
-			"total_connections_received:%d\r\n"+
-			"total_commands_processed:%d\r\n"+
-			"\r\n# Expiry\r\n"+
-			"keys_with_ttl:%d\r\n"+
-			"expired_keys:%d\r\n"+
-			"reaper_passes:%d\r\n"+
-			"%s"+
-			"\r\n# Keyspace\r\n"+
-			"db0:keys=%d\r\n",
-		Version,
-		s.keyer.Name(),
-		s.keyer.Width(),
-		s.db.Shards(),
-		s.cfg.Span,
-		s.cfg.Dispatch,
-		int64(time.Since(s.start).Seconds()),
-		s.connectedClients(),
-		s.totalConns.Load(),
-		s.totalCmds.Load(),
-		s.exp.Len(),
-		expired,
-		passes,
-		persistence,
-		s.db.Len(),
-	)
+}
+
+// infoText renders the INFO reply. section is the already-lowercased
+// requested section; "" (no argument), "all", "default" and
+// "everything" render every section, any other name renders exactly
+// that section, and an unknown name renders nothing (the caller's empty
+// bulk reply — Redis semantics).
+func (s *Server) infoText(section string) string {
+	all := section == "" || section == "all" || section == "default" || section == "everything"
+	var b strings.Builder
+	first := true
+	for _, sec := range s.infoSections() {
+		if !all && sec.name != section {
+			continue
+		}
+		if !first {
+			b.WriteString("\r\n")
+		}
+		first = false
+		b.WriteString("# ")
+		b.WriteString(sec.title)
+		b.WriteString("\r\n")
+		sec.body(&b)
+	}
+	return b.String()
 }

@@ -1,0 +1,21 @@
+package sharded
+
+import "nbtrie/internal/engine"
+
+// EngineStats returns the contention counters summed over every shard.
+// Each shard's block is snapshotted independently, so the merge is not a
+// single global cut — fine for metrics, by design.
+func (t *Trie[V]) EngineStats() engine.StatsSnapshot {
+	var agg engine.StatsSnapshot
+	for _, sh := range t.shards {
+		s := sh.EngineStats()
+		agg.Merge(s)
+	}
+	return agg
+}
+
+// ShardEngineStats returns shard i's own counter snapshot; i must be in
+// [0, Shards()).
+func (t *Trie[V]) ShardEngineStats(i int) engine.StatsSnapshot {
+	return t.shards[i].EngineStats()
+}

@@ -1,0 +1,7 @@
+package spatial
+
+import "nbtrie/internal/engine"
+
+// EngineStats returns a snapshot of the underlying engine's contention
+// counters (see engine.Stats).
+func (t *Trie[V]) EngineStats() engine.StatsSnapshot { return t.e.StatsSnapshot() }

@@ -16,7 +16,7 @@
 # log.
 
 out="${1:-escape-smoke.log}"
-pkgs="./internal/resp ./internal/server ./internal/engine ./internal/core"
+pkgs="./internal/resp ./internal/server ./internal/engine ./internal/core ./internal/obs"
 
 {
     echo "# escape-analysis smoke: $(go version)"
@@ -47,6 +47,19 @@ pkgs="./internal/resp ./internal/server ./internal/engine ./internal/core"
         echo "0-alloc read pins before assuming they are cold-path.)"
     else
         echo "none: the descent (incl. the k-ary child-array reads) is heap-free"
+    fi
+    echo
+    echo "## obs record paths (Counter.Inc / Striped.Add / Hist.Record)"
+    # Every command and every engine help/retry crosses these; the
+    # 0-alloc pins in internal/obs/obs_test.go (AllocsPerRun) enforce
+    # the count, this section localizes the site when one fails. The
+    # only expected obs escapes are the snapshot/render side (Load,
+    # Snapshot, Quantile) — cold by construction.
+    if grep 'obs/' "$mlog"; then
+        echo "(obs escape sites above: anything in Inc/Add/Record is a"
+        echo "hot-path regression; snapshot-side sites are expected.)"
+    else
+        echo "none: the record paths are heap-free"
     fi
     rm -f "$mlog"
     echo
